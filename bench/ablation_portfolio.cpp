@@ -1,0 +1,86 @@
+// E5 — ablation for Step 5 (parallel portfolio): "quite often, SAT solvers
+// are very good at some instances and not that good at others".
+//
+// Runs every portfolio member to completion on a spread of instance
+// families and compares against the racing portfolio. Expected shape: no
+// single member wins everywhere; the portfolio tracks the per-instance
+// best member (modulo thread startup) — the paper's justification for
+// racing them.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "gen/generator.hpp"
+#include "maxsat/portfolio.hpp"
+
+int main() {
+  using namespace fta;
+  bench::banner("E5: Step-5 ablation — portfolio vs single solvers");
+
+  struct Family {
+    std::string name;
+    ft::FaultTree tree;
+  };
+  std::vector<Family> families;
+  {
+    gen::GeneratorOptions o;
+    o.num_events = 3000;
+    o.and_fraction = 0.15;  // OR-heavy: many shallow cuts
+    families.push_back({"or-heavy-3k", gen::random_tree(o, 1)});
+    o.and_fraction = 0.75;  // AND-heavy: deep, few cuts
+    families.push_back({"and-heavy-3k", gen::random_tree(o, 2)});
+    o.and_fraction = 0.4;
+    o.vote_fraction = 0.25;
+    o.min_children = 3;
+    families.push_back({"vote-3k", gen::random_tree(o, 3)});
+  }
+  families.push_back({"ladder-500", gen::ladder_tree(500, 4)});
+  families.push_back({"chain-2000", gen::chain_tree(2000, 5)});
+
+  const core::MpmcsPipeline pipeline;  // builds instances
+  bench::print_row({"instance", "member", "status", "ms", "cost"},
+                   {14, 12, 10, 10, 14});
+
+  std::map<std::string, int> wins;
+  for (const auto& fam : families) {
+    const auto instance = pipeline.build_instance(fam.tree);
+    auto portfolio = maxsat::PortfolioSolver::make_default();
+
+    // Each member to completion (sequential, no racing).
+    const auto all = portfolio.solve_all_members(instance);
+    std::string best_member;
+    double best_time = 1e30;
+    for (const auto& r : all) {
+      if (r.status == maxsat::MaxSatStatus::Optimal && r.seconds < best_time) {
+        best_time = r.seconds;
+        best_member = r.solver_name;
+      }
+      bench::print_row(
+          {fam.name, r.solver_name,
+           r.status == maxsat::MaxSatStatus::Optimal ? "optimal" : "unknown",
+           bench::fmt(r.seconds * 1e3), std::to_string(r.cost)},
+          {14, 12, 10, 10, 14});
+    }
+    ++wins[best_member];
+
+    // The racing portfolio.
+    const auto raced = portfolio.solve(instance);
+    bench::print_row({fam.name, "PORTFOLIO",
+                      raced.status == maxsat::MaxSatStatus::Optimal
+                          ? "optimal"
+                          : "unknown",
+                      bench::fmt(raced.seconds * 1e3),
+                      std::to_string(raced.cost) + "  (won by " +
+                          raced.solver_name + ")"},
+                     {14, 12, 10, 10, 30});
+    std::printf("\n");
+  }
+
+  std::printf("per-family fastest member:\n");
+  for (const auto& [name, count] : wins) {
+    std::printf("  %-12s %d\n", name.c_str(), count);
+  }
+  std::printf("(more than one name above = no universal best => racing pays)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E8 — the paper's future-work comparison: BDD-based MPMCS vs the MaxSAT
+// pipeline, "a thorough comparison on performance and scalability".
+//
+// Two sweeps: (a) plain trees of growing size — both methods stay fast,
+// BDD often faster on small trees since there is no search; (b) DAGs with
+// heavy subtree sharing and AND-rich structure — the BDD grows
+// multiplicatively and eventually hits its node budget while MaxSAT keeps
+// scaling. The crossover is the experiment's point.
+#include <cstdio>
+
+#include "bdd/fta_bdd.hpp"
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "gen/generator.hpp"
+
+namespace {
+
+void sweep(const char* label, double sharing, double and_fraction) {
+  using namespace fta;
+  std::printf("\n-- %s (sharing=%.2f, and=%.2f) --\n", label, sharing,
+              and_fraction);
+  fta::bench::print_row({"events", "maxsat", "bdd", "bdd nodes", "agree"},
+                        {9, 12, 12, 12, 8});
+  for (const std::uint32_t n : {100u, 400u, 1600u, 6400u}) {
+    gen::GeneratorOptions gopts;
+    gopts.num_events = n;
+    gopts.sharing = sharing;
+    gopts.and_fraction = and_fraction;
+    const auto tree = gen::random_tree(gopts, 31 * n + 7);
+
+    core::PipelineOptions popts;
+    popts.solver = core::SolverChoice::Oll;
+    core::MpmcsSolution sol;
+    const double t_sat = fta::bench::time_median(
+        3, [&] { sol = core::MpmcsPipeline(popts).solve(tree); });
+
+    std::string bdd_time = "blow-up";
+    std::string bdd_nodes = "-";
+    std::string agree = "-";
+    try {
+      util::Timer t;
+      bdd::FaultTreeBdd analysis(tree);
+      const auto best = analysis.mpmcs();
+      bdd_time = fta::bench::fmt(t.seconds() * 1e3) + "ms";
+      bdd_nodes = std::to_string(analysis.bdd_size());
+      if (best) {
+        const bool same = std::abs(best->second - sol.probability) <=
+                          1e-5 * best->second + 1e-15;
+        agree = same ? "yes" : "NO";
+      }
+    } catch (const std::exception&) {
+      // BDD node limit: the documented failure mode of this baseline.
+    }
+    fta::bench::print_row({std::to_string(n),
+                           fta::bench::fmt(t_sat * 1e3) + "ms", bdd_time,
+                           bdd_nodes, agree},
+                          {9, 12, 12, 12, 8});
+  }
+}
+
+}  // namespace
+
+int main() {
+  fta::bench::banner("E8: future-work baseline — BDD vs MaxSAT MPMCS");
+  sweep("plain trees", /*sharing=*/0.0, /*and_fraction=*/0.35);
+  sweep("shared DAGs", /*sharing=*/0.5, /*and_fraction=*/0.6);
+  std::printf(
+      "\nshape: BDD competitive on trees; sharing+AND-depth blows the BDD "
+      "up\nwhile the MaxSAT pipeline keeps scaling\n");
+  return 0;
+}

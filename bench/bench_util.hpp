@@ -1,0 +1,48 @@
+// Shared helpers for the experiment binaries: fixed-width table printing
+// and a median-of-N timing wrapper.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace fta::bench {
+
+/// Prints a header like "== E4: scaling (paper §IV claim) ==".
+inline void banner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+/// Fixed-width row printing: print_row({"a", "b"}, {12, 8}).
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", w, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, const char* format = "%.3g") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+/// Median wall-clock seconds over `repeats` runs of `fn`.
+inline double time_median(int repeats, const std::function<void()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    util::Timer t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace fta::bench

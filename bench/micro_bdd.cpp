@@ -1,0 +1,54 @@
+// Microbenchmarks for the BDD/ZBDD substrate.
+#include <benchmark/benchmark.h>
+
+#include "bdd/fta_bdd.hpp"
+#include "gen/generator.hpp"
+
+namespace {
+
+using namespace fta;
+
+void BM_BddBuildTree(benchmark::State& state) {
+  gen::GeneratorOptions opts;
+  opts.num_events = static_cast<std::uint32_t>(state.range(0));
+  const auto tree = gen::random_tree(opts, 5);
+  for (auto _ : state) {
+    bdd::FaultTreeBdd analysis(tree);
+    benchmark::DoNotOptimize(analysis.bdd_size());
+  }
+}
+BENCHMARK(BM_BddBuildTree)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_BddTopProbability(benchmark::State& state) {
+  gen::GeneratorOptions opts;
+  opts.num_events = static_cast<std::uint32_t>(state.range(0));
+  const auto tree = gen::random_tree(opts, 5);
+  bdd::FaultTreeBdd analysis(tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis.top_probability());
+  }
+}
+BENCHMARK(BM_BddTopProbability)->Arg(1000)->Arg(5000);
+
+void BM_BddMinsolAndArgmax(benchmark::State& state) {
+  gen::GeneratorOptions opts;
+  opts.num_events = static_cast<std::uint32_t>(state.range(0));
+  const auto tree = gen::random_tree(opts, 5);
+  for (auto _ : state) {
+    bdd::FaultTreeBdd analysis(tree);
+    benchmark::DoNotOptimize(analysis.mpmcs());
+  }
+}
+BENCHMARK(BM_BddMinsolAndArgmax)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_BddLadderVoteGates(benchmark::State& state) {
+  const auto tree =
+      gen::ladder_tree(static_cast<std::uint32_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    bdd::FaultTreeBdd analysis(tree);
+    benchmark::DoNotOptimize(analysis.mcs_count());
+  }
+}
+BENCHMARK(BM_BddLadderVoteGates)->Arg(100)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Microbenchmarks for the MaxSAT layer on pipeline-shaped instances.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "gen/generator.hpp"
+#include "maxsat/fu_malik.hpp"
+#include "maxsat/lsu.hpp"
+#include "maxsat/oll.hpp"
+#include "maxsat/totalizer.hpp"
+
+namespace {
+
+using namespace fta;
+
+maxsat::WcnfInstance tree_instance(std::uint32_t events, std::uint64_t seed) {
+  gen::GeneratorOptions opts;
+  opts.num_events = events;
+  const auto tree = gen::random_tree(opts, seed);
+  return core::MpmcsPipeline().build_instance(tree);
+}
+
+void BM_OllOnTreeInstance(benchmark::State& state) {
+  const auto inst =
+      tree_instance(static_cast<std::uint32_t>(state.range(0)), 21);
+  for (auto _ : state) {
+    maxsat::OllSolver solver;
+    benchmark::DoNotOptimize(solver.solve(inst));
+  }
+}
+BENCHMARK(BM_OllOnTreeInstance)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_FuMalikOnTreeInstance(benchmark::State& state) {
+  const auto inst =
+      tree_instance(static_cast<std::uint32_t>(state.range(0)), 21);
+  for (auto _ : state) {
+    maxsat::FuMalikSolver solver;
+    benchmark::DoNotOptimize(solver.solve(inst));
+  }
+}
+BENCHMARK(BM_FuMalikOnTreeInstance)->Arg(100)->Arg(1000);
+
+void BM_LsuOnTreeInstance(benchmark::State& state) {
+  const auto inst =
+      tree_instance(static_cast<std::uint32_t>(state.range(0)), 21);
+  for (auto _ : state) {
+    maxsat::LsuSolver solver;
+    benchmark::DoNotOptimize(solver.solve(inst));
+  }
+}
+BENCHMARK(BM_LsuOnTreeInstance)->Arg(100)->Arg(1000);
+
+void BM_TotalizerConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<logic::Lit> inputs;
+    inputs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      inputs.push_back(logic::Lit::pos(s.new_var()));
+    }
+    maxsat::Totalizer tot(s, std::move(inputs), n);
+    benchmark::DoNotOptimize(tot.size());
+  }
+}
+BENCHMARK(BM_TotalizerConstruction)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_PipelineEndToEnd(benchmark::State& state) {
+  gen::GeneratorOptions opts;
+  opts.num_events = static_cast<std::uint32_t>(state.range(0));
+  const auto tree = gen::random_tree(opts, 33);
+  core::PipelineOptions popts;
+  popts.solver = core::SolverChoice::Oll;
+  const core::MpmcsPipeline pipeline(popts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.solve(tree));
+  }
+}
+BENCHMARK(BM_PipelineEndToEnd)->Arg(100)->Arg(1000)->Arg(5000);
+
+}  // namespace

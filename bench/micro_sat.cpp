@@ -1,0 +1,97 @@
+// Microbenchmarks for the CDCL SAT solver substrate.
+#include <benchmark/benchmark.h>
+
+#include "logic/tseitin.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fta;
+using logic::Lit;
+
+logic::Cnf random_3cnf(std::uint64_t seed, std::uint32_t vars,
+                       std::size_t clauses) {
+  util::Rng rng(seed);
+  logic::Cnf cnf(vars);
+  for (std::size_t i = 0; i < clauses; ++i) {
+    logic::Clause c;
+    while (c.size() < 3) {
+      c.push_back(Lit::make(static_cast<logic::Var>(rng.below(vars)),
+                            rng.chance(0.5)));
+    }
+    cnf.add_clause(std::move(c));
+  }
+  return cnf;
+}
+
+void BM_SatEasyRandom3Cnf(benchmark::State& state) {
+  const auto vars = static_cast<std::uint32_t>(state.range(0));
+  const auto cnf = random_3cnf(7, vars, vars * 3);  // under-constrained
+  for (auto _ : state) {
+    sat::Solver s;
+    s.add_cnf(cnf);
+    benchmark::DoNotOptimize(s.solve());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SatEasyRandom3Cnf)->Arg(200)->Arg(1000)->Arg(5000);
+
+void BM_SatHardRatioRandom3Cnf(benchmark::State& state) {
+  // Near the SAT/UNSAT phase transition (ratio ~4.26).
+  const auto vars = static_cast<std::uint32_t>(state.range(0));
+  const auto cnf = random_3cnf(11, vars, vars * 426 / 100);
+  for (auto _ : state) {
+    sat::Solver s;
+    s.add_cnf(cnf);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SatHardRatioRandom3Cnf)->Arg(60)->Arg(100)->Arg(140);
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const auto holes = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    const std::uint32_t pigeons = holes + 1;
+    s.ensure_vars(pigeons * holes);
+    auto var = [&](std::uint32_t p, std::uint32_t h) {
+      return static_cast<logic::Var>(p * holes + h);
+    };
+    for (std::uint32_t p = 0; p < pigeons; ++p) {
+      std::vector<Lit> clause;
+      for (std::uint32_t h = 0; h < holes; ++h) {
+        clause.push_back(Lit::pos(var(p, h)));
+      }
+      s.add_clause(clause);
+    }
+    for (std::uint32_t h = 0; h < holes; ++h) {
+      for (std::uint32_t p1 = 0; p1 < pigeons; ++p1) {
+        for (std::uint32_t p2 = p1 + 1; p2 < pigeons; ++p2) {
+          s.add_clause({Lit::neg(var(p1, h)), Lit::neg(var(p2, h))});
+        }
+      }
+    }
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_SatIncrementalAssumptions(benchmark::State& state) {
+  const std::uint32_t vars = 400;
+  const auto cnf = random_3cnf(13, vars, vars * 3);
+  sat::Solver s;
+  s.add_cnf(cnf);
+  util::Rng rng(17);
+  for (auto _ : state) {
+    std::vector<Lit> assumptions;
+    for (int i = 0; i < 10; ++i) {
+      assumptions.push_back(Lit::make(
+          static_cast<logic::Var>(rng.below(vars)), rng.chance(0.5)));
+    }
+    benchmark::DoNotOptimize(s.solve(assumptions));
+  }
+}
+BENCHMARK(BM_SatIncrementalAssumptions);
+
+}  // namespace

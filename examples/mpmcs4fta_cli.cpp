@@ -1,0 +1,167 @@
+// mpmcs4fta_cli: command-line MPMCS computation, mirroring the paper's
+// open-source tool (command line in, JSON out; Fig. 2 of the paper shows
+// that JSON rendered in a browser).
+//
+//   usage: mpmcs4fta_cli [options] <tree.ft>
+//     --solver NAME   portfolio (default) | oll | fu-malik | lsu | brute
+//     --top K         also report the K most probable MCSs
+//     --json PATH     write the JSON result document ('-' for stdout)
+//     --dot PATH      write Graphviz with the MPMCS highlighted
+//     --wcnf PATH     export the Step-4 Weighted Partial MaxSAT instance
+//                     in standard WCNF (for external MaxSAT solvers)
+//     --scale S       weight scaling factor (default 1e6)
+//     --timeout SEC   portfolio wall-clock cap
+//     --quiet         suppress the human-readable summary
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "ft/dot_writer.hpp"
+#include "ft/openpsa.hpp"
+#include "ft/parser.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <tree.ft>\n"
+               "  --solver NAME   portfolio|oll|fu-malik|lsu|brute\n"
+               "  --top K         report the K most probable MCSs\n"
+               "  --json PATH     write JSON result ('-' = stdout)\n"
+               "  --dot PATH      write Graphviz with MPMCS highlighted\n"
+               "  --scale S       weight scale (default 1e6)\n"
+               "  --timeout SEC   portfolio time limit\n"
+               "  --quiet         no human-readable summary\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fta;
+
+  core::PipelineOptions opts;
+  std::string tree_path;
+  std::string json_path;
+  std::string dot_path;
+  std::string wcnf_path;
+  std::size_t top_k = 0;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--solver") {
+      const std::string name = next();
+      if (name == "portfolio") opts.solver = core::SolverChoice::Portfolio;
+      else if (name == "oll") opts.solver = core::SolverChoice::Oll;
+      else if (name == "fu-malik") opts.solver = core::SolverChoice::FuMalik;
+      else if (name == "lsu") opts.solver = core::SolverChoice::Lsu;
+      else if (name == "brute") opts.solver = core::SolverChoice::BruteForce;
+      else return usage(argv[0]);
+    } else if (arg == "--top") {
+      top_k = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--dot") {
+      dot_path = next();
+    } else if (arg == "--wcnf") {
+      wcnf_path = next();
+    } else if (arg == "--scale") {
+      opts.weight_scale = std::strtod(next(), nullptr);
+    } else if (arg == "--timeout") {
+      opts.timeout_seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      tree_path = arg;
+    }
+  }
+  if (tree_path.empty()) return usage(argv[0]);
+
+  std::ifstream in(tree_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", tree_path.c_str());
+    return 1;
+  }
+
+  ft::FaultTree tree;
+  try {
+    // Auto-detect format: Open-PSA MEF documents start with '<'.
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const auto first = text.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos && text[first] == '<') {
+      tree = ft::parse_open_psa(text);
+    } else {
+      tree = ft::parse_fault_tree(text);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", tree_path.c_str(), e.what());
+    return 1;
+  }
+
+  const core::MpmcsPipeline pipeline(opts);
+  const core::MpmcsSolution sol = pipeline.solve(tree);
+  if (sol.status != maxsat::MaxSatStatus::Optimal) {
+    std::fprintf(stderr, "no optimal solution (status %d)\n",
+                 static_cast<int>(sol.status));
+    return 1;
+  }
+
+  if (!quiet) {
+    std::printf("tree      : %s (%zu events, %zu gates)\n", tree_path.c_str(),
+                tree.stats().events, tree.stats().gates);
+    std::printf("MPMCS     : %s\n", sol.cut.to_string(tree).c_str());
+    std::printf("P(MPMCS)  : %g\n", sol.probability);
+    std::printf("solver    : %s  (%.2f ms)\n", sol.solver_name.c_str(),
+                sol.solve_seconds * 1e3);
+    if (top_k > 0) {
+      std::printf("top %zu MCSs:\n", top_k);
+      for (const auto& s : pipeline.top_k(tree, top_k)) {
+        std::printf("  P = %-10g %s\n", s.probability,
+                    s.cut.to_string(tree).c_str());
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    const std::string json = core::MpmcsPipeline::to_json(tree, sol);
+    if (json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(json_path);
+      out << json;
+      if (!quiet) std::printf("JSON      : %s\n", json_path.c_str());
+    }
+  }
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    out << ft::to_dot(tree, sol.cut);
+    if (!quiet) std::printf("DOT       : %s\n", dot_path.c_str());
+  }
+  if (!wcnf_path.empty()) {
+    std::ofstream out(wcnf_path);
+    maxsat::write_wcnf(out, pipeline.build_instance(tree),
+                       "mpmcs4fta instance for " + tree_path);
+    if (!quiet) std::printf("WCNF      : %s\n", wcnf_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "analysis/ccf.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fta::analysis {
+
+ft::FaultTree apply_beta_factor(const ft::FaultTree& tree,
+                                const std::vector<CcfGroup>& groups) {
+  tree.validate();
+  // Validate groups and index members.
+  std::unordered_map<ft::EventIndex, std::size_t> member_group;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const CcfGroup& group = groups[g];
+    if (group.members.size() < 2) {
+      throw ft::ValidationError("CCF group '" + group.name +
+                                "' needs >= 2 members");
+    }
+    if (!(group.beta >= 0.0 && group.beta <= 1.0)) {
+      throw ft::ValidationError("CCF group '" + group.name +
+                                "': beta out of [0,1]");
+    }
+    for (const ft::EventIndex e : group.members) {
+      if (e >= tree.num_events()) {
+        throw ft::ValidationError("CCF group '" + group.name +
+                                  "': unknown event index");
+      }
+      if (!member_group.emplace(e, g).second) {
+        throw ft::ValidationError("event '" + tree.event(e).name +
+                                  "' appears in two CCF groups");
+      }
+    }
+  }
+
+  ft::FaultTree out;
+  // One common event per group, created first so member rewrites can
+  // reference it. Its probability is beta * mean member probability (the
+  // standard homogeneous-group approximation).
+  std::vector<ft::NodeIndex> common(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    double mean = 0.0;
+    for (const ft::EventIndex e : groups[g].members) {
+      mean += tree.event_probability(e);
+    }
+    mean /= static_cast<double>(groups[g].members.size());
+    common[g] =
+        out.add_basic_event(groups[g].name + "__common", groups[g].beta * mean);
+  }
+
+  // Copy nodes in index order (children always precede parents in a
+  // FaultTree, so a single pass with an index remap suffices).
+  std::vector<ft::NodeIndex> remap(tree.num_nodes(), ft::kNoIndex);
+  for (ft::NodeIndex i = 0; i < tree.num_nodes(); ++i) {
+    const ft::Node& n = tree.node(i);
+    if (n.type == ft::NodeType::BasicEvent) {
+      const auto it = member_group.find(n.event_index);
+      if (it == member_group.end()) {
+        remap[i] = out.add_basic_event(n.name, n.probability);
+      } else {
+        const CcfGroup& group = groups[it->second];
+        const ft::NodeIndex indep = out.add_basic_event(
+            n.name + "__indep", (1.0 - group.beta) * n.probability);
+        remap[i] = out.add_gate(n.name + "__ccf_or", ft::NodeType::Or,
+                                {indep, common[it->second]});
+      }
+      continue;
+    }
+    std::vector<ft::NodeIndex> children;
+    children.reserve(n.children.size());
+    for (const ft::NodeIndex c : n.children) children.push_back(remap[c]);
+    remap[i] = n.type == ft::NodeType::Vote
+                   ? out.add_vote_gate(n.name, n.k, std::move(children))
+                   : out.add_gate(n.name, n.type, std::move(children));
+  }
+  out.set_top(remap[tree.top()]);
+  out.validate();
+  return out;
+}
+
+}  // namespace fta::analysis

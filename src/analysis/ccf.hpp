@@ -1,0 +1,38 @@
+// Common-cause failure (CCF) modelling with the beta-factor model.
+//
+// Redundancy only helps while failures are independent; in practice a
+// fraction beta of each member's failure probability is attributable to a
+// shared cause (same power feed, same maintenance error, same firmware).
+// The beta-factor transform rewrites every CCF-group member e (total
+// probability p) into OR(e_indep, CCF_g) with p(e_indep) = (1 - beta) p
+// and one shared event CCF_g per group whose probability is beta times
+// the group's mean member probability.
+//
+// The rewrite yields an ordinary fault tree, so the whole analysis stack
+// (MPMCS, BDD, importance) applies unchanged — and typically the MPMCS
+// shifts from an independent pair to the common-cause event, which is the
+// practical insight CCF analysis exists for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ft/fault_tree.hpp"
+
+namespace fta::analysis {
+
+struct CcfGroup {
+  std::string name;                       ///< Used for the common event.
+  std::vector<ft::EventIndex> members;    ///< >= 2 distinct events.
+  double beta = 0.1;                      ///< Common-cause fraction [0,1].
+};
+
+/// Applies the beta-factor transform for all groups, returning a new tree.
+/// Event names are preserved; each member's leaf becomes an OR gate named
+/// "<event>__ccf_or" over "<event>__indep" and "<group>__common".
+/// Throws ValidationError on malformed groups (unknown events, overlaps,
+/// beta out of range).
+ft::FaultTree apply_beta_factor(const ft::FaultTree& tree,
+                                const std::vector<CcfGroup>& groups);
+
+}  // namespace fta::analysis

@@ -1,0 +1,64 @@
+#include "analysis/importance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "analysis/quantitative.hpp"
+#include "bdd/fta_bdd.hpp"
+
+namespace fta::analysis {
+
+std::vector<EventImportance> importance_measures(
+    const ft::FaultTree& tree, const std::vector<ft::CutSet>& mcs) {
+  // One BDD; conditional probabilities by re-evaluating with p(e) pinned.
+  // (Probability evaluation is linear in BDD size, so this is cheap
+  // relative to construction.)
+  bdd::FaultTreeBdd analysis(tree);
+  const double p_top = analysis.top_probability();
+
+  // Working copy to pin probabilities (FaultTreeBdd holds its own copy of
+  // level probabilities, so mutate a cloned tree instead).
+  ft::FaultTree scratch = tree;
+
+  std::vector<EventImportance> out;
+  out.reserve(tree.num_events());
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    EventImportance imp;
+    imp.event = e;
+    const double p_e = tree.event_probability(e);
+
+    scratch.set_event_probability(e, 1.0);
+    const double p_with = top_event_probability(scratch);
+    scratch.set_event_probability(e, 0.0);
+    const double p_without = top_event_probability(scratch);
+    scratch.set_event_probability(e, p_e);
+
+    imp.birnbaum = p_with - p_without;
+    imp.criticality = p_top > 0.0 ? imp.birnbaum * p_e / p_top : 0.0;
+    imp.raw = p_top > 0.0 ? p_with / p_top : 0.0;
+    imp.rrw = p_without > 0.0
+                  ? p_top / p_without
+                  : std::numeric_limits<double>::infinity();
+
+    double fv_num = 0.0;
+    for (const auto& cs : mcs) {
+      if (cs.contains(e)) fv_num += cs.probability(tree);
+    }
+    imp.fussell_vesely = p_top > 0.0 ? fv_num / p_top : 0.0;
+
+    out.push_back(imp);
+  }
+  return out;
+}
+
+std::vector<EventImportance> ranked_by_birnbaum(
+    const ft::FaultTree& tree, const std::vector<ft::CutSet>& mcs) {
+  auto measures = importance_measures(tree, mcs);
+  std::stable_sort(measures.begin(), measures.end(),
+                   [](const EventImportance& a, const EventImportance& b) {
+                     return a.birnbaum > b.birnbaum;
+                   });
+  return measures;
+}
+
+}  // namespace fta::analysis

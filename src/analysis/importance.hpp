@@ -1,0 +1,38 @@
+// Importance measures: which basic events matter most?
+//
+// Computed exactly against the BDD-based top-event probability:
+//   Birnbaum        I_B(e)  = P(top | e occurs) - P(top | e absent)
+//   Criticality     I_C(e)  = I_B(e) * p(e) / P(top)
+//   Fussell-Vesely  I_FV(e) = P(union of MCSs containing e) / P(top)
+//                              (rare-event approximated numerator)
+//   RAW             P(top | e occurs) / P(top)   (risk achievement worth)
+//   RRW             P(top) / P(top | e absent)   (risk reduction worth)
+// These support the paper's motivation: MPMCS-style fault prioritisation.
+#pragma once
+
+#include <vector>
+
+#include "ft/cut_set.hpp"
+#include "ft/fault_tree.hpp"
+
+namespace fta::analysis {
+
+struct EventImportance {
+  ft::EventIndex event = 0;
+  double birnbaum = 0.0;
+  double criticality = 0.0;
+  double fussell_vesely = 0.0;
+  double raw = 0.0;  ///< Risk achievement worth; >= 1 for relevant events.
+  double rrw = 0.0;  ///< Risk reduction worth; infinity for pure SPOF mixes.
+};
+
+/// Computes all three measures for every basic event. `mcs` must be the
+/// complete family of minimal cut sets (for the Fussell-Vesely numerator).
+std::vector<EventImportance> importance_measures(
+    const ft::FaultTree& tree, const std::vector<ft::CutSet>& mcs);
+
+/// Events sorted by descending Birnbaum importance.
+std::vector<EventImportance> ranked_by_birnbaum(
+    const ft::FaultTree& tree, const std::vector<ft::CutSet>& mcs);
+
+}  // namespace fta::analysis

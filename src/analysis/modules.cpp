@@ -1,0 +1,78 @@
+#include "analysis/modules.hpp"
+
+#include <algorithm>
+
+namespace fta::analysis {
+
+namespace {
+
+/// Nodes strictly below `gate` (descendants across the DAG).
+std::vector<bool> descendant_mask(const ft::FaultTree& tree,
+                                  ft::NodeIndex gate) {
+  std::vector<bool> seen(tree.num_nodes(), false);
+  std::vector<ft::NodeIndex> stack(tree.node(gate).children.begin(),
+                                   tree.node(gate).children.end());
+  while (!stack.empty()) {
+    const ft::NodeIndex id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = true;
+    for (ft::NodeIndex c : tree.node(id).children) stack.push_back(c);
+  }
+  return seen;
+}
+
+/// Nodes reachable from the top.
+std::vector<bool> reachable_mask(const ft::FaultTree& tree) {
+  std::vector<bool> seen(tree.num_nodes(), false);
+  std::vector<ft::NodeIndex> stack{tree.top()};
+  while (!stack.empty()) {
+    const ft::NodeIndex id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = true;
+    for (ft::NodeIndex c : tree.node(id).children) stack.push_back(c);
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<ModuleInfo> find_modules(const ft::FaultTree& tree) {
+  tree.validate();
+  const auto reachable = reachable_mask(tree);
+  std::vector<ModuleInfo> modules;
+  for (ft::NodeIndex g = 0; g < tree.num_nodes(); ++g) {
+    const ft::Node& n = tree.node(g);
+    if (n.type == ft::NodeType::BasicEvent || !reachable[g]) continue;
+
+    // g is a module iff the only edges into its descendant set come from
+    // g itself: no reachable node outside subtree(g) may have a child
+    // inside it.
+    const auto inside = descendant_mask(tree, g);
+    bool ok = true;
+    std::size_t events = 0;
+    for (ft::NodeIndex d = 0; d < tree.num_nodes() && ok; ++d) {
+      if (inside[d] && tree.node(d).type == ft::NodeType::BasicEvent) {
+        ++events;
+      }
+      if (d == g || !reachable[d] || inside[d]) continue;
+      for (ft::NodeIndex c : tree.node(d).children) {
+        if (inside[c]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) modules.push_back(ModuleInfo{g, events});
+  }
+  return modules;
+}
+
+bool is_module(const ft::FaultTree& tree, ft::NodeIndex gate) {
+  const auto modules = find_modules(tree);
+  return std::any_of(modules.begin(), modules.end(),
+                     [gate](const ModuleInfo& m) { return m.gate == gate; });
+}
+
+}  // namespace fta::analysis

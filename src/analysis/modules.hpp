@@ -1,0 +1,33 @@
+// Fault-tree modularization (Dutuit & Rauzy's linear-time algorithm).
+//
+// A *module* is a gate whose descendant events occur nowhere else in the
+// tree: it can be analysed independently and treated as a single
+// super-event by its parents. Modularization is the classical lever for
+// scaling exact FTA, and it generalises the pipeline's top-OR
+// decomposition: any module can be solved as a separate MaxSAT instance.
+//
+// Detection uses the standard double-DFS timestamp test: gate g is a
+// module iff the first visit of every descendant is after the first visit
+// of g and the last visit of every descendant is before the last visit of
+// g (i.e. no path reaches a descendant except through g).
+#pragma once
+
+#include <vector>
+
+#include "ft/fault_tree.hpp"
+
+namespace fta::analysis {
+
+struct ModuleInfo {
+  ft::NodeIndex gate = ft::kNoIndex;
+  std::size_t descendant_events = 0;  ///< Events under this module.
+};
+
+/// All modules of the tree, excluding trivial ones (basic events). The top
+/// gate is always a module and is included.
+std::vector<ModuleInfo> find_modules(const ft::FaultTree& tree);
+
+/// True iff `gate` is a module of the tree.
+bool is_module(const ft::FaultTree& tree, ft::NodeIndex gate);
+
+}  // namespace fta::analysis

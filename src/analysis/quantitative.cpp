@@ -1,0 +1,50 @@
+#include "analysis/quantitative.hpp"
+
+#include <algorithm>
+
+#include "bdd/fta_bdd.hpp"
+
+namespace fta::analysis {
+
+double top_event_probability(const ft::FaultTree& tree) {
+  bdd::FaultTreeBdd analysis(tree);
+  return analysis.top_probability();
+}
+
+double rare_event_approximation(const ft::FaultTree& tree,
+                                const std::vector<ft::CutSet>& mcs) {
+  double sum = 0.0;
+  for (const auto& cs : mcs) sum += cs.probability(tree);
+  return sum;
+}
+
+double min_cut_upper_bound(const ft::FaultTree& tree,
+                           const std::vector<ft::CutSet>& mcs) {
+  double product = 1.0;
+  for (const auto& cs : mcs) product *= 1.0 - cs.probability(tree);
+  return 1.0 - product;
+}
+
+std::vector<ft::EventIndex> single_points_of_failure(
+    const ft::FaultTree& tree, const std::vector<ft::CutSet>& mcs) {
+  (void)tree;
+  std::vector<ft::EventIndex> spofs;
+  for (const auto& cs : mcs) {
+    if (cs.size() == 1) spofs.push_back(cs.events()[0]);
+  }
+  std::sort(spofs.begin(), spofs.end());
+  spofs.erase(std::unique(spofs.begin(), spofs.end()), spofs.end());
+  return spofs;
+}
+
+std::vector<std::size_t> mcs_order_histogram(
+    const std::vector<ft::CutSet>& mcs) {
+  std::vector<std::size_t> histogram;
+  for (const auto& cs : mcs) {
+    if (cs.size() >= histogram.size()) histogram.resize(cs.size() + 1, 0);
+    ++histogram[cs.size()];
+  }
+  return histogram;
+}
+
+}  // namespace fta::analysis

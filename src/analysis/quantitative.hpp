@@ -1,0 +1,34 @@
+// Quantitative fault-tree analysis: top-event probability (exact and
+// approximations) and structural risk summaries.
+#pragma once
+
+#include <vector>
+
+#include "ft/cut_set.hpp"
+#include "ft/fault_tree.hpp"
+
+namespace fta::analysis {
+
+/// Exact top-event probability by Shannon decomposition over a BDD.
+double top_event_probability(const ft::FaultTree& tree);
+
+/// Rare-event approximation: sum of MCS probabilities (an upper bound for
+/// coherent trees; accurate when probabilities are small).
+double rare_event_approximation(const ft::FaultTree& tree,
+                                const std::vector<ft::CutSet>& mcs);
+
+/// Min-cut upper bound: 1 - prod (1 - P(MCS_i)); tighter than rare-event,
+/// still an upper bound for coherent trees.
+double min_cut_upper_bound(const ft::FaultTree& tree,
+                           const std::vector<ft::CutSet>& mcs);
+
+/// Single points of failure: the size-1 minimal cut sets, i.e. events
+/// whose occurrence alone triggers the top event.
+std::vector<ft::EventIndex> single_points_of_failure(
+    const ft::FaultTree& tree, const std::vector<ft::CutSet>& mcs);
+
+/// Distribution of MCS sizes: result[k] = number of MCSs with k events.
+std::vector<std::size_t> mcs_order_histogram(
+    const std::vector<ft::CutSet>& mcs);
+
+}  // namespace fta::analysis

@@ -1,0 +1,111 @@
+#include "analysis/uncertainty.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bdd/fta_bdd.hpp"
+#include "util/rng.hpp"
+
+namespace fta::analysis {
+
+namespace {
+
+/// Standard normal via Box–Muller (one draw per call; the spare is kept).
+class NormalSampler {
+ public:
+  explicit NormalSampler(util::Rng& rng) : rng_(rng) {}
+
+  double next() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0;
+    do {
+      u = rng_.uniform();
+    } while (u <= 1e-300);
+    const double v = rng_.uniform();
+    const double r = std::sqrt(-2.0 * std::log(u));
+    spare_ = r * std::sin(2.0 * M_PI * v);
+    have_spare_ = true;
+    return r * std::cos(2.0 * M_PI * v);
+  }
+
+ private:
+  util::Rng& rng_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+UncertaintyResult monte_carlo(const ft::FaultTree& tree,
+                              UncertaintyOptions opts,
+                              const std::vector<double>& error_factors) {
+  tree.validate();
+  bdd::FaultTreeBdd analysis(tree);
+
+  // Lognormal parameterisation: median = nominal p, sigma = ln(EF)/1.645
+  // (EF is the 95th/50th percentile ratio; z_0.95 = 1.645).
+  const double z95 = 1.6448536269514722;
+  std::vector<double> sigma(tree.num_events(), 0.0);
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    double ef = opts.default_error_factor;
+    if (e < error_factors.size() && error_factors[e] >= 1.0) {
+      ef = error_factors[e];
+    }
+    sigma[e] = std::log(std::max(ef, 1.0)) / z95;
+  }
+
+  util::Rng rng(opts.seed);
+  NormalSampler normal(rng);
+
+  std::vector<double> tops;
+  tops.reserve(opts.samples);
+  std::map<ft::CutSet, std::size_t> argmax_counts;
+  std::vector<double> sample(tree.num_events(), 0.0);
+
+  for (std::size_t s = 0; s < opts.samples; ++s) {
+    for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+      const double p = tree.event_probability(e);
+      if (p <= 0.0 || p >= 1.0 || sigma[e] == 0.0) {
+        sample[e] = p;
+        continue;
+      }
+      const double drawn = p * std::exp(sigma[e] * normal.next());
+      sample[e] = std::min(drawn, 1.0);
+    }
+    tops.push_back(analysis.top_probability_with(sample));
+    if (const auto best = analysis.mpmcs_with(sample)) {
+      ++argmax_counts[best->first];
+    }
+  }
+
+  UncertaintyResult result;
+  result.samples = opts.samples;
+  double sum = 0.0;
+  for (const double t : tops) sum += t;
+  result.mean = tops.empty() ? 0.0 : sum / static_cast<double>(tops.size());
+  std::sort(tops.begin(), tops.end());
+  result.p05 = quantile(tops, 0.05);
+  result.p50 = quantile(tops, 0.50);
+  result.p95 = quantile(tops, 0.95);
+  for (const auto& [cut, count] : argmax_counts) {
+    result.mpmcs_shares.emplace_back(
+        cut, static_cast<double>(count) / static_cast<double>(opts.samples));
+  }
+  std::sort(result.mpmcs_shares.begin(), result.mpmcs_shares.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return result;
+}
+
+}  // namespace fta::analysis

@@ -1,0 +1,48 @@
+// Monte Carlo uncertainty propagation.
+//
+// Event probabilities in real assessments are estimates with error bars,
+// conventionally a lognormal with a median and an error factor
+// EF = p95 / p50. This module samples event probabilities, re-evaluates
+// the exact top probability on a fixed BDD (structure is probability-
+// independent, so each sample costs one linear pass), and tracks how
+// often each minimal cut set is the MPMCS — i.e. how robust the headline
+// answer of the paper's method is to parameter uncertainty.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ft/cut_set.hpp"
+#include "ft/fault_tree.hpp"
+
+namespace fta::analysis {
+
+struct UncertaintyOptions {
+  std::size_t samples = 1000;
+  std::uint64_t seed = 1;
+  /// Error factor applied to every event (p95/p50 of the lognormal);
+  /// per-event overrides via the `error_factors` argument.
+  double default_error_factor = 3.0;
+};
+
+struct UncertaintyResult {
+  // Top-event probability distribution.
+  double mean = 0.0;
+  double p05 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  // MPMCS stability: cut set -> fraction of samples in which it was the
+  // maximum-probability MCS (descending by fraction).
+  std::vector<std::pair<ft::CutSet, double>> mpmcs_shares;
+  std::size_t samples = 0;
+};
+
+/// Propagates lognormal uncertainty through the tree. `error_factors`
+/// (optional, indexed by EventIndex) overrides the default per event;
+/// values must be >= 1. Events with p == 0 or p == 1 are kept fixed.
+UncertaintyResult monte_carlo(const ft::FaultTree& tree,
+                              UncertaintyOptions opts = {},
+                              const std::vector<double>& error_factors = {});
+
+}  // namespace fta::analysis

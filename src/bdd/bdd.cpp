@@ -1,0 +1,260 @@
+#include "bdd/bdd.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fta::bdd {
+
+namespace {
+
+// Node references are capped so (level, lo, hi) and (op, a, b) triples pack
+// into 64-bit cache keys exactly (no lossy hashing).
+constexpr BddRef kMaxNodes = 1u << 22;        // ~4.2M nodes
+constexpr std::uint32_t kMaxLevels = 1u << 19;
+// The operation cache grows with the number of distinct (op, a, b) pairs
+// explored, which can exceed the node count by orders of magnitude on
+// blow-up instances; bound it so failure is an exception, not an OOM kill.
+constexpr std::size_t kMaxCacheEntries = std::size_t{1} << 23;
+
+enum Op : std::uint64_t { kOpAnd = 1, kOpOr = 2, kOpNot = 3, kOpFlip = 4 };
+
+constexpr std::uint64_t node_key(Level level, BddRef lo, BddRef hi) {
+  return (static_cast<std::uint64_t>(level) << 44) |
+         (static_cast<std::uint64_t>(lo) << 22) | hi;
+}
+
+constexpr std::uint64_t op_key(Op op, BddRef a, BddRef b) {
+  return (static_cast<std::uint64_t>(op) << 44) |
+         (static_cast<std::uint64_t>(a) << 22) | b;
+}
+
+}  // namespace
+
+BddManager::BddManager(std::uint32_t num_levels) : num_levels_(num_levels) {
+  if (num_levels >= kMaxLevels) {
+    throw std::runtime_error("BddManager: too many levels");
+  }
+  // Terminals live at a pseudo-level below every real variable.
+  nodes_.push_back(BddNode{num_levels_, kFalse, kFalse});  // 0 = false
+  nodes_.push_back(BddNode{num_levels_, kTrue, kTrue});    // 1 = true
+}
+
+BddRef BddManager::make_node(Level level, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const std::uint64_t key = node_key(level, lo, hi);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= kMaxNodes || op_cache_.size() >= kMaxCacheEntries) {
+    throw std::runtime_error("BddManager: node/cache limit exceeded");
+  }
+  nodes_.push_back(BddNode{level, lo, hi});
+  const auto ref = static_cast<BddRef>(nodes_.size() - 1);
+  unique_.emplace(key, ref);
+  stats_.nodes = nodes_.size();
+  return ref;
+}
+
+BddRef BddManager::var(Level level) {
+  assert(level < num_levels_);
+  return make_node(level, kFalse, kTrue);
+}
+
+BddRef BddManager::land(BddRef a, BddRef b) {
+  if (a == kFalse || b == kFalse) return kFalse;
+  if (a == kTrue) return b;
+  if (b == kTrue) return a;
+  if (a == b) return a;
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = op_key(kOpAnd, a, b);
+  ++stats_.cache_lookups;
+  if (auto it = op_cache_.find(key); it != op_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  const BddNode& na = nodes_[a];
+  const BddNode& nb = nodes_[b];
+  const Level level = std::min(na.level, nb.level);
+  const BddRef a_lo = na.level == level ? na.lo : a;
+  const BddRef a_hi = na.level == level ? na.hi : a;
+  const BddRef b_lo = nb.level == level ? nb.lo : b;
+  const BddRef b_hi = nb.level == level ? nb.hi : b;
+  const BddRef out =
+      make_node(level, land(a_lo, b_lo), land(a_hi, b_hi));
+  op_cache_.emplace(key, out);
+  return out;
+}
+
+BddRef BddManager::lor(BddRef a, BddRef b) {
+  if (a == kTrue || b == kTrue) return kTrue;
+  if (a == kFalse) return b;
+  if (b == kFalse) return a;
+  if (a == b) return a;
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = op_key(kOpOr, a, b);
+  ++stats_.cache_lookups;
+  if (auto it = op_cache_.find(key); it != op_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  const BddNode& na = nodes_[a];
+  const BddNode& nb = nodes_[b];
+  const Level level = std::min(na.level, nb.level);
+  const BddRef a_lo = na.level == level ? na.lo : a;
+  const BddRef a_hi = na.level == level ? na.hi : a;
+  const BddRef b_lo = nb.level == level ? nb.lo : b;
+  const BddRef b_hi = nb.level == level ? nb.hi : b;
+  const BddRef out = make_node(level, lor(a_lo, b_lo), lor(a_hi, b_hi));
+  op_cache_.emplace(key, out);
+  return out;
+}
+
+BddRef BddManager::lnot(BddRef a) {
+  if (a == kFalse) return kTrue;
+  if (a == kTrue) return kFalse;
+  const std::uint64_t key = op_key(kOpNot, a, 0);
+  ++stats_.cache_lookups;
+  if (auto it = op_cache_.find(key); it != op_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  const BddNode& n = nodes_[a];
+  const BddRef out = make_node(n.level, lnot(n.lo), lnot(n.hi));
+  op_cache_.emplace(key, out);
+  return out;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  return lor(land(f, g), land(lnot(f), h));
+}
+
+BddRef BddManager::flip_inputs(BddRef f) {
+  if (is_terminal(f)) return f;
+  const std::uint64_t key = op_key(kOpFlip, f, 0);
+  ++stats_.cache_lookups;
+  if (auto it = op_cache_.find(key); it != op_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  const BddNode& n = nodes_[f];
+  const BddRef out =
+      make_node(n.level, flip_inputs(n.hi), flip_inputs(n.lo));
+  op_cache_.emplace(key, out);
+  return out;
+}
+
+BddRef BddManager::at_least(std::uint32_t k,
+                            const std::vector<BddRef>& operands) {
+  const std::size_t n = operands.size();
+  if (k == 0) return kTrue;
+  if (k > n) return kFalse;
+  // table[j] holds "at least j of operands[i..)" for the current suffix;
+  // swept right-to-left (j descending so updates read the previous row).
+  std::vector<BddRef> table(k + 1, kFalse);
+  table[0] = kTrue;
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::uint32_t j = std::min<std::size_t>(k, n - i); j >= 1; --j) {
+      table[j] = lor(land(operands[i], table[j - 1]), table[j]);
+    }
+  }
+  return table[k];
+}
+
+BddRef BddManager::build(const logic::FormulaStore& store, logic::NodeId root,
+                         const std::vector<Level>& var_to_level) {
+  std::unordered_map<logic::NodeId, BddRef> memo;
+  // Children-first iterative translation (deep formulas must not overflow
+  // the call stack).
+  std::vector<std::pair<logic::NodeId, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.count(id)) continue;
+    const logic::FormulaNode& n = store.node(id);
+    if (!expanded) {
+      stack.push_back({id, true});
+      for (logic::NodeId c : n.children) {
+        if (!memo.count(c)) stack.push_back({c, false});
+      }
+      continue;
+    }
+    std::vector<BddRef> kids;
+    kids.reserve(n.children.size());
+    for (logic::NodeId c : n.children) kids.push_back(memo.at(c));
+    BddRef out = kFalse;
+    switch (n.kind) {
+      case logic::NodeKind::False: out = kFalse; break;
+      case logic::NodeKind::True: out = kTrue; break;
+      case logic::NodeKind::Var: {
+        const Level level = var_to_level.empty()
+                                ? static_cast<Level>(n.payload)
+                                : var_to_level.at(n.payload);
+        out = var(level);
+        break;
+      }
+      case logic::NodeKind::Not:
+        out = lnot(kids[0]);
+        break;
+      case logic::NodeKind::And:
+        out = kTrue;
+        for (BddRef k : kids) out = land(out, k);
+        break;
+      case logic::NodeKind::Or:
+        out = kFalse;
+        for (BddRef k : kids) out = lor(out, k);
+        break;
+      case logic::NodeKind::AtLeast:
+        out = at_least(n.payload, kids);
+        break;
+    }
+    memo.emplace(id, out);
+  }
+  return memo.at(root);
+}
+
+double BddManager::probability(BddRef f,
+                               const std::vector<double>& level_prob) {
+  std::unordered_map<BddRef, double> memo;
+  memo.emplace(kFalse, 0.0);
+  memo.emplace(kTrue, 1.0);
+  std::vector<std::pair<BddRef, bool>> stack{{f, false}};
+  while (!stack.empty()) {
+    auto [r, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.count(r)) continue;
+    const BddNode& n = nodes_[r];
+    if (!expanded) {
+      stack.push_back({r, true});
+      if (!memo.count(n.lo)) stack.push_back({n.lo, false});
+      if (!memo.count(n.hi)) stack.push_back({n.hi, false});
+      continue;
+    }
+    const double p = level_prob.at(n.level);
+    memo.emplace(r, p * memo.at(n.hi) + (1.0 - p) * memo.at(n.lo));
+  }
+  return memo.at(f);
+}
+
+double BddManager::count_models(BddRef f) {
+  const std::vector<double> half(num_levels_, 0.5);
+  double scale = 1.0;
+  for (std::uint32_t i = 0; i < num_levels_; ++i) scale *= 2.0;
+  return probability(f, half) * scale;
+}
+
+std::size_t BddManager::size(BddRef f) const {
+  std::unordered_map<BddRef, bool> seen;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (seen.count(r)) continue;
+    seen.emplace(r, true);
+    if (!is_terminal(r)) {
+      stack.push_back(nodes_[r].lo);
+      stack.push_back(nodes_[r].hi);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace fta::bdd

@@ -1,0 +1,94 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// The substrate for the paper's stated future-work comparison ("evaluate
+// different representation techniques (e.g. BDDs) to address the MPMCS
+// problem") and for exact quantitative FTA (top-event probability by
+// Shannon decomposition).
+//
+// Variables are levels: the manager orders variables by their index, so
+// callers control the ordering by permuting variables before building
+// (see fta_bdd.hpp for the fault-tree frontend, which uses DFS order).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/formula.hpp"
+
+namespace fta::bdd {
+
+using BddRef = std::uint32_t;
+inline constexpr BddRef kFalse = 0;
+inline constexpr BddRef kTrue = 1;
+
+/// Variables are levels 0..n-1; smaller level = closer to the root.
+using Level = std::uint32_t;
+
+struct BddNode {
+  Level level;
+  BddRef lo;  ///< Cofactor with the level variable false.
+  BddRef hi;  ///< Cofactor with the level variable true.
+};
+
+struct BddStats {
+  std::size_t nodes = 0;         ///< Live nodes in the manager.
+  std::size_t cache_hits = 0;
+  std::size_t cache_lookups = 0;
+};
+
+class BddManager {
+ public:
+  explicit BddManager(std::uint32_t num_levels);
+
+  std::uint32_t num_levels() const noexcept { return num_levels_; }
+
+  /// The single-variable function for `level`.
+  BddRef var(Level level);
+
+  BddRef land(BddRef a, BddRef b);
+  BddRef lor(BddRef a, BddRef b);
+  BddRef lnot(BddRef a);
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  /// g(x) = f(¬x): complements every input (swaps lo/hi throughout).
+  /// Turns the antitone success function ¬f into a monotone function of
+  /// the complemented variables — the path-set trick.
+  BddRef flip_inputs(BddRef f);
+
+  /// AtLeast-k over operands (voting gates) without materialising the
+  /// exponential expansion: dynamic programming over (index, needed).
+  BddRef at_least(std::uint32_t k, const std::vector<BddRef>& operands);
+
+  /// Builds the BDD of a monotone/general formula. `var_to_level` maps
+  /// formula variables to BDD levels (identity if empty).
+  BddRef build(const logic::FormulaStore& store, logic::NodeId root,
+               const std::vector<Level>& var_to_level = {});
+
+  const BddNode& node(BddRef r) const { return nodes_[r]; }
+  bool is_terminal(BddRef r) const noexcept { return r <= 1; }
+
+  /// Probability that the function is true when level i's variable is
+  /// independently true with probability level_prob[i] (Shannon).
+  double probability(BddRef f, const std::vector<double>& level_prob);
+
+  /// Number of satisfying assignments over all num_levels() variables.
+  /// Returns infinity-saturated double to avoid overflow on wide BDDs.
+  double count_models(BddRef f);
+
+  /// Nodes reachable from f (including terminals).
+  std::size_t size(BddRef f) const;
+
+  const BddStats& stats() const noexcept { return stats_; }
+
+ private:
+  BddRef make_node(Level level, BddRef lo, BddRef hi);
+
+  std::uint32_t num_levels_;
+  std::vector<BddNode> nodes_;
+  std::unordered_map<std::uint64_t, BddRef> unique_;
+  std::unordered_map<std::uint64_t, BddRef> op_cache_;
+  BddStats stats_;
+};
+
+}  // namespace fta::bdd

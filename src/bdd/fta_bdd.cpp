@@ -1,0 +1,164 @@
+#include "bdd/fta_bdd.hpp"
+
+#include <cassert>
+
+namespace fta::bdd {
+
+namespace {
+
+/// Event order by first appearance in a DFS from the top.
+std::vector<Level> dfs_levels(const ft::FaultTree& tree) {
+  std::vector<Level> event_to_level(tree.num_events(), 0);
+  std::vector<bool> assigned(tree.num_events(), false);
+  Level next = 0;
+  std::vector<ft::NodeIndex> stack{tree.top()};
+  std::vector<bool> visited(tree.num_nodes(), false);
+  while (!stack.empty()) {
+    const ft::NodeIndex id = stack.back();
+    stack.pop_back();
+    if (visited[id]) continue;
+    visited[id] = true;
+    const ft::Node& n = tree.node(id);
+    if (n.type == ft::NodeType::BasicEvent) {
+      if (!assigned[n.event_index]) {
+        assigned[n.event_index] = true;
+        event_to_level[n.event_index] = next++;
+      }
+      continue;
+    }
+    // Push children in reverse so they pop left-to-right.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  // Events unreachable from the top still need levels.
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    if (!assigned[e]) event_to_level[e] = next++;
+  }
+  return event_to_level;
+}
+
+}  // namespace
+
+FaultTreeBdd::FaultTreeBdd(const ft::FaultTree& tree, VariableOrder order)
+    : tree_(tree),
+      bdd_(static_cast<std::uint32_t>(tree.num_events())),
+      zbdd_(static_cast<std::uint32_t>(tree.num_events())),
+      top_(kFalse) {
+  tree.validate();
+  const auto n = static_cast<std::uint32_t>(tree.num_events());
+  if (order == VariableOrder::Dfs) {
+    event_to_level_ = dfs_levels(tree);
+  } else {
+    event_to_level_.resize(n);
+    for (Level i = 0; i < n; ++i) event_to_level_[i] = i;
+  }
+  level_to_event_.resize(n);
+  level_prob_.resize(n);
+  for (ft::EventIndex e = 0; e < n; ++e) {
+    level_to_event_[event_to_level_[e]] = e;
+    level_prob_[event_to_level_[e]] = tree.event_probability(e);
+  }
+
+  logic::FormulaStore store;
+  const logic::NodeId f = tree.to_formula(store);
+  top_ = bdd_.build(store, f, event_to_level_);
+}
+
+double FaultTreeBdd::top_probability() {
+  return bdd_.probability(top_, level_prob_);
+}
+
+ZRef FaultTreeBdd::mcs_family() {
+  if (!mcs_) mcs_ = zbdd_.minsol(bdd_, top_);
+  return *mcs_;
+}
+
+std::vector<ft::CutSet> FaultTreeBdd::minimal_cut_sets(std::size_t max_sets) {
+  std::vector<ft::CutSet> out;
+  zbdd_.enumerate(mcs_family(), max_sets,
+                  [&](const std::vector<Level>& levels) {
+                    std::vector<ft::EventIndex> events;
+                    events.reserve(levels.size());
+                    for (Level l : levels) events.push_back(level_to_event_[l]);
+                    out.emplace_back(std::move(events));
+                  });
+  return out;
+}
+
+double FaultTreeBdd::mcs_count() { return zbdd_.count(mcs_family()); }
+
+std::optional<std::pair<ft::CutSet, double>> FaultTreeBdd::mpmcs() {
+  const auto best = zbdd_.best_probability(mcs_family(), level_prob_);
+  if (!best) return std::nullopt;
+  std::vector<ft::EventIndex> events;
+  events.reserve(best->set.size());
+  for (Level l : best->set) events.push_back(level_to_event_[l]);
+  return std::make_pair(ft::CutSet(std::move(events)), best->probability);
+}
+
+std::vector<double> FaultTreeBdd::to_level_probs(
+    const std::vector<double>& event_probs) const {
+  std::vector<double> by_level(level_prob_.size(), 0.0);
+  for (ft::EventIndex e = 0; e < event_probs.size() && e < event_to_level_.size();
+       ++e) {
+    by_level[event_to_level_[e]] = event_probs[e];
+  }
+  return by_level;
+}
+
+double FaultTreeBdd::top_probability_with(
+    const std::vector<double>& event_probs) {
+  return bdd_.probability(top_, to_level_probs(event_probs));
+}
+
+std::optional<std::pair<ft::CutSet, double>> FaultTreeBdd::mpmcs_with(
+    const std::vector<double>& event_probs) {
+  const auto best =
+      zbdd_.best_probability(mcs_family(), to_level_probs(event_probs));
+  if (!best) return std::nullopt;
+  std::vector<ft::EventIndex> events;
+  events.reserve(best->set.size());
+  for (Level l : best->set) events.push_back(level_to_event_[l]);
+  return std::make_pair(ft::CutSet(std::move(events)), best->probability);
+}
+
+ZRef FaultTreeBdd::path_family() {
+  if (!paths_) {
+    // Success function ¬f is monotone in the complemented inputs; its
+    // minimal solutions over y = ¬x are exactly the minimal path sets.
+    const BddRef success_flipped = bdd_.flip_inputs(bdd_.lnot(top_));
+    paths_ = zbdd_.minsol(bdd_, success_flipped);
+  }
+  return *paths_;
+}
+
+std::vector<ft::CutSet> FaultTreeBdd::minimal_path_sets(std::size_t max_sets) {
+  std::vector<ft::CutSet> out;
+  zbdd_.enumerate(path_family(), max_sets,
+                  [&](const std::vector<Level>& levels) {
+                    std::vector<ft::EventIndex> events;
+                    events.reserve(levels.size());
+                    for (Level l : levels) events.push_back(level_to_event_[l]);
+                    out.emplace_back(std::move(events));
+                  });
+  return out;
+}
+
+double FaultTreeBdd::path_set_count() { return zbdd_.count(path_family()); }
+
+std::optional<std::pair<ft::CutSet, double>>
+FaultTreeBdd::most_probable_path_set() {
+  std::vector<double> survive(level_prob_.size());
+  for (std::size_t l = 0; l < level_prob_.size(); ++l) {
+    survive[l] = 1.0 - level_prob_[l];
+  }
+  const auto best = zbdd_.best_probability(path_family(), survive);
+  if (!best) return std::nullopt;
+  std::vector<ft::EventIndex> events;
+  events.reserve(best->set.size());
+  for (Level l : best->set) events.push_back(level_to_event_[l]);
+  return std::make_pair(ft::CutSet(std::move(events)), best->probability);
+}
+
+}  // namespace fta::bdd

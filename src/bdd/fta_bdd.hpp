@@ -1,0 +1,91 @@
+// BDD-based fault-tree analysis: the classical baseline the paper names
+// as future-work comparison, plus exact quantification.
+//
+//   FaultTreeBdd analysis(tree);
+//   double p       = analysis.top_probability();       // exact
+//   auto mcs       = analysis.minimal_cut_sets(10000);  // all MCSs
+//   auto [cut, pr] = *analysis.mpmcs();                 // BDD-based MPMCS
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/zbdd.hpp"
+#include "ft/cut_set.hpp"
+#include "ft/fault_tree.hpp"
+
+namespace fta::bdd {
+
+enum class VariableOrder {
+  /// Events ordered by their EventIndex (insertion order).
+  Insertion,
+  /// Events ordered by first appearance in a depth-first traversal from
+  /// the top — the classic FTA heuristic; usually much smaller BDDs.
+  Dfs,
+};
+
+class FaultTreeBdd {
+ public:
+  explicit FaultTreeBdd(const ft::FaultTree& tree,
+                        VariableOrder order = VariableOrder::Dfs);
+
+  /// Exact top-event probability (Shannon decomposition).
+  double top_probability();
+
+  /// All minimal cut sets (up to `max_sets`), via Rauzy minsol.
+  std::vector<ft::CutSet> minimal_cut_sets(std::size_t max_sets = 1'000'000);
+
+  /// Number of minimal cut sets (may exceed what enumerate would return).
+  double mcs_count();
+
+  /// The maximum-probability MCS and its probability, straight off the
+  /// minimal-solutions ZBDD (no enumeration).
+  std::optional<std::pair<ft::CutSet, double>> mpmcs();
+
+  // --- parameterized queries (probabilities supplied per call) ----------
+  // The BDD/ZBDD structure is probability-independent, so sweeps and
+  // Monte Carlo sampling re-evaluate in linear time per sample.
+
+  /// Top probability under alternative event probabilities.
+  double top_probability_with(const std::vector<double>& event_probs);
+
+  /// MPMCS under alternative event probabilities.
+  std::optional<std::pair<ft::CutSet, double>> mpmcs_with(
+      const std::vector<double>& event_probs);
+
+  // --- path sets (the dual notion) ---------------------------------------
+
+  /// Minimal path sets: minimal sets of events whose joint NON-occurrence
+  /// guarantees the top event cannot occur (minimal solutions of the
+  /// success function over complemented variables).
+  std::vector<ft::CutSet> minimal_path_sets(std::size_t max_sets = 1'000'000);
+
+  double path_set_count();
+
+  /// The most reliable path set: argmax of prod (1 - p(e)) over minimal
+  /// path sets — the cheapest set of components that, kept healthy,
+  /// keeps the system up.
+  std::optional<std::pair<ft::CutSet, double>> most_probable_path_set();
+
+  std::size_t bdd_size() { return bdd_.size(top_); }
+  std::size_t zbdd_size() { return zbdd_.size(mcs_family()); }
+
+ private:
+  ZRef mcs_family();
+  ZRef path_family();
+  std::vector<double> to_level_probs(const std::vector<double>& event_probs) const;
+
+  const ft::FaultTree& tree_;
+  std::vector<Level> event_to_level_;
+  std::vector<ft::EventIndex> level_to_event_;
+  std::vector<double> level_prob_;
+  BddManager bdd_;
+  ZbddManager zbdd_;
+  BddRef top_;
+  std::optional<ZRef> mcs_;
+  std::optional<ZRef> paths_;
+};
+
+}  // namespace fta::bdd

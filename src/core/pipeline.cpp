@@ -1,0 +1,276 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "logic/tseitin.hpp"
+#include "maxsat/brute_force.hpp"
+#include "maxsat/fu_malik.hpp"
+#include "maxsat/lsu.hpp"
+#include "maxsat/oll.hpp"
+#include "maxsat/portfolio.hpp"
+#include "util/timer.hpp"
+
+namespace fta::core {
+
+using logic::Lit;
+
+const char* solver_choice_name(SolverChoice c) noexcept {
+  switch (c) {
+    case SolverChoice::Portfolio: return "portfolio";
+    case SolverChoice::Oll: return "oll";
+    case SolverChoice::FuMalik: return "fu-malik";
+    case SolverChoice::Lsu: return "lsu";
+    case SolverChoice::BruteForce: return "brute-force";
+  }
+  return "?";
+}
+
+MpmcsPipeline::MpmcsPipeline(PipelineOptions opts) : opts_(opts) {}
+
+std::vector<double> MpmcsPipeline::log_weights(const ft::FaultTree& tree) {
+  std::vector<double> weights(tree.num_events(), 0.0);
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    const double p = tree.event_probability(e);
+    weights[e] = p > 0.0 ? -std::log(p)
+                         : std::numeric_limits<double>::infinity();
+  }
+  return weights;
+}
+
+logic::NodeId MpmcsPipeline::success_tree(logic::FormulaStore& store,
+                                          const ft::FaultTree& tree) {
+  return store.dualize(tree.to_formula(store));
+}
+
+maxsat::WcnfInstance MpmcsPipeline::build_instance(
+    const ft::FaultTree& tree) const {
+  // Step 1 (logical transformation). The paper derives the success tree
+  // X(t) = ¬f(t) and its gate-flipped positive form Y(t), then maximises
+  // satisfied events in ¬Y(t) = f(t). Operationally both views produce
+  // the same instance: hard clauses assert the fault formula f(t); every
+  // basic event gets a unit soft clause preferring its absence, so the
+  // solver minimises the (weighted) set of occurring events.
+  logic::FormulaStore store;
+  return instance_for_formula(tree, store, tree.to_formula(store));
+}
+
+maxsat::WcnfInstance MpmcsPipeline::instance_for_formula(
+    const ft::FaultTree& tree, logic::FormulaStore& store,
+    logic::NodeId fault, std::vector<bool>* events_used) const {
+  // Which events the (sub)formula actually mentions: softs are only
+  // emitted for those, which keeps decomposed child instances small.
+  std::vector<bool> used(tree.num_events(), false);
+  {
+    std::vector<logic::NodeId> stack{fault};
+    std::unordered_map<logic::NodeId, bool> seen;
+    while (!stack.empty()) {
+      const logic::NodeId id = stack.back();
+      stack.pop_back();
+      if (seen.count(id)) continue;
+      seen.emplace(id, true);
+      const auto& n = store.node(id);
+      if (n.kind == logic::NodeKind::Var) used[n.payload] = true;
+      for (logic::NodeId c : n.children) stack.push_back(c);
+    }
+  }
+  if (events_used) *events_used = used;
+
+  // Reserve variable indices for every basic event (a subformula may not
+  // mention all of them; Tseitin auxiliaries must start above the event
+  // range so EventIndex == CNF variable stays true).
+  if (tree.num_events() > 0) {
+    (void)store.var(static_cast<logic::Var>(tree.num_events() - 1));
+  }
+
+  // Step 2 (CNF conversion, Tseitin).
+  logic::TseitinOptions topts;
+  topts.polarity_aware = opts_.polarity_aware_tseitin;
+  auto ts = logic::tseitin(store, fault, /*assert_root=*/true, topts);
+
+  maxsat::WcnfInstance instance(ts.cnf.num_vars());
+  instance.add_hard_cnf(ts.cnf);
+
+  // Step 3 (probabilities into log-space) + Step 4 (soft clauses).
+  // Scaled-integer weights; events with p == 1 cost nothing (no soft
+  // clause; the shrink pass removes gratuitous members), events with
+  // p == 0 get the "forbidden" weight: worse than every possible
+  // combination of ordinary events, so they are only chosen when
+  // unavoidable.
+  const auto weights = log_weights(tree);
+  maxsat::Weight ordinary_total = 0;
+  std::vector<maxsat::Weight> scaled(tree.num_events(), 0);
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    if (!used[e] || std::isinf(weights[e])) continue;
+    const auto w = static_cast<maxsat::Weight>(
+        std::llround(weights[e] * opts_.weight_scale));
+    scaled[e] = w;
+    ordinary_total += w;
+  }
+  const maxsat::Weight forbidden = ordinary_total + 1;
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    if (!used[e]) continue;
+    const maxsat::Weight w = std::isinf(weights[e]) ? forbidden : scaled[e];
+    if (w == 0) continue;  // p == 1: free to include
+    instance.add_soft_unit(Lit::neg(e), w);
+  }
+  return instance;
+}
+
+maxsat::MaxSatSolverPtr MpmcsPipeline::make_solver() const {
+  switch (opts_.solver) {
+    case SolverChoice::Portfolio: {
+      maxsat::PortfolioOptions po;
+      po.timeout_seconds = opts_.timeout_seconds;
+      return std::make_unique<maxsat::PortfolioSolver>(
+          maxsat::PortfolioSolver::make_default(po));
+    }
+    case SolverChoice::Oll:
+      return std::make_unique<maxsat::OllSolver>();
+    case SolverChoice::FuMalik:
+      return std::make_unique<maxsat::FuMalikSolver>();
+    case SolverChoice::Lsu:
+      return std::make_unique<maxsat::LsuSolver>();
+    case SolverChoice::BruteForce:
+      return std::make_unique<maxsat::BruteForceSolver>();
+  }
+  return std::make_unique<maxsat::OllSolver>();
+}
+
+MpmcsSolution MpmcsPipeline::solve_instance(
+    const ft::FaultTree& tree, maxsat::WcnfInstance instance,
+    const std::vector<bool>& candidates) const {
+  util::Timer total;
+  MpmcsSolution sol;
+  sol.cnf_vars = instance.num_vars();
+  sol.cnf_clauses = instance.hard().size();
+
+  // Step 5 (parallel MaxSAT resolution, or a single configured solver).
+  auto solver = make_solver();
+  util::Timer solving;
+  const maxsat::MaxSatResult r = solver->solve(instance);
+  sol.solve_seconds = solving.seconds();
+  sol.status = r.status;
+  sol.solver_name = r.solver_name.empty() ? solver->name() : r.solver_name;
+  sol.scaled_cost = r.cost;
+
+  if (r.status == maxsat::MaxSatStatus::Optimal) {
+    // The occurring events in the optimal model form the cut.
+    std::vector<ft::EventIndex> events;
+    for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+      if (!candidates.empty() && !candidates[e]) continue;
+      if (r.model[e]) events.push_back(e);
+    }
+    ft::CutSet cut(std::move(events));
+    if (opts_.shrink_to_minimal) cut = ft::shrink_to_minimal(tree, cut);
+
+    // Step 6 (reverse log-space transformation) — recomputed exactly from
+    // the tree's probabilities rather than the scaled integer cost.
+    sol.cut = cut;
+    sol.probability = cut.probability(tree);
+    sol.log_cost = cut.log_cost(tree);
+  }
+  sol.total_seconds = total.seconds();
+  return sol;
+}
+
+MpmcsSolution MpmcsPipeline::solve(const ft::FaultTree& tree) const {
+  util::Timer total;
+  tree.validate();
+  if (opts_.decompose_top_or &&
+      tree.node(tree.top()).type == ft::NodeType::Or) {
+    MpmcsSolution sol = solve_decomposed(tree);
+    sol.total_seconds = total.seconds();
+    return sol;
+  }
+  MpmcsSolution sol = solve_instance(tree, build_instance(tree));
+  sol.total_seconds = total.seconds();
+  return sol;
+}
+
+MpmcsSolution MpmcsPipeline::solve_decomposed(const ft::FaultTree& tree) const {
+  // MPMCS(f1 | ... | fk) = argmax_i MPMCS(f_i): any cut of a child is a
+  // cut of the whole, and the global maximum-probability MCS is minimal
+  // within some child (dropping events never lowers the probability).
+  // Each child instance still carries every event's soft clause, so
+  // extracted models stay clean; the shrink pass enforces minimality with
+  // respect to the *full* tree.
+  logic::FormulaStore store;
+  MpmcsSolution best;
+  bool have_best = false;
+  double solve_seconds = 0.0;
+  std::size_t cnf_vars = 0;
+  std::size_t cnf_clauses = 0;
+  for (const ft::NodeIndex child : tree.node(tree.top()).children) {
+    const logic::NodeId f = tree.to_formula(store, child);
+    std::vector<bool> used;
+    maxsat::WcnfInstance inst = instance_for_formula(tree, store, f, &used);
+    MpmcsSolution sub = solve_instance(tree, std::move(inst), used);
+    solve_seconds += sub.solve_seconds;
+    cnf_vars = std::max(cnf_vars, sub.cnf_vars);
+    cnf_clauses += sub.cnf_clauses;
+    if (sub.status == maxsat::MaxSatStatus::Unsatisfiable) {
+      continue;  // this alternative cannot fire at all
+    }
+    if (sub.status != maxsat::MaxSatStatus::Optimal) {
+      // One undecided child makes the global argmax unproven.
+      MpmcsSolution unknown;
+      unknown.status = sub.status;
+      unknown.solver_name = sub.solver_name;
+      unknown.solve_seconds = solve_seconds;
+      return unknown;
+    }
+    if (!have_best || sub.probability > best.probability) {
+      best = sub;
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    MpmcsSolution unsat;
+    unsat.status = maxsat::MaxSatStatus::Unsatisfiable;
+    unsat.solve_seconds = solve_seconds;
+    return unsat;
+  }
+  best.solve_seconds = solve_seconds;
+  best.cnf_vars = cnf_vars;
+  best.cnf_clauses = cnf_clauses;
+  best.solver_name += "+decomp";
+  return best;
+}
+
+std::vector<MpmcsSolution> MpmcsPipeline::top_k(const ft::FaultTree& tree,
+                                                std::size_t k) const {
+  tree.validate();
+  std::vector<MpmcsSolution> out;
+  maxsat::WcnfInstance instance = build_instance(tree);
+  for (std::size_t i = 0; i < k; ++i) {
+    MpmcsSolution sol = solve_instance(tree, instance);
+    if (sol.status != maxsat::MaxSatStatus::Optimal) break;
+    out.push_back(sol);
+    // Block this cut and every superset: at least one member must be
+    // absent in any further solution.
+    logic::Clause block;
+    block.reserve(sol.cut.size());
+    for (ft::EventIndex e : sol.cut.events()) block.push_back(Lit::neg(e));
+    if (block.empty()) break;  // degenerate: empty cut (constant-true tree)
+    instance.add_hard(std::move(block));
+  }
+  return out;
+}
+
+std::string MpmcsPipeline::to_json(const ft::FaultTree& tree,
+                                   const MpmcsSolution& solution) {
+  std::optional<ft::JsonSolution> js;
+  if (solution.status == maxsat::MaxSatStatus::Optimal) {
+    ft::JsonSolution s;
+    s.mpmcs = solution.cut;
+    s.probability = solution.probability;
+    s.log_cost = solution.log_cost;
+    s.solver = solution.solver_name;
+    s.solve_seconds = solution.solve_seconds;
+    js = std::move(s);
+  }
+  return ft::to_json(tree, js);
+}
+
+}  // namespace fta::core

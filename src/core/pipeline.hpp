@@ -1,0 +1,130 @@
+// The paper's contribution: computing the Maximum Probability Minimal Cut
+// Set (MPMCS) of a fault tree by reduction to Weighted Partial MaxSAT.
+//
+// The six steps of Barrère & Hankin (DSN 2020):
+//   1. Logical transformation — success tree X(t) = ¬f(t); gate-flipped
+//      form Y(t) with positive events (see FormulaStore::dualize). Solving
+//      "minimise satisfied events subject to f(t)" is implemented as hard
+//      clauses asserting f(t) plus unit soft clauses preferring each event
+//      absent — the exact dual of maximising satisfied y_i in ¬Y(t).
+//   2. CNF conversion — Tseitin transformation (logic/tseitin).
+//   3. Probability transformation — w_i = -log p(x_i), scaled to integers.
+//   4. Weighted Partial MaxSAT instance — hard tree CNF + soft (¬x_i, w_i).
+//   5. Parallel MaxSAT resolution — the solver portfolio (maxsat/portfolio).
+//   6. Reverse transformation — P = exp(-Σ w_i) over the chosen events
+//      (recomputed exactly from the tree's probabilities).
+//
+// Extensions beyond the paper: voting-gate support end-to-end, a
+// minimality shrink pass (required when events have p = 1, i.e. zero
+// weight), and top-k MPMCS enumeration via superset-blocking clauses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ft/cut_set.hpp"
+#include "ft/fault_tree.hpp"
+#include "ft/json_writer.hpp"
+#include "maxsat/instance.hpp"
+#include "maxsat/solver.hpp"
+
+namespace fta::core {
+
+enum class SolverChoice {
+  Portfolio,   ///< Step 5 as published: parallel race, first finisher wins.
+  Oll,
+  FuMalik,
+  Lsu,
+  BruteForce,  ///< Exhaustive; tiny trees only (tests, sanity checks).
+};
+
+const char* solver_choice_name(SolverChoice c) noexcept;
+
+struct PipelineOptions {
+  SolverChoice solver = SolverChoice::Portfolio;
+  /// Integer scaling factor applied to -log p weights (Step 3). Larger
+  /// preserves more probability resolution; see bench/ablation_weight_scaling.
+  double weight_scale = 1e6;
+  /// Wall-clock cap for the portfolio (0 = none).
+  double timeout_seconds = 0.0;
+  /// Drop gratuitous members from the returned cut (only relevant when
+  /// events with probability ~1 make zero-weight softs).
+  bool shrink_to_minimal = true;
+  /// Plaisted–Greenbaum polarity-aware Tseitin (fewer clauses).
+  bool polarity_aware_tseitin = false;
+  /// Extension beyond the paper: when the top gate is an OR, solve one
+  /// MaxSAT instance per child and take the probability argmax — sound
+  /// because MCS(f1 | f2) ⊆ minimize(MCS(f1) ∪ MCS(f2)) and dropping
+  /// events never lowers a cut's probability. Dramatic on "many
+  /// independent subsystems" topologies where core-guided search is at
+  /// its weakest (see bench/ablation_decomposition).
+  bool decompose_top_or = false;
+};
+
+struct MpmcsSolution {
+  maxsat::MaxSatStatus status = maxsat::MaxSatStatus::Unknown;
+  ft::CutSet cut;            ///< The MPMCS (valid when status == Optimal).
+  double probability = 0.0;  ///< Joint probability of the cut (Step 6).
+  double log_cost = 0.0;     ///< Σ -ln p over the cut.
+  std::string solver_name;   ///< Which solver/portfolio member produced it.
+  double solve_seconds = 0.0;   ///< MaxSAT solving time.
+  double total_seconds = 0.0;   ///< Including transformation steps.
+  maxsat::Weight scaled_cost = 0;  ///< Optimal cost in scaled-integer space.
+  std::size_t cnf_vars = 0;     ///< Size of the Step-2 CNF.
+  std::size_t cnf_clauses = 0;
+};
+
+class MpmcsPipeline {
+ public:
+  explicit MpmcsPipeline(PipelineOptions opts = {});
+
+  /// Computes the MPMCS of a validated fault tree.
+  MpmcsSolution solve(const ft::FaultTree& tree) const;
+
+  /// The k most probable MCSs in descending probability order (fewer if
+  /// the tree has fewer MCSs). Each round blocks the previous cut and its
+  /// supersets with a hard clause and re-solves.
+  std::vector<MpmcsSolution> top_k(const ft::FaultTree& tree,
+                                   std::size_t k) const;
+
+  const PipelineOptions& options() const noexcept { return opts_; }
+
+  // --- step artefacts (exposed for tests, benches and documentation) ----
+
+  /// Step 3: the -log(p) weight of every basic event (unscaled).
+  static std::vector<double> log_weights(const ft::FaultTree& tree);
+
+  /// Step 1 artefacts: builds f(t) into `store` and returns the paper's
+  /// gate-flipped success-tree form Y(t) (events positive, AND<->OR
+  /// swapped), with ¬Y(t) ≡ f(t).
+  static logic::NodeId success_tree(logic::FormulaStore& store,
+                                    const ft::FaultTree& tree);
+
+  /// Steps 1-4: the Weighted Partial MaxSAT instance for the tree.
+  /// Variables [0, num_events) are the basic events; the rest are Tseitin
+  /// auxiliaries.
+  maxsat::WcnfInstance build_instance(const ft::FaultTree& tree) const;
+
+  /// Fig. 2-style JSON document for a solved tree.
+  static std::string to_json(const ft::FaultTree& tree,
+                             const MpmcsSolution& solution);
+
+ private:
+  /// `candidates` (when non-empty) restricts which events may appear in
+  /// the extracted cut — used by decomposition, where a child instance
+  /// leaves foreign events unconstrained.
+  MpmcsSolution solve_instance(const ft::FaultTree& tree,
+                               maxsat::WcnfInstance instance,
+                               const std::vector<bool>& candidates = {}) const;
+  maxsat::WcnfInstance instance_for_formula(
+      const ft::FaultTree& tree, logic::FormulaStore& store,
+      logic::NodeId fault, std::vector<bool>* events_used = nullptr) const;
+  MpmcsSolution solve_decomposed(const ft::FaultTree& tree) const;
+  maxsat::MaxSatSolverPtr make_solver() const;
+
+  PipelineOptions opts_;
+};
+
+}  // namespace fta::core

@@ -1,0 +1,25 @@
+#include "ft/builder.hpp"
+
+namespace fta::ft {
+
+FaultTree fire_protection_system() {
+  FaultTreeBuilder b;
+  // Probabilities from Table I of the paper.
+  const NodeIndex x1 = b.event("x1", 0.2);    // sensor 1 fails
+  const NodeIndex x2 = b.event("x2", 0.1);    // sensor 2 fails
+  const NodeIndex x3 = b.event("x3", 0.001);  // no water
+  const NodeIndex x4 = b.event("x4", 0.002);  // nozzles blocked
+  const NodeIndex x5 = b.event("x5", 0.05);   // automatic trigger fails
+  const NodeIndex x6 = b.event("x6", 0.1);    // comms channel fails
+  const NodeIndex x7 = b.event("x7", 0.05);   // channel unavailable (DDoS)
+
+  // f(t) = (x1 & x2) | (x3 | x4 | (x5 & (x6 | x7)))
+  const NodeIndex detection = b.and_("DETECTION", {x1, x2});
+  const NodeIndex remote = b.or_("REMOTE", {x6, x7});
+  const NodeIndex trigger = b.and_("TRIGGER", {x5, remote});
+  const NodeIndex suppression = b.or_("SUPPRESSION", {x3, x4, trigger});
+  b.top(b.or_("FPS_FAILS", {detection, suppression}));
+  return std::move(b).build();
+}
+
+}  // namespace fta::ft

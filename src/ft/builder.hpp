@@ -1,0 +1,57 @@
+// Fluent construction helpers for fault trees.
+//
+//   FaultTreeBuilder b;
+//   auto x1 = b.event("x1", 0.2);
+//   auto x2 = b.event("x2", 0.1);
+//   b.top(b.or_("TOP", {b.and_("DET", {x1, x2}), ...}));
+//   FaultTree tree = std::move(b).build();   // validates
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ft/fault_tree.hpp"
+
+namespace fta::ft {
+
+class FaultTreeBuilder {
+ public:
+  NodeIndex event(std::string name, double probability) {
+    return tree_.add_basic_event(std::move(name), probability);
+  }
+
+  NodeIndex and_(std::string name, std::vector<NodeIndex> children) {
+    return tree_.add_gate(std::move(name), NodeType::And, std::move(children));
+  }
+
+  NodeIndex or_(std::string name, std::vector<NodeIndex> children) {
+    return tree_.add_gate(std::move(name), NodeType::Or, std::move(children));
+  }
+
+  NodeIndex vote(std::string name, std::uint32_t k,
+                 std::vector<NodeIndex> children) {
+    return tree_.add_vote_gate(std::move(name), k, std::move(children));
+  }
+
+  void top(NodeIndex n) { tree_.set_top(n); }
+
+  /// Finalises and validates the tree; the builder is consumed.
+  FaultTree build() && {
+    tree_.validate();
+    return std::move(tree_);
+  }
+
+  /// Access to the tree under construction (e.g. for lookups).
+  const FaultTree& peek() const noexcept { return tree_; }
+
+ private:
+  FaultTree tree_;
+};
+
+/// The paper's running example (Fig. 1): the cyber-physical Fire
+/// Protection System with events x1..x7 and probabilities of Table I.
+/// MPMCS = {x1, x2} with joint probability 0.02.
+FaultTree fire_protection_system();
+
+}  // namespace fta::ft

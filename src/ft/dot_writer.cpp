@@ -1,0 +1,54 @@
+#include "ft/dot_writer.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace fta::ft {
+
+std::string to_dot(const FaultTree& tree,
+                   const std::optional<CutSet>& highlight) {
+  std::unordered_set<EventIndex> marked;
+  if (highlight) {
+    marked.insert(highlight->events().begin(), highlight->events().end());
+  }
+
+  std::ostringstream os;
+  os << "digraph fault_tree {\n";
+  os << "  rankdir=TB;\n";
+  os << "  node [fontname=\"Helvetica\"];\n";
+  for (NodeIndex i = 0; i < tree.num_nodes(); ++i) {
+    const Node& n = tree.node(i);
+    os << "  n" << i << " [label=\"" << util::json_escape(n.name);
+    switch (n.type) {
+      case NodeType::BasicEvent:
+        os << "\\np=" << util::format_double(n.probability)
+           << "\" shape=circle";
+        if (marked.count(n.event_index)) {
+          os << " style=filled fillcolor=\"#ff8888\"";
+        }
+        break;
+      case NodeType::And:
+        os << "\\nAND\" shape=invhouse style=filled fillcolor=\"#cce5ff\"";
+        break;
+      case NodeType::Or:
+        os << "\\nOR\" shape=invtriangle style=filled fillcolor=\"#d5f5d5\"";
+        break;
+      case NodeType::Vote:
+        os << "\\n" << n.k << "/" << n.children.size()
+           << "\" shape=hexagon style=filled fillcolor=\"#ffe5b5\"";
+        break;
+    }
+    os << "];\n";
+  }
+  for (NodeIndex i = 0; i < tree.num_nodes(); ++i) {
+    for (NodeIndex c : tree.node(i).children) {
+      os << "  n" << i << " -> n" << c << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fta::ft

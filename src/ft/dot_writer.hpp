@@ -1,0 +1,17 @@
+// Graphviz DOT export for visual inspection of trees and solutions.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ft/cut_set.hpp"
+#include "ft/fault_tree.hpp"
+
+namespace fta::ft {
+
+/// Renders the tree as a DOT digraph. Events in `highlight` (e.g. the
+/// MPMCS) are filled red; gates are shaped by kind.
+std::string to_dot(const FaultTree& tree,
+                   const std::optional<CutSet>& highlight = std::nullopt);
+
+}  // namespace fta::ft

@@ -1,0 +1,32 @@
+// JSON serialisation of fault trees and analysis results.
+//
+// Mirrors the output document of the paper's MPMCS4FTA tool (Fig. 2): the
+// tree structure, per-event probabilities, and — when a solution is
+// supplied — the MPMCS member events and joint probability, so a browser
+// front-end can highlight the cut.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ft/cut_set.hpp"
+#include "ft/fault_tree.hpp"
+
+namespace fta::ft {
+
+struct JsonSolution {
+  CutSet mpmcs;
+  double probability = 0.0;
+  double log_cost = 0.0;      ///< Sum of -log p over the cut (Step 6 input).
+  double solve_seconds = 0.0;
+  std::string solver;         ///< Which portfolio member produced it.
+};
+
+/// Renders the tree (and optional solution) as a pretty-printed JSON
+/// document. Node ids are names; events carry probabilities and a
+/// `inMpmcs` marker when part of the solution.
+std::string to_json(const FaultTree& tree,
+                    const std::optional<JsonSolution>& solution = std::nullopt,
+                    int indent = 2);
+
+}  // namespace fta::ft

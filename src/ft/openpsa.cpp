@@ -1,0 +1,229 @@
+#include "ft/openpsa.hpp"
+
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ft/parser.hpp"
+#include "ft/xml.hpp"
+#include "util/strings.hpp"
+
+namespace fta::ft {
+
+namespace {
+
+struct GateSpec {
+  std::size_t line = 0;
+  NodeType type = NodeType::Or;
+  std::uint32_t k = 0;
+  std::vector<std::string> children;  // referenced gate/basic-event names
+};
+
+NodeType gate_type_of(const std::string& tag, std::size_t line) {
+  if (tag == "and") return NodeType::And;
+  if (tag == "or") return NodeType::Or;
+  if (tag == "atleast") return NodeType::Vote;
+  throw ParseError(line, "open-psa: unsupported connective <" + tag + ">");
+}
+
+double parse_probability(const xml::Element& define_be) {
+  const xml::Element* value = define_be.child("float");
+  if (value == nullptr) {
+    throw ParseError(define_be.line,
+                     "open-psa: <define-basic-event '" +
+                         define_be.attr_or("name", "?") +
+                         "'> needs a <float value=.../>");
+  }
+  try {
+    return std::stod(value->attr("value"));
+  } catch (const xml::XmlError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError(value->line, "open-psa: bad float value");
+  }
+}
+
+}  // namespace
+
+FaultTree parse_open_psa(const std::string& text) {
+  const auto root = xml::parse(text);
+  if (root->name != "opsa-mef") {
+    throw ParseError(root->line, "open-psa: root must be <opsa-mef>, got <" +
+                                     root->name + ">");
+  }
+  const xml::Element* ft_el = root->child("define-fault-tree");
+  if (ft_el == nullptr) {
+    throw ParseError(root->line, "open-psa: missing <define-fault-tree>");
+  }
+
+  // Gate definitions.
+  std::unordered_map<std::string, GateSpec> gates;
+  std::vector<std::string> gate_order;
+  for (const xml::Element* def : ft_el->children_named("define-gate")) {
+    const std::string name = def->attr("name");
+    if (def->children.size() != 1) {
+      throw ParseError(def->line, "open-psa: <define-gate '" + name +
+                                      "'> needs exactly one connective");
+    }
+    const xml::Element& conn = *def->children.front();
+    GateSpec spec;
+    spec.line = conn.line;
+    spec.type = gate_type_of(conn.name, conn.line);
+    if (spec.type == NodeType::Vote) {
+      try {
+        spec.k = static_cast<std::uint32_t>(std::stoul(conn.attr("min")));
+      } catch (const xml::XmlError&) {
+        throw;
+      } catch (const std::exception&) {
+        throw ParseError(conn.line, "open-psa: bad atleast min");
+      }
+    }
+    for (const auto& operand : conn.children) {
+      if (operand->name != "gate" && operand->name != "basic-event") {
+        throw ParseError(operand->line, "open-psa: operands must be <gate> or "
+                                        "<basic-event>, got <" +
+                                            operand->name + ">");
+      }
+      spec.children.push_back(operand->attr("name"));
+    }
+    if (!gates.emplace(name, std::move(spec)).second) {
+      throw ParseError(def->line, "open-psa: duplicate gate '" + name + "'");
+    }
+    gate_order.push_back(name);
+  }
+  if (gate_order.empty()) {
+    throw ParseError(ft_el->line, "open-psa: fault tree defines no gates");
+  }
+
+  // Probabilities from <model-data>.
+  std::unordered_map<std::string, double> probs;
+  if (const xml::Element* data = root->child("model-data")) {
+    for (const xml::Element* def : data->children_named("define-basic-event")) {
+      const std::string name = def->attr("name");
+      if (!probs.emplace(name, parse_probability(*def)).second) {
+        throw ParseError(def->line,
+                         "open-psa: duplicate basic event '" + name + "'");
+      }
+    }
+  }
+
+  // Build: events are names referenced but never defined as gates.
+  FaultTree tree;
+  std::unordered_map<std::string, NodeIndex> index;
+  for (const auto& gname : gate_order) {
+    for (const auto& child : gates.at(gname).children) {
+      if (gates.count(child) || index.count(child)) continue;
+      const auto p = probs.find(child);
+      index.emplace(child, tree.add_basic_event(
+                               child, p == probs.end() ? 0.0 : p->second));
+    }
+  }
+
+  // Insert gates children-first with cycle detection.
+  std::unordered_set<std::string> inserting;
+  std::vector<std::pair<std::string, bool>> stack;
+  for (auto it = gate_order.rbegin(); it != gate_order.rend(); ++it) {
+    stack.push_back({*it, false});
+  }
+  while (!stack.empty()) {
+    auto [name, expanded] = stack.back();
+    stack.pop_back();
+    if (index.count(name)) continue;
+    const GateSpec& spec = gates.at(name);
+    if (expanded) {
+      inserting.erase(name);
+      std::vector<NodeIndex> children;
+      children.reserve(spec.children.size());
+      for (const auto& c : spec.children) children.push_back(index.at(c));
+      try {
+        index.emplace(name,
+                      spec.type == NodeType::Vote
+                          ? tree.add_vote_gate(name, spec.k, std::move(children))
+                          : tree.add_gate(name, spec.type, std::move(children)));
+      } catch (const ValidationError& e) {
+        throw ParseError(spec.line, e.what());
+      }
+      continue;
+    }
+    if (!inserting.insert(name).second) {
+      throw ParseError(spec.line, "open-psa: cycle through gate '" + name + "'");
+    }
+    stack.push_back({name, true});
+    for (const auto& c : spec.children) {
+      if (!index.count(c)) {
+        if (!gates.count(c)) {
+          throw ParseError(spec.line,
+                           "open-psa: undefined reference '" + c + "'");
+        }
+        stack.push_back({c, false});
+      }
+    }
+  }
+
+  tree.set_top(index.at(gate_order.front()));
+  tree.validate();
+  return tree;
+}
+
+FaultTree parse_open_psa_stream(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_open_psa(buffer.str());
+}
+
+std::string to_open_psa(const FaultTree& tree, const std::string& tree_name) {
+  tree.validate();
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\"?>\n<opsa-mef>\n";
+  os << "  <define-fault-tree name=\"" << xml::escape(tree_name) << "\">\n";
+
+  // Top gate first (reader convention), then the rest in DFS order.
+  std::vector<NodeIndex> order;
+  std::unordered_set<NodeIndex> seen;
+  std::vector<NodeIndex> stack{tree.top()};
+  while (!stack.empty()) {
+    const NodeIndex id = stack.back();
+    stack.pop_back();
+    if (!seen.insert(id).second) continue;
+    const Node& n = tree.node(id);
+    if (n.type == NodeType::BasicEvent) continue;
+    order.push_back(id);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  for (const NodeIndex id : order) {
+    const Node& n = tree.node(id);
+    os << "    <define-gate name=\"" << xml::escape(n.name) << "\">\n";
+    if (n.type == NodeType::Vote) {
+      os << "      <atleast min=\"" << n.k << "\">\n";
+    } else {
+      os << "      <" << node_type_name(n.type) << ">\n";
+    }
+    for (const NodeIndex c : n.children) {
+      const Node& child = tree.node(c);
+      const char* tag =
+          child.type == NodeType::BasicEvent ? "basic-event" : "gate";
+      os << "        <" << tag << " name=\"" << xml::escape(child.name)
+         << "\"/>\n";
+    }
+    os << (n.type == NodeType::Vote
+               ? "      </atleast>\n"
+               : std::string("      </") + node_type_name(n.type) + ">\n");
+    os << "    </define-gate>\n";
+  }
+  os << "  </define-fault-tree>\n";
+
+  os << "  <model-data>\n";
+  for (EventIndex e = 0; e < tree.num_events(); ++e) {
+    const Node& n = tree.event(e);
+    os << "    <define-basic-event name=\"" << xml::escape(n.name)
+       << "\">\n      <float value=\"" << util::format_double(n.probability)
+       << "\"/>\n    </define-basic-event>\n";
+  }
+  os << "  </model-data>\n</opsa-mef>\n";
+  return os.str();
+}
+
+}  // namespace fta::ft

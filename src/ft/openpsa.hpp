@@ -1,0 +1,39 @@
+// Open-PSA Model Exchange Format (MEF) interchange — the XML format used
+// by open-source PSA/FTA tools (e.g. scram). Supported subset:
+//
+//   <opsa-mef>
+//     <define-fault-tree name="...">
+//       <define-gate name="g">
+//         <or> | <and> | <atleast min="k">
+//           <gate name="..."/> | <basic-event name="..."/>
+//         </...>
+//       </define-gate>
+//       ...
+//     </define-fault-tree>
+//     <model-data>
+//       <define-basic-event name="x"> <float value="0.2"/> </define-basic-event>
+//     </model-data>
+//   </opsa-mef>
+//
+// The top event is the first <define-gate> of the fault tree (the common
+// convention). `atleast` maps to the library's Vote gates. Basic events
+// without a <define-basic-event> entry default to probability 0.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ft/fault_tree.hpp"
+
+namespace fta::ft {
+
+/// Parses an Open-PSA MEF document into a validated fault tree.
+/// Throws xml::XmlError (syntax) or ParseError/ValidationError (semantics).
+FaultTree parse_open_psa(const std::string& text);
+FaultTree parse_open_psa_stream(std::istream& is);
+
+/// Serialises a tree as Open-PSA MEF. The top gate is emitted first.
+std::string to_open_psa(const FaultTree& tree,
+                        const std::string& tree_name = "fault-tree");
+
+}  // namespace fta::ft

@@ -1,0 +1,43 @@
+// Text format for fault trees (Galileo-inspired).
+//
+//   // Fire protection system
+//   toplevel FPS;
+//   FPS or DETECTION SUPPRESSION;
+//   DETECTION and x1 x2;
+//   TRIGGER 2of3 a b c;          // voting gate
+//   x1 prob=0.2;
+//
+// Statements end with ';'. '//' and '#' start comments. Gates may be
+// declared before or after their children; events default to probability 0
+// unless a `prob=` statement provides one. Names may be quoted with double
+// quotes to include spaces.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "ft/fault_tree.hpp"
+
+namespace fta::ft {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a fault-tree document; the result is validated.
+FaultTree parse_fault_tree(std::istream& is);
+FaultTree parse_fault_tree(const std::string& text);
+
+/// Serialises a tree back to the text format (stable output; gates in
+/// topological order from the top, then events with probabilities).
+std::string to_text(const FaultTree& tree);
+
+}  // namespace fta::ft

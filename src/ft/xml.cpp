@@ -1,0 +1,216 @@
+#include "ft/xml.hpp"
+
+#include <cctype>
+
+namespace fta::ft::xml {
+
+const Element* Element::child(const std::string& tag) const {
+  for (const auto& c : children) {
+    if (c->name == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(
+    const std::string& tag) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children) {
+    if (c->name == tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+const std::string& Element::attr(const std::string& key) const {
+  const auto it = attrs.find(key);
+  if (it == attrs.end()) {
+    throw XmlError(line, "<" + name + "> missing attribute '" + key + "'");
+  }
+  return it->second;
+}
+
+std::string Element::attr_or(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = attrs.find(key);
+  return it == attrs.end() ? fallback : it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<Element> run() {
+    skip_misc();
+    auto root = parse_element();
+    skip_misc();
+    if (pos_ != text_.size()) {
+      throw XmlError(line_, "trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw XmlError(line_, message);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char advance() {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool consume(const std::string& token) {
+    if (text_.compare(pos_, token.size(), token) != 0) return false;
+    for (std::size_t i = 0; i < token.size(); ++i) advance();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      advance();
+    }
+  }
+
+  /// Whitespace, comments, and <?...?> declarations between elements.
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (consume("<!--")) {
+        const std::size_t end = text_.find("-->", pos_);
+        if (end == std::string::npos) fail("unterminated comment");
+        while (pos_ < end + 3) advance();
+        continue;
+      }
+      if (text_.compare(pos_, 2, "<?") == 0) {
+        const std::size_t end = text_.find("?>", pos_);
+        if (end == std::string::npos) fail("unterminated declaration");
+        while (pos_ < end + 2) advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string parse_name() {
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '_' || c == '.' || c == ':') {
+        out += advance();
+      } else {
+        break;
+      }
+    }
+    if (out.empty()) fail("expected a name");
+    return out;
+  }
+
+  std::string parse_attr_value() {
+    const char quote = advance();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    std::string out;
+    while (peek() != quote) out += advance();
+    advance();  // closing quote
+    return unescape(out);
+  }
+
+  static std::string unescape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out += s[i];
+        continue;
+      }
+      const auto end = s.find(';', i);
+      const std::string entity = s.substr(i + 1, end - i - 1);
+      if (entity == "amp") out += '&';
+      else if (entity == "lt") out += '<';
+      else if (entity == "gt") out += '>';
+      else if (entity == "quot") out += '"';
+      else if (entity == "apos") out += '\'';
+      else out += s.substr(i, end - i + 1);  // unknown entity: keep verbatim
+      i = end;
+    }
+    return out;
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    if (!consume("<")) fail("expected '<'");
+    auto el = std::make_unique<Element>();
+    el->line = line_;
+    el->name = parse_name();
+    while (true) {
+      skip_ws();
+      if (consume("/>")) return el;
+      if (consume(">")) break;
+      const std::string key = parse_name();
+      skip_ws();
+      if (!consume("=")) fail("expected '=' in attribute");
+      skip_ws();
+      if (!el->attrs.emplace(key, parse_attr_value()).second) {
+        fail("duplicate attribute '" + key + "'");
+      }
+    }
+    // Content: children, text, comments, then the closing tag.
+    while (true) {
+      if (consume("<!--")) {
+        const std::size_t end = text_.find("-->", pos_);
+        if (end == std::string::npos) fail("unterminated comment");
+        while (pos_ < end + 3) advance();
+        continue;
+      }
+      if (text_.compare(pos_, 2, "</") == 0) {
+        consume("</");
+        const std::string closing = parse_name();
+        if (closing != el->name) {
+          fail("mismatched closing tag </" + closing + "> for <" + el->name +
+               ">");
+        }
+        skip_ws();
+        if (!consume(">")) fail("malformed closing tag");
+        return el;
+      }
+      if (peek() == '<') {
+        el->children.push_back(parse_element());
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated element <" + el->name + ">");
+      el->text += advance();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<Element> parse(const std::string& text) {
+  return Parser(text).run();
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace fta::ft::xml

@@ -1,0 +1,54 @@
+// A minimal XML DOM for the Open-PSA reader: elements, attributes,
+// nesting, comments and declarations. Deliberately small — no namespaces,
+// no DTDs, no CDATA — which covers the Open-PSA Model Exchange Format
+// subset this library speaks. Text content is preserved but unused by the
+// Open-PSA mapping.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fta::ft::xml {
+
+class XmlError : public std::runtime_error {
+ public:
+  XmlError(std::size_t line, const std::string& message)
+      : std::runtime_error("xml: line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct Element {
+  std::string name;
+  std::unordered_map<std::string, std::string> attrs;
+  std::vector<std::unique_ptr<Element>> children;
+  std::string text;       ///< Concatenated character data.
+  std::size_t line = 0;   ///< Line of the opening tag (for diagnostics).
+
+  /// First child with the given tag name; nullptr if absent.
+  const Element* child(const std::string& tag) const;
+
+  /// All children with the given tag name.
+  std::vector<const Element*> children_named(const std::string& tag) const;
+
+  /// Attribute value; throws XmlError when missing.
+  const std::string& attr(const std::string& key) const;
+
+  /// Attribute value or fallback.
+  std::string attr_or(const std::string& key, const std::string& fallback) const;
+};
+
+/// Parses a document and returns its root element.
+std::unique_ptr<Element> parse(const std::string& text);
+
+/// Escapes &, <, >, " for attribute/text emission.
+std::string escape(const std::string& s);
+
+}  // namespace fta::ft::xml

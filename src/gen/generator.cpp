@@ -1,0 +1,127 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fta::gen {
+
+using ft::FaultTree;
+using ft::NodeIndex;
+using ft::NodeType;
+
+namespace {
+
+double log_uniform(util::Rng& rng, double lo, double hi) {
+  const double u = rng.uniform(std::log(lo), std::log(hi));
+  return std::exp(u);
+}
+
+}  // namespace
+
+FaultTree random_tree(const GeneratorOptions& opts, std::uint64_t seed) {
+  if (opts.num_events < 1) throw std::invalid_argument("num_events >= 1");
+  if (opts.min_children < 2 || opts.max_children < opts.min_children) {
+    throw std::invalid_argument("bad fan-in range");
+  }
+  util::Rng rng(seed);
+  FaultTree tree;
+
+  // Basic events with log-uniform probabilities (failure rates span orders
+  // of magnitude in practice).
+  std::vector<NodeIndex> pool;
+  pool.reserve(opts.num_events);
+  for (std::uint32_t i = 0; i < opts.num_events; ++i) {
+    pool.push_back(tree.add_basic_event(
+        "e" + std::to_string(i),
+        log_uniform(rng, opts.min_prob, opts.max_prob)));
+  }
+
+  // Bottom-up combination: gates consume pool nodes; sharing occasionally
+  // re-references an already-built subtree (safe: a fresh gate cannot be
+  // an ancestor of anything yet, so no cycles).
+  std::uint32_t gate_counter = 0;
+  while (pool.size() > 1) {
+    const auto want = static_cast<std::size_t>(
+        rng.range(opts.min_children, opts.max_children));
+    const std::size_t arity = std::min(pool.size(), want);
+    std::vector<NodeIndex> children;
+    children.reserve(arity + 1);
+    for (std::size_t i = 0; i < arity; ++i) {
+      const std::size_t pick = rng.below(pool.size());
+      children.push_back(pool[pick]);
+      pool[pick] = pool.back();
+      pool.pop_back();
+    }
+    if (opts.sharing > 0.0 && rng.chance(opts.sharing) &&
+        tree.num_nodes() > arity) {
+      const auto extra = static_cast<NodeIndex>(rng.below(tree.num_nodes()));
+      if (std::find(children.begin(), children.end(), extra) ==
+          children.end()) {
+        children.push_back(extra);
+      }
+    }
+
+    NodeIndex gate;
+    const std::string name = "g" + std::to_string(gate_counter++);
+    if (children.size() >= 3 && opts.vote_fraction > 0.0 &&
+        rng.chance(opts.vote_fraction)) {
+      const auto k = static_cast<std::uint32_t>(
+          rng.range(2, static_cast<std::int64_t>(children.size()) - 1));
+      gate = tree.add_vote_gate(name, k, std::move(children));
+    } else if (rng.chance(opts.and_fraction)) {
+      gate = tree.add_gate(name, NodeType::And, std::move(children));
+    } else {
+      gate = tree.add_gate(name, NodeType::Or, std::move(children));
+    }
+    pool.push_back(gate);
+  }
+
+  tree.set_top(pool.front());
+  tree.validate();
+  return tree;
+}
+
+FaultTree chain_tree(std::uint32_t depth, std::uint64_t seed) {
+  if (depth < 1) throw std::invalid_argument("depth >= 1");
+  util::Rng rng(seed);
+  FaultTree tree;
+  NodeIndex acc =
+      tree.add_basic_event("e0", log_uniform(rng, 1e-3, 0.3));
+  for (std::uint32_t i = 1; i < depth; ++i) {
+    const NodeIndex e = tree.add_basic_event(
+        "e" + std::to_string(i), log_uniform(rng, 1e-3, 0.3));
+    const NodeType type = (i % 2 == 1) ? NodeType::And : NodeType::Or;
+    acc = tree.add_gate("g" + std::to_string(i), type, {acc, e});
+  }
+  tree.set_top(acc);
+  tree.validate();
+  return tree;
+}
+
+FaultTree ladder_tree(std::uint32_t subsystems, std::uint64_t seed) {
+  if (subsystems < 1) throw std::invalid_argument("subsystems >= 1");
+  util::Rng rng(seed);
+  FaultTree tree;
+  std::vector<NodeIndex> tops;
+  tops.reserve(subsystems);
+  for (std::uint32_t s = 0; s < subsystems; ++s) {
+    std::vector<NodeIndex> members;
+    for (int m = 0; m < 3; ++m) {
+      members.push_back(tree.add_basic_event(
+          "s" + std::to_string(s) + "_e" + std::to_string(m),
+          log_uniform(rng, 1e-3, 0.1)));
+    }
+    tops.push_back(tree.add_vote_gate("s" + std::to_string(s) + "_2oo3", 2,
+                                      std::move(members)));
+  }
+  tree.set_top(subsystems == 1
+                   ? tops.front()
+                   : tree.add_gate("TOP", NodeType::Or, std::move(tops)));
+  tree.validate();
+  return tree;
+}
+
+}  // namespace fta::gen

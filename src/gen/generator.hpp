@@ -1,0 +1,48 @@
+// Synthetic fault-tree generation for benchmarks and property tests.
+//
+// The paper evaluates on fault trees "with thousands of nodes"; those
+// instances are not public, so a seeded generator with controlled shape
+// parameters stands in (see DESIGN.md, substitutions). A single 64-bit
+// seed fully determines each instance.
+#pragma once
+
+#include <cstdint>
+
+#include "ft/fault_tree.hpp"
+#include "util/rng.hpp"
+
+namespace fta::gen {
+
+struct GeneratorOptions {
+  /// Approximate number of basic events (the generator lands exactly on
+  /// this count).
+  std::uint32_t num_events = 100;
+  /// Gate fan-in range (inclusive).
+  std::uint32_t min_children = 2;
+  std::uint32_t max_children = 4;
+  /// Probability that a gate is AND (vs OR), before the vote share below.
+  double and_fraction = 0.4;
+  /// Fraction of gates turned into k-of-n voting gates (k chosen in
+  /// [2, n-1]); requires fan-in >= 3 at that gate.
+  double vote_fraction = 0.0;
+  /// Probability that a gate input reuses an existing subtree (making the
+  /// "tree" a DAG with shared logic) instead of a fresh node.
+  double sharing = 0.0;
+  /// Event probabilities drawn log-uniformly from [min_prob, max_prob].
+  double min_prob = 1e-4;
+  double max_prob = 0.2;
+};
+
+/// Generates a random fault tree. Deterministic in (opts, seed).
+ft::FaultTree random_tree(const GeneratorOptions& opts, std::uint64_t seed);
+
+/// A deep AND/OR chain: TOP = or(e1, and(e2, or(e3, ...))). Worst case
+/// for naive expansion, trivial for MaxSAT; `depth` basic events.
+ft::FaultTree chain_tree(std::uint32_t depth, std::uint64_t seed);
+
+/// A redundant "ladder": k independent two-out-of-three subsystems under
+/// an OR top — a classic reliability-engineering shape with many same-size
+/// MCSs (3 per subsystem).
+ft::FaultTree ladder_tree(std::uint32_t subsystems, std::uint64_t seed);
+
+}  // namespace fta::gen

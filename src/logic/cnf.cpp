@@ -1,0 +1,36 @@
+#include "logic/cnf.hpp"
+
+#include <cassert>
+
+namespace fta::logic {
+
+void Cnf::add_clause(Clause clause) {
+  for (Lit l : clause) {
+    assert(l.valid());
+    ensure_var(l.var());
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+std::size_t Cnf::num_literals() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : clauses_) n += c.size();
+  return n;
+}
+
+bool Cnf::eval(const std::vector<bool>& assignment) const {
+  for (const auto& clause : clauses_) {
+    bool sat = false;
+    for (Lit l : clause) {
+      const bool v = assignment[l.var()];
+      if (v != l.negated()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+}  // namespace fta::logic

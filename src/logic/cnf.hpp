@@ -1,0 +1,56 @@
+// A CNF formula: a conjunction of clauses over dense variables.
+//
+// This is the hand-off format between the logic layer (Tseitin output),
+// the CDCL SAT solver and the MaxSAT layer's hard constraints.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "logic/lit.hpp"
+
+namespace fta::logic {
+
+using Clause = std::vector<Lit>;
+
+class Cnf {
+ public:
+  Cnf() = default;
+  explicit Cnf(std::uint32_t num_vars) : num_vars_(num_vars) {}
+
+  /// Allocates a fresh variable and returns its index.
+  Var new_var() { return num_vars_++; }
+
+  /// Grows the variable count so that `v` is valid.
+  void ensure_var(Var v) {
+    if (v >= num_vars_) num_vars_ = v + 1;
+  }
+
+  void add_clause(Clause clause);
+  void add_clause(std::span<const Lit> lits) {
+    add_clause(Clause(lits.begin(), lits.end()));
+  }
+  void add_clause(std::initializer_list<Lit> lits) {
+    add_clause(Clause(lits));
+  }
+  void add_unit(Lit l) { add_clause(Clause{l}); }
+  void add_binary(Lit a, Lit b) { add_clause(Clause{a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause(Clause{a, b, c}); }
+
+  std::uint32_t num_vars() const noexcept { return num_vars_; }
+  std::size_t num_clauses() const noexcept { return clauses_.size(); }
+  const std::vector<Clause>& clauses() const noexcept { return clauses_; }
+
+  /// Total number of literal occurrences across all clauses.
+  std::size_t num_literals() const noexcept;
+
+  /// Evaluates the CNF under a complete assignment (index = variable).
+  bool eval(const std::vector<bool>& assignment) const;
+
+ private:
+  std::uint32_t num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace fta::logic

@@ -1,0 +1,71 @@
+#include "logic/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fta::logic {
+
+void write_dimacs(std::ostream& os, const Cnf& cnf,
+                  const std::string& comment) {
+  if (!comment.empty()) os << "c " << comment << '\n';
+  os << "p cnf " << cnf.num_vars() << ' ' << cnf.num_clauses() << '\n';
+  for (const auto& clause : cnf.clauses()) {
+    for (Lit l : clause) os << l.to_dimacs() << ' ';
+    os << "0\n";
+  }
+}
+
+Cnf read_dimacs(std::istream& is) {
+  std::string line;
+  Cnf cnf;
+  bool header_seen = false;
+  std::uint32_t declared_vars = 0;
+  Clause current;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream hs(line);
+      std::string p, fmt;
+      std::size_t nclauses = 0;
+      if (!(hs >> p >> fmt >> declared_vars >> nclauses) || fmt != "cnf") {
+        throw std::runtime_error("dimacs: malformed problem line: " + line);
+      }
+      header_seen = true;
+      cnf.ensure_var(declared_vars == 0 ? 0 : declared_vars - 1);
+      continue;
+    }
+    if (!header_seen) {
+      throw std::runtime_error("dimacs: clause before problem line");
+    }
+    std::istringstream ls(line);
+    std::int64_t v = 0;
+    while (ls >> v) {
+      if (v == 0) {
+        cnf.add_clause(current);
+        current.clear();
+      } else {
+        const auto var = static_cast<Var>((v > 0 ? v : -v) - 1);
+        current.push_back(Lit::make(var, v < 0));
+      }
+    }
+  }
+  if (!current.empty()) {
+    throw std::runtime_error("dimacs: clause not terminated by 0");
+  }
+  return cnf;
+}
+
+std::string to_dimacs_string(const Cnf& cnf) {
+  std::ostringstream os;
+  write_dimacs(os, cnf);
+  return os.str();
+}
+
+Cnf from_dimacs_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_dimacs(is);
+}
+
+}  // namespace fta::logic

@@ -1,0 +1,24 @@
+// DIMACS CNF reading/writing, for interoperability with external SAT
+// tooling and for golden-file tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "logic/cnf.hpp"
+
+namespace fta::logic {
+
+/// Writes `p cnf <vars> <clauses>` followed by one clause per line.
+void write_dimacs(std::ostream& os, const Cnf& cnf,
+                  const std::string& comment = "");
+
+/// Parses a DIMACS CNF document. Throws std::runtime_error on malformed
+/// input. Comment lines (`c ...`) are skipped.
+Cnf read_dimacs(std::istream& is);
+
+/// Convenience string round-trips used by tests.
+std::string to_dimacs_string(const Cnf& cnf);
+Cnf from_dimacs_string(const std::string& text);
+
+}  // namespace fta::logic

@@ -1,0 +1,92 @@
+#include "logic/eval.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace fta::logic {
+
+namespace {
+
+bool eval_rec(const FormulaStore& store, NodeId id,
+              const std::vector<bool>& assignment,
+              std::unordered_map<NodeId, bool>& memo) {
+  if (auto it = memo.find(id); it != memo.end()) return it->second;
+  const FormulaNode& n = store.node(id);
+  bool out = false;
+  switch (n.kind) {
+    case NodeKind::False: out = false; break;
+    case NodeKind::True: out = true; break;
+    case NodeKind::Var:
+      assert(n.payload < assignment.size());
+      out = assignment[n.payload];
+      break;
+    case NodeKind::Not:
+      out = !eval_rec(store, n.children[0], assignment, memo);
+      break;
+    case NodeKind::And:
+      out = true;
+      for (NodeId c : n.children) {
+        if (!eval_rec(store, c, assignment, memo)) {
+          out = false;
+          break;
+        }
+      }
+      break;
+    case NodeKind::Or:
+      out = false;
+      for (NodeId c : n.children) {
+        if (eval_rec(store, c, assignment, memo)) {
+          out = true;
+          break;
+        }
+      }
+      break;
+    case NodeKind::AtLeast: {
+      std::uint32_t count = 0;
+      for (NodeId c : n.children) {
+        if (eval_rec(store, c, assignment, memo)) ++count;
+      }
+      out = count >= n.payload;
+      break;
+    }
+  }
+  memo.emplace(id, out);
+  return out;
+}
+
+}  // namespace
+
+bool eval(const FormulaStore& store, NodeId root,
+          const std::vector<bool>& assignment) {
+  std::unordered_map<NodeId, bool> memo;
+  return eval_rec(store, root, assignment, memo);
+}
+
+std::uint64_t count_models(const FormulaStore& store, NodeId root,
+                           std::uint32_t num_vars) {
+  assert(num_vars <= 26 && "count_models is exhaustive; keep it small");
+  std::uint64_t count = 0;
+  std::vector<bool> assignment(num_vars, false);
+  for (std::uint64_t mask = 0; mask < (1ULL << num_vars); ++mask) {
+    for (std::uint32_t v = 0; v < num_vars; ++v) {
+      assignment[v] = (mask >> v) & 1;
+    }
+    if (eval(store, root, assignment)) ++count;
+  }
+  return count;
+}
+
+bool equivalent(const FormulaStore& store, NodeId a, NodeId b,
+                std::uint32_t num_vars) {
+  assert(num_vars <= 26 && "equivalent is exhaustive; keep it small");
+  std::vector<bool> assignment(num_vars, false);
+  for (std::uint64_t mask = 0; mask < (1ULL << num_vars); ++mask) {
+    for (std::uint32_t v = 0; v < num_vars; ++v) {
+      assignment[v] = (mask >> v) & 1;
+    }
+    if (eval(store, a, assignment) != eval(store, b, assignment)) return false;
+  }
+  return true;
+}
+
+}  // namespace fta::logic

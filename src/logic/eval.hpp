@@ -1,0 +1,26 @@
+// Evaluation and model counting over formula DAGs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.hpp"
+
+namespace fta::logic {
+
+/// Evaluates the formula rooted at `root` under a complete assignment
+/// (assignment[v] is the truth value of variable v). Linear in DAG size.
+bool eval(const FormulaStore& store, NodeId root,
+          const std::vector<bool>& assignment);
+
+/// Exhaustively counts satisfying assignments over variables [0, num_vars).
+/// Exponential — intended for cross-checks on small formulas in tests.
+std::uint64_t count_models(const FormulaStore& store, NodeId root,
+                           std::uint32_t num_vars);
+
+/// True iff `a` and `b` agree on every assignment over [0, num_vars).
+/// Exponential — test helper.
+bool equivalent(const FormulaStore& store, NodeId a, NodeId b,
+                std::uint32_t num_vars);
+
+}  // namespace fta::logic

@@ -1,0 +1,371 @@
+#include "logic/formula.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+
+namespace fta::logic {
+
+std::size_t FormulaStore::NodeHash::operator()(NodeId id) const noexcept {
+  const FormulaNode& n = (*nodes)[id];
+  std::size_t h = static_cast<std::size_t>(n.kind) * 0x9e3779b97f4a7c15ULL;
+  h ^= n.payload + 0x9e3779b9u + (h << 6) + (h >> 2);
+  for (NodeId c : n.children) h ^= c + 0x9e3779b9u + (h << 6) + (h >> 2);
+  return h;
+}
+
+bool FormulaStore::NodeEq::operator()(NodeId a, NodeId b) const noexcept {
+  const FormulaNode& na = (*nodes)[a];
+  const FormulaNode& nb = (*nodes)[b];
+  return na.kind == nb.kind && na.payload == nb.payload &&
+         na.children == nb.children;
+}
+
+FormulaStore::FormulaStore()
+    : unique_(16, NodeHash{&nodes_}, NodeEq{&nodes_}) {
+  false_node_ = intern(NodeKind::False, 0, {});
+  true_node_ = intern(NodeKind::True, 0, {});
+}
+
+NodeId FormulaStore::intern(NodeKind kind, std::uint32_t payload,
+                            std::vector<NodeId> children) {
+  nodes_.push_back(FormulaNode{kind, payload, std::move(children)});
+  const NodeId candidate = static_cast<NodeId>(nodes_.size() - 1);
+  auto [it, inserted] = unique_.insert({candidate, candidate});
+  if (!inserted) {
+    nodes_.pop_back();
+    return it->second;
+  }
+  return candidate;
+}
+
+NodeId FormulaStore::var(Var v) {
+  num_vars_ = std::max(num_vars_, v + 1);
+  return intern(NodeKind::Var, v, {});
+}
+
+NodeId FormulaStore::nary(NodeKind kind, std::span<const NodeId> children) {
+  assert(kind == NodeKind::And || kind == NodeKind::Or);
+  const bool is_and = kind == NodeKind::And;
+  const NodeId absorbing = is_and ? false_node_ : true_node_;
+  const NodeId identity = is_and ? true_node_ : false_node_;
+
+  std::vector<NodeId> flat;
+  flat.reserve(children.size());
+  for (NodeId c : children) {
+    if (c == absorbing) return absorbing;
+    if (c == identity) continue;
+    if (nodes_[c].kind == kind) {
+      // Flatten nested gates of the same kind: And(And(a,b),c) = And(a,b,c).
+      for (NodeId g : nodes_[c].children) flat.push_back(g);
+    } else {
+      flat.push_back(c);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  // x & ~x = false, x | ~x = true.
+  for (NodeId c : flat) {
+    if (nodes_[c].kind == NodeKind::Not &&
+        std::binary_search(flat.begin(), flat.end(), nodes_[c].children[0])) {
+      return absorbing;
+    }
+  }
+  if (flat.empty()) return identity;
+  if (flat.size() == 1) return flat[0];
+  return intern(kind, 0, std::move(flat));
+}
+
+NodeId FormulaStore::land(std::span<const NodeId> children) {
+  return nary(NodeKind::And, children);
+}
+
+NodeId FormulaStore::lor(std::span<const NodeId> children) {
+  return nary(NodeKind::Or, children);
+}
+
+NodeId FormulaStore::lnot(NodeId child) {
+  const FormulaNode& n = nodes_[child];
+  if (n.kind == NodeKind::False) return true_node_;
+  if (n.kind == NodeKind::True) return false_node_;
+  if (n.kind == NodeKind::Not) return n.children[0];  // double negation
+  return intern(NodeKind::Not, 0, {child});
+}
+
+NodeId FormulaStore::at_least(std::uint32_t k,
+                              std::span<const NodeId> children) {
+  std::vector<NodeId> kept;
+  kept.reserve(children.size());
+  std::uint32_t already_true = 0;
+  for (NodeId c : children) {
+    if (c == true_node_) {
+      ++already_true;
+    } else if (c != false_node_) {
+      kept.push_back(c);
+    }
+  }
+  k = (k > already_true) ? k - already_true : 0;
+  if (k == 0) return true_node_;
+  if (k > kept.size()) return false_node_;
+  if (k == 1) return lor(kept);
+  if (k == kept.size()) return land(kept);
+  std::sort(kept.begin(), kept.end());
+  // Note: duplicates are deliberately kept — AtLeast counts occurrences.
+  return intern(NodeKind::AtLeast, k, std::move(kept));
+}
+
+namespace {
+
+/// Memoized bottom-up rewrite driver shared by the transformations below.
+/// `fn(store, node, rewritten_children)` builds the replacement node.
+template <typename Fn>
+NodeId rewrite(FormulaStore& store, NodeId root, Fn&& fn,
+               std::unordered_map<NodeId, NodeId>& memo) {
+  if (auto it = memo.find(root); it != memo.end()) return it->second;
+  const FormulaNode& n = store.node(root);
+  std::vector<NodeId> kids;
+  kids.reserve(n.children.size());
+  for (NodeId c : n.children) kids.push_back(rewrite(store, c, fn, memo));
+  const NodeId out = fn(root, kids);
+  memo.emplace(root, out);
+  return out;
+}
+
+}  // namespace
+
+NodeId FormulaStore::negate_nnf(NodeId root) {
+  // memo over (node, polarity); encode polarity in the key's low bit.
+  std::unordered_map<std::uint64_t, NodeId> memo;
+  // pol=true means "produce node equivalent to the subformula",
+  // pol=false means "produce its negation".
+  std::function<NodeId(NodeId, bool)> go = [&](NodeId id, bool pol) -> NodeId {
+    const std::uint64_t key = (static_cast<std::uint64_t>(id) << 1) |
+                              static_cast<std::uint64_t>(pol);
+    if (auto it = memo.find(key); it != memo.end()) return it->second;
+    const FormulaNode n = nodes_[id];  // copy: store may reallocate below
+    NodeId out = kNoNode;
+    switch (n.kind) {
+      case NodeKind::False:
+        out = constant(!pol ? true : false);
+        break;
+      case NodeKind::True:
+        out = constant(pol);
+        break;
+      case NodeKind::Var:
+        out = pol ? id : lnot(id);
+        break;
+      case NodeKind::Not:
+        out = go(n.children[0], !pol);
+        break;
+      case NodeKind::And:
+      case NodeKind::Or: {
+        std::vector<NodeId> kids;
+        kids.reserve(n.children.size());
+        for (NodeId c : n.children) kids.push_back(go(c, pol));
+        const bool make_and = (n.kind == NodeKind::And) == pol;
+        out = make_and ? land(kids) : lor(kids);
+        break;
+      }
+      case NodeKind::AtLeast: {
+        std::vector<NodeId> kids;
+        kids.reserve(n.children.size());
+        for (NodeId c : n.children) kids.push_back(go(c, pol));
+        const auto cnt = static_cast<std::uint32_t>(n.children.size());
+        // ¬AtLeast(k, xs) == AtLeast(n-k+1, ¬xs).
+        const std::uint32_t k = pol ? n.payload : cnt - n.payload + 1;
+        out = at_least(k, kids);
+        break;
+      }
+    }
+    memo.emplace(key, out);
+    return out;
+  };
+  return go(root, /*pol=*/false);
+}
+
+NodeId FormulaStore::dualize(NodeId root) {
+  std::unordered_map<NodeId, NodeId> memo;
+  return rewrite(
+      *this, root,
+      [this](NodeId id, const std::vector<NodeId>& kids) -> NodeId {
+        const FormulaNode& n = nodes_[id];
+        switch (n.kind) {
+          case NodeKind::False: return true_node_;
+          case NodeKind::True: return false_node_;
+          case NodeKind::Var: return id;
+          case NodeKind::Not: return lnot(kids[0]);
+          case NodeKind::And: return lor(kids);
+          case NodeKind::Or: return land(kids);
+          case NodeKind::AtLeast: {
+            const auto cnt = static_cast<std::uint32_t>(kids.size());
+            return at_least(cnt - n.payload + 1, kids);
+          }
+        }
+        return kNoNode;
+      },
+      memo);
+}
+
+NodeId FormulaStore::lower_at_least(NodeId root) {
+  std::unordered_map<NodeId, NodeId> memo;
+  // Memoized suffix recursion shared across all AtLeast nodes:
+  // atleast(k, xs[i..]) keyed on (children-vector identity, i, k).
+  // Implemented per-node; sharing within a node is what matters for size.
+  return rewrite(
+      *this, root,
+      [this](NodeId id, const std::vector<NodeId>& kids) -> NodeId {
+        const FormulaNode& n = nodes_[id];
+        switch (n.kind) {
+          case NodeKind::False:
+          case NodeKind::True:
+          case NodeKind::Var:
+            return id;
+          case NodeKind::Not:
+            return lnot(kids[0]);
+          case NodeKind::And:
+            return land(kids);
+          case NodeKind::Or:
+            return lor(kids);
+          case NodeKind::AtLeast: {
+            const std::uint32_t total_k = n.payload;
+            const auto cnt = kids.size();
+            // table[i][j] = atleast(j, kids[i..]) built right-to-left.
+            // j ranges 0..total_k; table stored densely.
+            std::vector<std::vector<NodeId>> table(
+                cnt + 1, std::vector<NodeId>(total_k + 1, kNoNode));
+            for (std::uint32_t j = 0; j <= total_k; ++j) {
+              table[cnt][j] = constant(j == 0);
+            }
+            for (std::size_t i = cnt; i-- > 0;) {
+              table[i][0] = constant(true);
+              for (std::uint32_t j = 1; j <= total_k; ++j) {
+                // atleast(j, xs[i..]) = (xs[i] & atleast(j-1, xs[i+1..]))
+                //                     | atleast(j, xs[i+1..])
+                table[i][j] = lor({land({kids[i], table[i + 1][j - 1]}),
+                                   table[i + 1][j]});
+              }
+            }
+            return table[0][total_k];
+          }
+        }
+        return kNoNode;
+      },
+      memo);
+}
+
+NodeId FormulaStore::substitute(NodeId root,
+                                const std::vector<NodeId>& replacement) {
+  std::unordered_map<NodeId, NodeId> memo;
+  return rewrite(
+      *this, root,
+      [this, &replacement](NodeId id, const std::vector<NodeId>& kids)
+          -> NodeId {
+        const FormulaNode& n = nodes_[id];
+        switch (n.kind) {
+          case NodeKind::False:
+          case NodeKind::True:
+            return id;
+          case NodeKind::Var:
+            if (n.payload < replacement.size() &&
+                replacement[n.payload] != kNoNode) {
+              return replacement[n.payload];
+            }
+            return id;
+          case NodeKind::Not: return lnot(kids[0]);
+          case NodeKind::And: return land(kids);
+          case NodeKind::Or: return lor(kids);
+          case NodeKind::AtLeast: return at_least(n.payload, kids);
+        }
+        return kNoNode;
+      },
+      memo);
+}
+
+bool FormulaStore::is_monotone(NodeId root) const {
+  std::vector<NodeId> stack{root};
+  std::unordered_map<NodeId, bool> seen;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (seen.count(id)) continue;
+    seen.emplace(id, true);
+    const FormulaNode& n = nodes_[id];
+    if (n.kind == NodeKind::Not) return false;
+    for (NodeId c : n.children) stack.push_back(c);
+  }
+  return true;
+}
+
+FormulaStats FormulaStore::stats(NodeId root) const {
+  FormulaStats s;
+  std::unordered_map<NodeId, std::size_t> depth;  // also the visited set
+  std::vector<Var> vars;
+  // Iterative post-order to avoid recursion depth issues on deep chains.
+  std::vector<std::pair<NodeId, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    if (depth.count(id)) continue;
+    const FormulaNode& n = nodes_[id];
+    if (!expanded) {
+      stack.push_back({id, true});
+      for (NodeId c : n.children) {
+        if (!depth.count(c)) stack.push_back({c, false});
+      }
+      continue;
+    }
+    std::size_t d = 0;
+    for (NodeId c : n.children) d = std::max(d, depth[c] + 1);
+    depth[id] = d;
+    ++s.nodes;
+    switch (n.kind) {
+      case NodeKind::Var: vars.push_back(n.payload); break;
+      case NodeKind::Not:
+      case NodeKind::And:
+      case NodeKind::Or:
+      case NodeKind::AtLeast: ++s.gates; break;
+      default: break;
+    }
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  s.vars = vars.size();
+  s.max_depth = depth[root];
+  return s;
+}
+
+std::string FormulaStore::to_string(NodeId root) const {
+  const FormulaNode& n = nodes_[root];
+  switch (n.kind) {
+    case NodeKind::False: return "0";
+    case NodeKind::True: return "1";
+    case NodeKind::Var: return "x" + std::to_string(n.payload);
+    case NodeKind::Not: {
+      std::string out = "~";
+      out += to_string(n.children[0]);
+      return out;
+    }
+    case NodeKind::And:
+    case NodeKind::Or: {
+      const char* op = n.kind == NodeKind::And ? " & " : " | ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < n.children.size(); ++i) {
+        if (i) out += op;
+        out += to_string(n.children[i]);
+      }
+      return out + ")";
+    }
+    case NodeKind::AtLeast: {
+      std::string out = "atleast" + std::to_string(n.payload) + "(";
+      for (std::size_t i = 0; i < n.children.size(); ++i) {
+        if (i) out += ", ";
+        out += to_string(n.children[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace fta::logic

@@ -1,0 +1,135 @@
+// Boolean formula DAGs with structural sharing (hash-consing).
+//
+// Fault trees, their success-tree complements and intermediate rewrites are
+// all represented as nodes in a FormulaStore. Node kinds cover the gates
+// the library supports: variables, NOT, n-ary AND / OR, and AtLeast(k)
+// ("k-of-n" voting gates). Constants True/False appear during folding.
+//
+// The store is append-only; NodeIds are stable and cheap to copy. Identical
+// subterms are shared, which keeps dualization (fault tree <-> success
+// tree) and k-of-n lowering polynomial.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/lit.hpp"
+
+namespace fta::logic {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+enum class NodeKind : std::uint8_t {
+  False,
+  True,
+  Var,      // leaf; payload = variable index
+  Not,      // 1 child
+  And,      // >= 1 children
+  Or,       // >= 1 children
+  AtLeast,  // payload = k, children = inputs; true iff >= k children true
+};
+
+struct FormulaNode {
+  NodeKind kind;
+  std::uint32_t payload;          // Var index for Var, k for AtLeast, else 0.
+  std::vector<NodeId> children;   // Empty for leaves/constants.
+};
+
+/// Statistics describing a formula rooted at some node.
+struct FormulaStats {
+  std::size_t nodes = 0;       // distinct DAG nodes reachable from the root
+  std::size_t vars = 0;        // distinct variables
+  std::size_t gates = 0;       // AND/OR/NOT/AtLeast nodes
+  std::size_t max_depth = 0;   // longest root-to-leaf path
+};
+
+class FormulaStore {
+ public:
+  FormulaStore();
+
+  // --- node constructors (hash-consed; n-ary ops are flattened, children
+  //     deduplicated and constant-folded) -------------------------------
+
+  NodeId constant(bool value) const noexcept {
+    return value ? true_node_ : false_node_;
+  }
+  NodeId var(Var v);
+  NodeId land(std::span<const NodeId> children);
+  NodeId lor(std::span<const NodeId> children);
+  NodeId lnot(NodeId child);
+  NodeId at_least(std::uint32_t k, std::span<const NodeId> children);
+
+  NodeId land(std::initializer_list<NodeId> c) {
+    return land(std::span<const NodeId>(c.begin(), c.size()));
+  }
+  NodeId lor(std::initializer_list<NodeId> c) {
+    return lor(std::span<const NodeId>(c.begin(), c.size()));
+  }
+  NodeId at_least(std::uint32_t k, std::initializer_list<NodeId> c) {
+    return at_least(k, std::span<const NodeId>(c.begin(), c.size()));
+  }
+
+  // --- access -----------------------------------------------------------
+
+  const FormulaNode& node(NodeId id) const { return nodes_[id]; }
+  std::size_t size() const noexcept { return nodes_.size(); }
+  std::uint32_t num_vars() const noexcept { return num_vars_; }
+
+  // --- structural transformations ---------------------------------------
+
+  /// Negation pushed to the leaves (NNF): gates are dualized via De Morgan;
+  /// ¬AtLeast(k, xs) becomes AtLeast(n-k+1, ¬xs). Returns a node equivalent
+  /// to ¬root.
+  NodeId negate_nnf(NodeId root);
+
+  /// The paper's Step-1 "success tree" gate flip: swaps AND<->OR (and
+  /// AtLeast(k) -> AtLeast(n-k+1)) while keeping every variable positive.
+  /// For a monotone root this equals negate_nnf with all leaf negations
+  /// stripped — i.e. Y(t) in the paper, where y_i renames ¬x_i.
+  NodeId dualize(NodeId root);
+
+  /// Rewrites every AtLeast node into shared AND/OR structure using the
+  /// recursion atleast(k, x1..xn) = (x1 ∧ atleast(k-1, x2..xn)) ∨
+  /// atleast(k, x2..xn), memoized so the result is the O(n·k)
+  /// sequential-counter DAG. Other nodes are preserved.
+  NodeId lower_at_least(NodeId root);
+
+  /// Substitutes variables: any Var v with replacement[v] != kNoNode becomes
+  /// that node. Useful for composing trees and for conditioning.
+  NodeId substitute(NodeId root, const std::vector<NodeId>& replacement);
+
+  /// True if no NOT appears and every gate is AND/OR/AtLeast over
+  /// positive leaves (i.e. the function is monotone by construction).
+  bool is_monotone(NodeId root) const;
+
+  FormulaStats stats(NodeId root) const;
+
+  /// Human-readable rendering, e.g. "((x1 & x2) | x3)".
+  std::string to_string(NodeId root) const;
+
+ private:
+  NodeId intern(NodeKind kind, std::uint32_t payload,
+                std::vector<NodeId> children);
+  NodeId nary(NodeKind kind, std::span<const NodeId> children);
+
+  struct NodeHash {
+    const std::vector<FormulaNode>* nodes;
+    std::size_t operator()(NodeId id) const noexcept;
+  };
+  struct NodeEq {
+    const std::vector<FormulaNode>* nodes;
+    bool operator()(NodeId a, NodeId b) const noexcept;
+  };
+
+  std::vector<FormulaNode> nodes_;
+  std::unordered_map<NodeId, NodeId, NodeHash, NodeEq> unique_;
+  NodeId false_node_;
+  NodeId true_node_;
+  std::uint32_t num_vars_ = 0;
+};
+
+}  // namespace fta::logic

@@ -1,0 +1,95 @@
+// Propositional variables and literals shared by the CNF container, the
+// CDCL solver and the MaxSAT layer.
+//
+// Variables are dense 0-based indices. A literal packs a variable and a
+// sign into one 32-bit integer (MiniSat convention: lit = 2*var + sign,
+// sign bit set means negated). Index() is directly usable for watch lists
+// and assignment arrays.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fta::logic {
+
+using Var = std::uint32_t;
+
+inline constexpr Var kNoVar = 0xffffffffu;
+
+class Lit {
+ public:
+  constexpr Lit() noexcept : code_(0xffffffffu) {}
+
+  static constexpr Lit make(Var v, bool negated = false) noexcept {
+    return Lit((v << 1) | static_cast<std::uint32_t>(negated));
+  }
+
+  /// Positive literal of variable v.
+  static constexpr Lit pos(Var v) noexcept { return make(v, false); }
+  /// Negative literal of variable v.
+  static constexpr Lit neg(Var v) noexcept { return make(v, true); }
+
+  constexpr Var var() const noexcept { return code_ >> 1; }
+  constexpr bool negated() const noexcept { return (code_ & 1u) != 0; }
+  constexpr Lit operator~() const noexcept { return Lit(code_ ^ 1u); }
+
+  /// Dense index in [0, 2*num_vars): suitable for direct array indexing.
+  constexpr std::uint32_t index() const noexcept { return code_; }
+
+  static constexpr Lit from_index(std::uint32_t idx) noexcept {
+    return Lit(idx);
+  }
+
+  constexpr bool valid() const noexcept { return code_ != 0xffffffffu; }
+
+  friend constexpr bool operator==(Lit a, Lit b) noexcept {
+    return a.code_ == b.code_;
+  }
+  friend constexpr bool operator!=(Lit a, Lit b) noexcept {
+    return a.code_ != b.code_;
+  }
+  friend constexpr bool operator<(Lit a, Lit b) noexcept {
+    return a.code_ < b.code_;
+  }
+
+  /// DIMACS-style signed integer (1-based, negative when negated).
+  constexpr std::int64_t to_dimacs() const noexcept {
+    const auto v = static_cast<std::int64_t>(var()) + 1;
+    return negated() ? -v : v;
+  }
+
+  std::string to_string() const {
+    return std::to_string(to_dimacs());
+  }
+
+ private:
+  constexpr explicit Lit(std::uint32_t code) noexcept : code_(code) {}
+  std::uint32_t code_;
+};
+
+inline constexpr Lit kNoLit{};
+
+/// Tri-state truth value used by solvers (true / false / unassigned).
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline constexpr LBool lbool_of(bool b) noexcept {
+  return b ? LBool::True : LBool::False;
+}
+
+/// Truth value of literal `l` given its variable's value `v`.
+inline constexpr LBool lit_value(Lit l, LBool v) noexcept {
+  if (v == LBool::Undef) return LBool::Undef;
+  const bool b = (v == LBool::True) != l.negated();
+  return lbool_of(b);
+}
+
+}  // namespace fta::logic
+
+template <>
+struct std::hash<fta::logic::Lit> {
+  std::size_t operator()(fta::logic::Lit l) const noexcept {
+    return std::hash<std::uint32_t>{}(l.index());
+  }
+};

@@ -1,0 +1,53 @@
+// CNF conversion (the paper's Step 2).
+//
+// The Tseitin transformation introduces one fresh variable per gate and
+// emits defining clauses, producing an equisatisfiable CNF in linear time.
+// Formula variables keep their indices (CNF var v == formula var v); gate
+// auxiliaries are allocated above num_vars().
+//
+// A Plaisted–Greenbaum variant (implication clauses only for the polarity
+// in which each gate occurs) is available as an option, and a naive
+// distributive expansion is provided for the ablation benchmark that
+// motivates Step 2.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "logic/cnf.hpp"
+#include "logic/formula.hpp"
+
+namespace fta::logic {
+
+struct TseitinOptions {
+  /// If true, emit only the clause direction implied by each gate's
+  /// polarity (Plaisted–Greenbaum). Halves clause count; still
+  /// equisatisfiable when the root is asserted.
+  bool polarity_aware = false;
+};
+
+struct TseitinResult {
+  Cnf cnf;
+  /// Literal representing each translated formula node.
+  std::unordered_map<NodeId, Lit> node_lit;
+  /// Literal for the root formula.
+  Lit root{};
+  /// Number of original (formula) variables; CNF vars >= this are gate
+  /// auxiliaries.
+  std::uint32_t num_input_vars = 0;
+};
+
+/// Translates `root` to CNF. If `assert_root`, a unit clause forces the
+/// root literal true, so CNF models restricted to input variables are
+/// exactly the models of the formula. AtLeast gates are lowered to shared
+/// AND/OR structure first (hence the store is taken by reference).
+TseitinResult tseitin(FormulaStore& store, NodeId root,
+                      bool assert_root = true, TseitinOptions opts = {});
+
+/// Naive CNF by distribution — exponential in the worst case. Returns
+/// nullopt once more than `max_clauses` clauses would be produced.
+/// Exists for bench/ablation_tseitin (Step 2's motivation).
+std::optional<Cnf> distributive_cnf(FormulaStore& store, NodeId root,
+                                    std::size_t max_clauses = 1'000'000);
+
+}  // namespace fta::logic

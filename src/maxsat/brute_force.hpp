@@ -1,0 +1,24 @@
+// Exhaustive MaxSAT solver: the reference oracle for tests and tiny
+// instances. Exponential in the variable count; refuses large inputs.
+#pragma once
+
+#include "maxsat/solver.hpp"
+
+namespace fta::maxsat {
+
+class BruteForceSolver final : public MaxSatSolver {
+ public:
+  /// `max_vars` guards against accidental exponential blow-ups; instances
+  /// with more variables yield status Unknown.
+  explicit BruteForceSolver(std::uint32_t max_vars = 24) : max_vars_(max_vars) {}
+
+  MaxSatResult solve(const WcnfInstance& instance,
+                     util::CancelTokenPtr cancel = nullptr) override;
+
+  std::string name() const override { return "brute-force"; }
+
+ private:
+  std::uint32_t max_vars_;
+};
+
+}  // namespace fta::maxsat

@@ -1,0 +1,39 @@
+// Weighted Fu–Malik (WPM1) core-guided MaxSAT.
+//
+// Each UNSAT core splits its soft clauses: the member keeps its weight
+// minus the core minimum, and a clone carrying the minimum weight is
+// relaxed with a fresh variable; an exactly-one constraint over the fresh
+// relaxers admits exactly one "free" violation per core. The lower bound
+// grows by the core minimum per iteration. Included as a classic,
+// structurally different portfolio member (Davies & Bacchus [5] lineage
+// cited by the paper).
+#pragma once
+
+#include "maxsat/solver.hpp"
+#include "sat/solver.hpp"
+
+namespace fta::maxsat {
+
+struct FuMalikOptions {
+  sat::SolverOptions sat;
+  std::uint64_t max_iterations = 0;  ///< 0 = unlimited.
+  /// Clause-growth budget: clause splitting adds clauses every core, so
+  /// adversarial (wide-core) instances are abandoned with Unknown instead
+  /// of thrashing memory; the portfolio's other members cover them.
+  std::size_t max_added_clauses = 4'000'000;
+};
+
+class FuMalikSolver final : public MaxSatSolver {
+ public:
+  explicit FuMalikSolver(FuMalikOptions opts = {}) : opts_(opts) {}
+
+  MaxSatResult solve(const WcnfInstance& instance,
+                     util::CancelTokenPtr cancel = nullptr) override;
+
+  std::string name() const override { return "fu-malik"; }
+
+ private:
+  FuMalikOptions opts_;
+};
+
+}  // namespace fta::maxsat

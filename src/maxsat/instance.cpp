@@ -1,0 +1,127 @@
+#include "maxsat/instance.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fta::maxsat {
+
+void WcnfInstance::add_hard(logic::Clause lits) {
+  for (logic::Lit l : lits) ensure_var(l.var());
+  hard_.push_back(std::move(lits));
+}
+
+void WcnfInstance::add_hard_cnf(const logic::Cnf& cnf) {
+  ensure_var(cnf.num_vars() == 0 ? 0 : cnf.num_vars() - 1);
+  for (const auto& c : cnf.clauses()) hard_.push_back(c);
+}
+
+void WcnfInstance::add_soft(logic::Clause lits, Weight weight) {
+  if (weight == 0) throw std::invalid_argument("soft clause weight must be > 0");
+  for (logic::Lit l : lits) ensure_var(l.var());
+  total_soft_weight_ += weight;
+  soft_.push_back(SoftClause{std::move(lits), weight});
+}
+
+namespace {
+
+bool clause_satisfied(const logic::Clause& clause,
+                      const std::vector<bool>& model) {
+  for (logic::Lit l : clause) {
+    if (model[l.var()] != l.negated()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Weight WcnfInstance::cost_of(const std::vector<bool>& model) const {
+  Weight cost = 0;
+  for (const auto& s : soft_) {
+    if (!clause_satisfied(s.lits, model)) cost += s.weight;
+  }
+  return cost;
+}
+
+bool WcnfInstance::satisfies_hard(const std::vector<bool>& model) const {
+  for (const auto& c : hard_) {
+    if (!clause_satisfied(c, model)) return false;
+  }
+  return true;
+}
+
+void write_wcnf(std::ostream& os, const WcnfInstance& instance,
+                const std::string& comment) {
+  if (!comment.empty()) os << "c " << comment << '\n';
+  const Weight top = instance.total_soft_weight() + 1;
+  os << "p wcnf " << instance.num_vars() << ' '
+     << instance.hard().size() + instance.soft().size() << ' ' << top << '\n';
+  for (const auto& c : instance.hard()) {
+    os << top;
+    for (logic::Lit l : c) os << ' ' << l.to_dimacs();
+    os << " 0\n";
+  }
+  for (const auto& s : instance.soft()) {
+    os << s.weight;
+    for (logic::Lit l : s.lits) os << ' ' << l.to_dimacs();
+    os << " 0\n";
+  }
+}
+
+WcnfInstance read_wcnf(std::istream& is) {
+  std::string line;
+  WcnfInstance instance;
+  bool header_seen = false;
+  Weight top = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream hs(line);
+      std::string p, fmt;
+      std::uint32_t vars = 0;
+      std::size_t clauses = 0;
+      if (!(hs >> p >> fmt >> vars >> clauses >> top) || fmt != "wcnf") {
+        throw std::runtime_error("wcnf: malformed problem line: " + line);
+      }
+      header_seen = true;
+      if (vars > 0) instance.ensure_var(vars - 1);
+      continue;
+    }
+    if (!header_seen) throw std::runtime_error("wcnf: clause before header");
+    std::istringstream ls(line);
+    Weight w = 0;
+    if (!(ls >> w)) throw std::runtime_error("wcnf: missing weight: " + line);
+    logic::Clause clause;
+    std::int64_t v = 0;
+    bool terminated = false;
+    while (ls >> v) {
+      if (v == 0) {
+        terminated = true;
+        break;
+      }
+      const auto var = static_cast<logic::Var>((v > 0 ? v : -v) - 1);
+      clause.push_back(logic::Lit::make(var, v < 0));
+    }
+    if (!terminated) throw std::runtime_error("wcnf: clause not terminated");
+    if (w >= top) {
+      instance.add_hard(std::move(clause));
+    } else {
+      instance.add_soft(std::move(clause), w);
+    }
+  }
+  return instance;
+}
+
+std::string to_wcnf_string(const WcnfInstance& instance) {
+  std::ostringstream os;
+  write_wcnf(os, instance);
+  return os.str();
+}
+
+WcnfInstance from_wcnf_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_wcnf(is);
+}
+
+}  // namespace fta::maxsat

@@ -1,0 +1,44 @@
+// OLL: core-guided Weighted Partial MaxSAT (the RC2/EvalMaxSAT family).
+//
+// Soft clauses become assumption literals. Each UNSAT core raises the
+// lower bound by the core's minimum weight, reduces member weights, and —
+// for cores with several members — introduces a totalizer over the core's
+// violation indicators whose outputs become new (cardinality) soft
+// literals. The first satisfiable call under the remaining assumptions is
+// optimal. This is typically the strongest solver on fault-tree instances
+// with fine-grained log-probability weights.
+#pragma once
+
+#include "maxsat/solver.hpp"
+#include "sat/solver.hpp"
+
+namespace fta::maxsat {
+
+struct OllOptions {
+  sat::SolverOptions sat;
+  /// Optional hard cap on core iterations (0 = unlimited); exceeded =>
+  /// Unknown. A safety valve for adversarial instances.
+  std::uint64_t max_iterations = 0;
+  /// Weight stratification (RC2's Boolean lexicographic heuristic):
+  /// heavy softs are assumed first; lighter strata join only once the
+  /// current set is satisfiable. Often reduces core count drastically on
+  /// instances with wide weight spreads (like scaled -log probabilities).
+  bool stratified = false;
+};
+
+class OllSolver final : public MaxSatSolver {
+ public:
+  explicit OllSolver(OllOptions opts = {}) : opts_(opts) {}
+
+  MaxSatResult solve(const WcnfInstance& instance,
+                     util::CancelTokenPtr cancel = nullptr) override;
+
+  std::string name() const override {
+    return opts_.stratified ? "oll-strat" : "oll";
+  }
+
+ private:
+  OllOptions opts_;
+};
+
+}  // namespace fta::maxsat

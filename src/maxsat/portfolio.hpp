@@ -1,0 +1,62 @@
+// Parallel MaxSAT portfolio (the paper's Step 5).
+//
+// "We have experimentally observed that, quite often, SAT solvers are very
+//  good at some instances and not that good at others. [...] our tool
+//  executes multiple pre-configured solvers in parallel and picks up the
+//  solution of the solver that finishes first."
+//
+// Each member runs in its own thread on its own SAT solver; the first
+// member to return a definitive result (Optimal/Unsatisfiable) wins and
+// the shared cancel token stops the others. Members returning Unknown
+// never win the race.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "maxsat/solver.hpp"
+
+namespace fta::maxsat {
+
+/// Factory producing a fresh solver per solve() call (members are run
+/// concurrently and must not share state).
+using SolverFactory = std::function<MaxSatSolverPtr()>;
+
+struct PortfolioMember {
+  std::string label;
+  SolverFactory make;
+};
+
+struct PortfolioOptions {
+  /// Wall-clock cap; 0 = none. On expiry all members are cancelled and the
+  /// portfolio reports Unknown (with the best incumbent, if any).
+  double timeout_seconds = 0.0;
+};
+
+class PortfolioSolver final : public MaxSatSolver {
+ public:
+  PortfolioSolver(std::vector<PortfolioMember> members,
+                  PortfolioOptions opts = {});
+
+  /// The default lineup: two differently-seeded OLL configurations, a
+  /// Fu-Malik (WPM1) member, and an LSU member.
+  static PortfolioSolver make_default(PortfolioOptions opts = {});
+
+  MaxSatResult solve(const WcnfInstance& instance,
+                     util::CancelTokenPtr cancel = nullptr) override;
+
+  std::string name() const override { return "portfolio"; }
+
+  std::size_t num_members() const noexcept { return members_.size(); }
+
+  /// Runs every member to completion sequentially (no racing): returns all
+  /// results, for the ablation benches comparing member behaviour.
+  std::vector<MaxSatResult> solve_all_members(const WcnfInstance& instance);
+
+ private:
+  std::vector<PortfolioMember> members_;
+  PortfolioOptions opts_;
+};
+
+}  // namespace fta::maxsat

@@ -1,0 +1,153 @@
+#include "maxsat/totalizer.hpp"
+
+#include <cassert>
+
+namespace fta::maxsat {
+
+using logic::Lit;
+
+Totalizer::Totalizer(sat::Solver& solver, std::vector<Lit> inputs,
+                     std::uint32_t initial_bound) {
+  assert(!inputs.empty());
+  num_inputs_ = static_cast<std::uint32_t>(inputs.size());
+  nodes_.reserve(2 * inputs.size());
+  root_ = build(solver, inputs, 0, inputs.size());
+  ensure_bound(solver, std::max(1u, initial_bound));
+}
+
+std::int32_t Totalizer::build(sat::Solver& solver,
+                              const std::vector<Lit>& inputs, std::size_t lo,
+                              std::size_t hi) {
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  if (hi - lo == 1) {
+    Node& leaf = nodes_[static_cast<std::size_t>(id)];
+    leaf.size = 1;
+    leaf.emitted = 1;  // the input literal itself is the only output
+    leaf.outputs = {inputs[lo]};
+    return id;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::int32_t left = build(solver, inputs, lo, mid);
+  const std::int32_t right = build(solver, inputs, mid, hi);
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  n.left = left;
+  n.right = right;
+  n.size = nodes_[static_cast<std::size_t>(left)].size +
+           nodes_[static_cast<std::size_t>(right)].size;
+  return id;
+}
+
+void Totalizer::ensure_bound(sat::Solver& solver, std::uint32_t bound) {
+  bound = std::min(bound, num_inputs_);
+  if (bound <= bound_) return;
+  extend(solver, root_, bound);
+  bound_ = bound;
+}
+
+void Totalizer::extend(sat::Solver& solver, std::int32_t id,
+                       std::uint32_t bound) {
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  const std::uint32_t target = std::min(bound, n.size);
+  if (target <= n.emitted) return;
+  extend(solver, n.left, bound);
+  extend(solver, n.right, bound);
+
+  // Fresh output variables for counts (emitted, target].
+  while (n.outputs.size() < target) {
+    n.outputs.push_back(Lit::pos(solver.new_var()));
+  }
+  const Node& l = nodes_[static_cast<std::size_t>(n.left)];
+  const Node& r = nodes_[static_cast<std::size_t>(n.right)];
+  // (>= i from left) & (>= j from right) -> (>= i+j here), emitted only
+  // for sums in (n.emitted, target] and child counts that exist.
+  const auto li_max = static_cast<std::uint32_t>(l.outputs.size());
+  const auto rj_max = static_cast<std::uint32_t>(r.outputs.size());
+  for (std::uint32_t i = 0; i <= li_max; ++i) {
+    for (std::uint32_t j = 0; j <= rj_max; ++j) {
+      const std::uint32_t sum = i + j;
+      if (sum <= n.emitted || sum > target) continue;
+      std::vector<Lit> clause;
+      if (i > 0) clause.push_back(~l.outputs[i - 1]);
+      if (j > 0) clause.push_back(~r.outputs[j - 1]);
+      clause.push_back(n.outputs[sum - 1]);
+      solver.add_clause(clause);
+    }
+  }
+  n.emitted = target;
+}
+
+Lit Totalizer::at_least(std::uint32_t j) const {
+  assert(j >= 1 && j <= bound_);
+  return nodes_[static_cast<std::size_t>(root_)].outputs.at(j - 1);
+}
+
+std::optional<GeneralizedTotalizer> GeneralizedTotalizer::build(
+    sat::Solver& solver,
+    const std::vector<std::pair<Lit, Weight>>& inputs,
+    std::size_t max_outputs, std::size_t max_clauses,
+    const util::CancelToken* cancel) {
+  assert(!inputs.empty());
+  using Node = std::map<Weight, Lit>;
+  std::vector<Node> nodes;
+  nodes.reserve(inputs.size());
+  std::size_t total_outputs = 0;
+  std::size_t total_clauses = 0;
+  for (const auto& [lit, w] : inputs) {
+    Node leaf;
+    leaf.emplace(w, lit);
+    nodes.push_back(std::move(leaf));
+    ++total_outputs;
+  }
+  while (nodes.size() > 1) {
+    std::vector<Node> next;
+    next.reserve(nodes.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < nodes.size(); i += 2) {
+      if (cancel && cancel->cancelled()) return std::nullopt;
+      const Node& a = nodes[i];
+      const Node& b = nodes[i + 1];
+      // Clause count of this merge is |a| + |b| + |a|*|b|; refuse before
+      // allocating when it would bust the budget.
+      total_clauses += a.size() + b.size() + a.size() * b.size();
+      if (total_clauses > max_clauses) return std::nullopt;
+      // Attainable sums of the merged node: sums of a, sums of b, and all
+      // pairwise combinations.
+      Node merged;
+      auto output_for = [&](Weight sum) -> Lit {
+        auto it = merged.find(sum);
+        if (it != merged.end()) return it->second;
+        const Lit o = Lit::pos(solver.new_var());
+        merged.emplace(sum, o);
+        ++total_outputs;
+        return o;
+      };
+      for (const auto& [wa, la] : a) {
+        solver.add_clause({~la, output_for(wa)});
+      }
+      for (const auto& [wb, lb] : b) {
+        solver.add_clause({~lb, output_for(wb)});
+      }
+      for (const auto& [wa, la] : a) {
+        for (const auto& [wb, lb] : b) {
+          solver.add_clause({~la, ~lb, output_for(wa + wb)});
+        }
+      }
+      if (total_outputs > max_outputs) return std::nullopt;
+      next.push_back(std::move(merged));
+    }
+    if (nodes.size() % 2 == 1) next.push_back(std::move(nodes.back()));
+    nodes = std::move(next);
+  }
+  GeneralizedTotalizer gte;
+  gte.root_ = std::move(nodes.front());
+  return gte;
+}
+
+void GeneralizedTotalizer::assert_upper_bound(sat::Solver& solver,
+                                              Weight bound) const {
+  for (auto it = root_.upper_bound(bound); it != root_.end(); ++it) {
+    solver.add_clause({~it->second});
+  }
+}
+
+}  // namespace fta::maxsat

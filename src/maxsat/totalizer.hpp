@@ -1,0 +1,103 @@
+// Cardinality and pseudo-Boolean counting encodings.
+//
+// Totalizer (Bailleux & Boutobza): given input literals l_1..l_n, creates
+// output variables o_1..o_n such that the clauses entail
+// (#true inputs >= j) -> o_j. Assuming ~o_j therefore constrains the count
+// below j. The one-directional form is the standard choice for core-guided
+// MaxSAT (OLL) and for upper-bound tightening.
+//
+// GeneralizedTotalizer: the weighted analogue; each node tracks the set of
+// attainable weight sums, with one output variable per distinct sum. Sum
+// sets can grow combinatorially for many distinct weights, so construction
+// takes a node budget and reports failure instead of exploding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "logic/lit.hpp"
+#include "sat/solver.hpp"
+#include "util/cancel.hpp"
+
+namespace fta::maxsat {
+
+using Weight = std::uint64_t;
+
+/// Unweighted incremental totalizer (the ITotalizer of RC2/open-wbo).
+///
+/// Output variables and their defining clauses are materialised lazily up
+/// to the currently requested bound: counting k-out-of-n costs O(n·k)
+/// clauses instead of the O(n²) of the full encoding. Core-guided MaxSAT
+/// typically needs tiny bounds even over huge cores, which makes this the
+/// difference between milliseconds and out-of-memory on wide instances
+/// (e.g. trees whose top OR spans a thousand redundant subsystems).
+class Totalizer {
+ public:
+  /// Builds the counting tree and materialises outputs up to
+  /// `initial_bound` (clamped to [1, n]).
+  Totalizer(sat::Solver& solver, std::vector<logic::Lit> inputs,
+            std::uint32_t initial_bound);
+
+  std::size_t size() const noexcept { return num_inputs_; }
+
+  /// Outputs materialised so far (at_least(j) valid for j <= this).
+  std::uint32_t materialized_bound() const noexcept { return bound_; }
+
+  /// Extends the materialised outputs/clauses up to `bound` (clamped to
+  /// size()). Monotone; no-op when already covered.
+  void ensure_bound(sat::Solver& solver, std::uint32_t bound);
+
+  /// Literal implied true when at least `j` inputs are true (1-based;
+  /// requires j <= materialized_bound()).
+  logic::Lit at_least(std::uint32_t j) const;
+
+ private:
+  struct Node {
+    std::int32_t left = -1;    // child node ids; -1 for leaves
+    std::int32_t right = -1;
+    std::uint32_t size = 0;    // inputs below this node
+    std::uint32_t emitted = 0; // bound covered by emitted clauses
+    std::vector<logic::Lit> outputs;  // outputs[j-1] = "at least j"
+  };
+
+  std::int32_t build(sat::Solver& solver,
+                     const std::vector<logic::Lit>& inputs, std::size_t lo,
+                     std::size_t hi);
+  void extend(sat::Solver& solver, std::int32_t id, std::uint32_t bound);
+
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::uint32_t num_inputs_ = 0;
+  std::uint32_t bound_ = 0;
+};
+
+/// Weighted totalizer. Output map: attainable sum -> literal implied true
+/// when the weighted sum of true inputs reaches that value.
+class GeneralizedTotalizer {
+ public:
+  /// Returns nullopt if the number of distinct sums exceeds `max_outputs`,
+  /// the emitted clauses exceed `max_clauses` (merges are quadratic in the
+  /// children's sum counts, so clauses can explode long before outputs
+  /// do), or `cancel` fires mid-construction.
+  static std::optional<GeneralizedTotalizer> build(
+      sat::Solver& solver, const std::vector<std::pair<logic::Lit, Weight>>& inputs,
+      std::size_t max_outputs = 100'000, std::size_t max_clauses = 2'000'000,
+      const util::CancelToken* cancel = nullptr);
+
+  /// sum -> output literal (o true when weighted count >= sum).
+  const std::map<Weight, logic::Lit>& outputs() const noexcept {
+    return root_;
+  }
+
+  /// Asserts (as unit clauses) that the weighted sum is <= bound: every
+  /// output for a sum exceeding `bound` is forced false. Monotone: may be
+  /// called repeatedly with decreasing bounds.
+  void assert_upper_bound(sat::Solver& solver, Weight bound) const;
+
+ private:
+  std::map<Weight, logic::Lit> root_;
+};
+
+}  // namespace fta::maxsat

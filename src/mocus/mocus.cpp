@@ -1,0 +1,138 @@
+#include "mocus/mocus.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace fta::mocus {
+
+using ft::CutSet;
+using ft::FaultTree;
+using ft::NodeIndex;
+using ft::NodeType;
+
+namespace {
+
+/// Sorted node-index set with `extra` spliced in (deduplicated).
+std::vector<NodeIndex> merged(const std::vector<NodeIndex>& base,
+                              std::size_t drop_pos,
+                              const std::vector<NodeIndex>& extra) {
+  std::vector<NodeIndex> out;
+  out.reserve(base.size() - 1 + extra.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (i != drop_pos) out.push_back(base[i]);
+  }
+  out.insert(out.end(), extra.begin(), extra.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+MocusResult mocus(const FaultTree& tree, MocusOptions opts) {
+  tree.validate();
+  MocusResult result;
+
+  std::deque<std::vector<NodeIndex>> work;
+  std::set<std::vector<NodeIndex>> seen;
+  std::vector<std::vector<NodeIndex>> resolved;  // only basic events left
+
+  work.push_back({tree.top()});
+  seen.insert(work.back());
+
+  auto push = [&](std::vector<NodeIndex> s) -> bool {
+    if (seen.insert(s).second) {
+      work.push_back(std::move(s));
+      if (seen.size() > opts.max_sets) {
+        result.complete = false;
+        return false;
+      }
+    }
+    return true;
+  };
+
+  while (!work.empty() && result.complete) {
+    result.peak_sets = std::max(result.peak_sets, work.size());
+    std::vector<NodeIndex> s = std::move(work.front());
+    work.pop_front();
+
+    // Find a gate to expand (sets are over node indices; events stay).
+    std::size_t gate_pos = s.size();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (tree.node(s[i]).type != NodeType::BasicEvent) {
+        gate_pos = i;
+        break;
+      }
+    }
+    if (gate_pos == s.size()) {
+      resolved.push_back(std::move(s));
+      continue;
+    }
+
+    const ft::Node& gate = tree.node(s[gate_pos]);
+    switch (gate.type) {
+      case NodeType::And:
+        if (!push(merged(s, gate_pos, gate.children))) break;
+        break;
+      case NodeType::Or:
+        for (NodeIndex c : gate.children) {
+          if (!push(merged(s, gate_pos, {c}))) break;
+        }
+        break;
+      case NodeType::Vote: {
+        // One successor per k-combination of the children.
+        const std::size_t n = gate.children.size();
+        const std::uint32_t k = gate.k;
+        std::vector<std::size_t> idx(k);
+        for (std::uint32_t i = 0; i < k; ++i) idx[i] = i;
+        while (true) {
+          std::vector<NodeIndex> combo;
+          combo.reserve(k);
+          for (std::size_t i : idx) combo.push_back(gate.children[i]);
+          if (!push(merged(s, gate_pos, combo))) break;
+          // Advance to the next k-combination (lexicographic).
+          std::ptrdiff_t i = static_cast<std::ptrdiff_t>(k) - 1;
+          while (i >= 0 &&
+                 idx[static_cast<std::size_t>(i)] ==
+                     static_cast<std::size_t>(i) + n - k) {
+            --i;
+          }
+          if (i < 0) break;
+          ++idx[static_cast<std::size_t>(i)];
+          for (std::size_t j = static_cast<std::size_t>(i) + 1; j < k; ++j) {
+            idx[j] = idx[j - 1] + 1;
+          }
+        }
+        break;
+      }
+      case NodeType::BasicEvent:
+        break;  // unreachable: gate_pos selects non-events
+    }
+  }
+
+  // Convert resolved node sets to event-index cut sets and minimise
+  // (absorption law).
+  std::vector<CutSet> cuts;
+  cuts.reserve(resolved.size());
+  for (const auto& s : resolved) {
+    std::vector<ft::EventIndex> events;
+    events.reserve(s.size());
+    for (NodeIndex id : s) events.push_back(tree.node(id).event_index);
+    cuts.emplace_back(std::move(events));
+  }
+  result.cut_sets = ft::minimize_family(std::move(cuts));
+  return result;
+}
+
+std::optional<std::pair<CutSet, double>> mpmcs_exhaustive(
+    const FaultTree& tree, MocusOptions opts) {
+  const MocusResult r = mocus(tree, opts);
+  if (!r.complete) return std::nullopt;
+  const std::ptrdiff_t best = ft::argmax_probability(tree, r.cut_sets);
+  if (best < 0) return std::nullopt;
+  const CutSet& cs = r.cut_sets[static_cast<std::size_t>(best)];
+  return std::make_pair(cs, cs.probability(tree));
+}
+
+}  // namespace fta::mocus

@@ -1,0 +1,43 @@
+// MOCUS: the classical top-down minimal-cut-set algorithm (Fussell &
+// Vesely, 1972 lineage). The qualitative-FTA baseline the MaxSAT approach
+// is compared against.
+//
+// Works on families of node sets: starting from {top}, OR gates fan a set
+// out into one copy per child, AND gates splice all children into the same
+// set, and k-of-n gates fan out into every k-combination. When only basic
+// events remain, absorption (superset removal) yields the MCSs. The
+// intermediate family can blow up combinatorially — `max_sets` caps it and
+// the result reports truncation honestly.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ft/cut_set.hpp"
+#include "ft/fault_tree.hpp"
+
+namespace fta::mocus {
+
+struct MocusOptions {
+  /// Cap on the working family size; exceeded => result.complete = false.
+  std::size_t max_sets = 1'000'000;
+};
+
+struct MocusResult {
+  std::vector<ft::CutSet> cut_sets;  ///< Minimal cut sets (sorted).
+  bool complete = true;              ///< False if max_sets was hit.
+  std::size_t peak_sets = 0;         ///< Largest intermediate family seen.
+};
+
+/// Enumerates the minimal cut sets of the tree.
+MocusResult mocus(const ft::FaultTree& tree, MocusOptions opts = {});
+
+/// Exhaustive MPMCS baseline: enumerate all MCSs with MOCUS and take the
+/// probability argmax. nullopt if enumeration was truncated or no cut
+/// exists.
+std::optional<std::pair<ft::CutSet, double>> mpmcs_exhaustive(
+    const ft::FaultTree& tree, MocusOptions opts = {});
+
+}  // namespace fta::mocus

@@ -1,0 +1,14 @@
+#include "sat/clause_arena.hpp"
+
+namespace fta::sat {
+
+ClauseRef ClauseArena::alloc(std::span<const Lit> lits, bool learnt) {
+  const auto ref = static_cast<ClauseRef>(buf_.size());
+  buf_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                 (learnt ? 1u : 0u));
+  buf_.push_back(0);  // LBD slot
+  for (Lit l : lits) buf_.push_back(l.index());
+  return ref;
+}
+
+}  // namespace fta::sat

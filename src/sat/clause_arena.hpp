@@ -1,0 +1,100 @@
+// Contiguous clause storage for the CDCL solver.
+//
+// Clauses live in one flat uint32_t buffer and are addressed by ClauseRef
+// (an offset), the classic MiniSat layout: a small header (size, learnt
+// flag, activity/LBD for learnt clauses) followed by the literals. This
+// keeps propagation cache-friendly and makes garbage collection a simple
+// compacting copy.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "logic/lit.hpp"
+
+namespace fta::sat {
+
+using logic::Lit;
+using logic::Var;
+
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kNoClause = 0xffffffffu;
+
+/// View over a clause stored in the arena. Invalidated by garbage
+/// collection; never hold across reduce_db().
+class ClauseView {
+ public:
+  ClauseView(std::uint32_t* base) noexcept : base_(base) {}
+
+  std::uint32_t size() const noexcept { return base_[0] >> 2; }
+  bool learnt() const noexcept { return (base_[0] & 1u) != 0; }
+  bool deleted() const noexcept { return (base_[0] & 2u) != 0; }
+  void mark_deleted() noexcept { base_[0] |= 2u; }
+
+  /// LBD ("glue") of a learnt clause; meaningless for problem clauses.
+  std::uint32_t lbd() const noexcept { return base_[1]; }
+  void set_lbd(std::uint32_t v) noexcept { base_[1] = v; }
+
+  Lit operator[](std::uint32_t i) const noexcept {
+    return Lit::from_index(base_[2 + i]);
+  }
+  void set(std::uint32_t i, Lit l) noexcept { base_[2 + i] = l.index(); }
+
+  void shrink(std::uint32_t new_size) noexcept {
+    base_[0] = (new_size << 2) | (base_[0] & 3u);
+  }
+
+  std::span<const std::uint32_t> raw_lits() const noexcept {
+    return {base_ + 2, size()};
+  }
+
+ private:
+  std::uint32_t* base_;
+};
+
+class ClauseArena {
+ public:
+  /// Allocates a clause; returns its reference.
+  ClauseRef alloc(std::span<const Lit> lits, bool learnt);
+
+  ClauseView view(ClauseRef ref) noexcept { return ClauseView(&buf_[ref]); }
+  const std::uint32_t* data(ClauseRef ref) const noexcept { return &buf_[ref]; }
+
+  std::size_t wasted() const noexcept { return wasted_; }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  void note_deleted(ClauseRef ref) noexcept {
+    wasted_ += 2 + ClauseView(&buf_[ref]).size();
+  }
+
+  /// Compacts the arena, dropping deleted clauses. `relocate` is invoked
+  /// as relocate(old_ref, new_ref) for every surviving clause so the
+  /// solver can patch watch lists and reason references.
+  template <typename Fn>
+  void collect(Fn&& relocate) {
+    std::vector<std::uint32_t> fresh;
+    fresh.reserve(buf_.size() - wasted_);
+    std::size_t i = 0;
+    while (i < buf_.size()) {
+      ClauseView c(&buf_[i]);
+      const std::size_t len = 2 + c.size();
+      if (!c.deleted()) {
+        const auto new_ref = static_cast<ClauseRef>(fresh.size());
+        fresh.insert(fresh.end(), buf_.begin() + static_cast<std::ptrdiff_t>(i),
+                     buf_.begin() + static_cast<std::ptrdiff_t>(i + len));
+        relocate(static_cast<ClauseRef>(i), new_ref);
+      }
+      i += len;
+    }
+    buf_ = std::move(fresh);
+    wasted_ = 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> buf_;
+  std::size_t wasted_ = 0;
+};
+
+}  // namespace fta::sat

@@ -1,0 +1,28 @@
+// Cooperative cancellation shared between the portfolio driver and solvers.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace fta::util {
+
+/// A flag the portfolio sets when one solver finishes so the others can
+/// abandon their search promptly. Solvers poll `cancelled()` at restart
+/// boundaries and every few thousand propagations.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+}  // namespace fta::util

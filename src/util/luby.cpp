@@ -1,0 +1,17 @@
+#include "util/luby.hpp"
+
+namespace fta::util {
+
+std::uint64_t luby(std::uint64_t i) noexcept {
+  // Knuth's loop-free formulation: find the subsequence containing i.
+  std::uint64_t k = 1;
+  while ((1ULL << k) - 1 < i) ++k;
+  while ((1ULL << k) - 1 != i) {
+    i -= (1ULL << (k - 1)) - 1;
+    k = 1;
+    while ((1ULL << k) - 1 < i) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+}  // namespace fta::util

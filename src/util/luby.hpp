@@ -1,0 +1,13 @@
+// The Luby restart sequence (1,1,2,1,1,2,4,...) used by the CDCL solver.
+#pragma once
+
+#include <cstdint>
+
+namespace fta::util {
+
+/// Returns the i-th element (1-based) of the Luby sequence.
+/// luby(1)=1, luby(2)=1, luby(3)=2, luby(4)=1, ... Used to schedule
+/// restarts as `base * luby(k)` conflicts.
+std::uint64_t luby(std::uint64_t i) noexcept;
+
+}  // namespace fta::util

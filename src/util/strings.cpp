@@ -1,0 +1,69 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace fta::util {
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s,
+                                    std::string_view delims) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+    std::size_t j = i;
+    while (j < s.size() && delims.find(s[j]) == std::string_view::npos) ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace fta::util

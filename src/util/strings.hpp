@@ -1,0 +1,29 @@
+// Small string helpers shared by parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fta::util {
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string_view> split(std::string_view s,
+                                    std::string_view delims = " \t");
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view s);
+
+/// Escapes a string for embedding into a JSON document.
+std::string json_escape(std::string_view s);
+
+/// Formats a double with enough digits to round-trip, trimming zeros.
+std::string format_double(double v);
+
+}  // namespace fta::util

@@ -1,0 +1,5 @@
+#include "util/timer.hpp"
+
+// Header-only; this translation unit exists so the library has an anchor
+// for the timer component and to keep one-definition checks honest.
+namespace fta::util {}

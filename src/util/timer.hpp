@@ -1,0 +1,55 @@
+// Monotonic wall-clock timing helpers used by solvers and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fta::util {
+
+/// Simple monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const noexcept { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline that cooperating loops can poll.
+class Deadline {
+ public:
+  /// A deadline `budget_seconds` from now; non-positive means "no limit".
+  explicit Deadline(double budget_seconds = 0.0) noexcept
+      : limited_(budget_seconds > 0.0), budget_(budget_seconds) {}
+
+  bool expired() const noexcept {
+    return limited_ && timer_.seconds() >= budget_;
+  }
+
+  double remaining() const noexcept {
+    if (!limited_) return 1e30;
+    const double r = budget_ - timer_.seconds();
+    return r > 0.0 ? r : 0.0;
+  }
+
+ private:
+  bool limited_;
+  double budget_;
+  Timer timer_;
+};
+
+}  // namespace fta::util

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "bdd/fta_bdd.hpp"
+#include "bdd/zbdd.hpp"
+#include "ft/builder.hpp"
+#include "gen/generator.hpp"
+#include "logic/eval.hpp"
+#include "mocus/mocus.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace fta::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVar) {
+  BddManager m(2);
+  EXPECT_TRUE(m.is_terminal(kFalse));
+  EXPECT_TRUE(m.is_terminal(kTrue));
+  const BddRef x = m.var(0);
+  EXPECT_FALSE(m.is_terminal(x));
+  EXPECT_EQ(m.node(x).lo, kFalse);
+  EXPECT_EQ(m.node(x).hi, kTrue);
+  EXPECT_EQ(m.var(0), x);  // hash-consed
+}
+
+TEST(Bdd, BasicAlgebra) {
+  BddManager m(2);
+  const BddRef x = m.var(0);
+  const BddRef y = m.var(1);
+  EXPECT_EQ(m.land(x, kTrue), x);
+  EXPECT_EQ(m.land(x, kFalse), kFalse);
+  EXPECT_EQ(m.lor(x, kTrue), kTrue);
+  EXPECT_EQ(m.lor(x, kFalse), x);
+  EXPECT_EQ(m.land(x, x), x);
+  EXPECT_EQ(m.lnot(m.lnot(x)), x);
+  EXPECT_EQ(m.land(x, m.lnot(x)), kFalse);
+  EXPECT_EQ(m.lor(x, m.lnot(x)), kTrue);
+  // Commutativity through hash-consing.
+  EXPECT_EQ(m.land(x, y), m.land(y, x));
+}
+
+TEST(Bdd, CountModels) {
+  BddManager m(3);
+  const BddRef x = m.var(0);
+  const BddRef y = m.var(1);
+  EXPECT_DOUBLE_EQ(m.count_models(m.land(x, y)), 2.0);  // 1 * 2 (z free)
+  EXPECT_DOUBLE_EQ(m.count_models(m.lor(x, y)), 6.0);
+  EXPECT_DOUBLE_EQ(m.count_models(kTrue), 8.0);
+  EXPECT_DOUBLE_EQ(m.count_models(kFalse), 0.0);
+}
+
+TEST(Bdd, BuildMatchesFormulaSemantics) {
+  util::Rng rng(606);
+  for (int round = 0; round < 40; ++round) {
+    logic::FormulaStore store;
+    const auto n = static_cast<std::uint32_t>(2 + rng.below(6));
+    const auto f = test::random_monotone_formula(rng, store, n);
+    BddManager m(n);
+    const BddRef b = m.build(store, f);
+    // Model counts agree (checks full functional equivalence for monotone
+    // formulas up to counting; spot-check assignments too).
+    EXPECT_DOUBLE_EQ(m.count_models(b),
+                     static_cast<double>(logic::count_models(store, f, n)));
+    for (int probe = 0; probe < 16; ++probe) {
+      std::vector<bool> a(n);
+      for (auto&& bit : a) bit = rng.chance(0.5);
+      // Evaluate the BDD by walking it.
+      BddRef r = b;
+      while (!m.is_terminal(r)) {
+        r = a[m.node(r).level] ? m.node(r).hi : m.node(r).lo;
+      }
+      EXPECT_EQ(r == kTrue, logic::eval(store, f, a));
+    }
+  }
+}
+
+TEST(Bdd, ProbabilityMatchesBruteForce) {
+  util::Rng rng(707);
+  for (int round = 0; round < 25; ++round) {
+    logic::FormulaStore store;
+    const auto n = static_cast<std::uint32_t>(2 + rng.below(5));
+    const auto f = test::random_monotone_formula(rng, store, n);
+    std::vector<double> p(n);
+    for (auto& v : p) v = rng.uniform(0.01, 0.99);
+    BddManager m(n);
+    const BddRef b = m.build(store, f);
+    // Brute-force Shannon sum.
+    double expected = 0.0;
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      std::vector<bool> a(n);
+      double weight = 1.0;
+      for (std::uint32_t v = 0; v < n; ++v) {
+        a[v] = (mask >> v) & 1;
+        weight *= a[v] ? p[v] : 1.0 - p[v];
+      }
+      if (logic::eval(store, f, a)) expected += weight;
+    }
+    EXPECT_NEAR(m.probability(b, p), expected, 1e-12) << "round " << round;
+  }
+}
+
+TEST(Bdd, AtLeastAgreesWithFormulaLowering) {
+  BddManager m(5);
+  logic::FormulaStore store;
+  std::vector<logic::NodeId> vars;
+  std::vector<BddRef> operands;
+  for (logic::Var v = 0; v < 5; ++v) {
+    vars.push_back(store.var(v));
+    operands.push_back(m.var(v));
+  }
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    const BddRef direct = m.at_least(k, operands);
+    const BddRef via_formula = m.build(store, store.at_least(k, vars));
+    EXPECT_EQ(direct, via_formula) << "k=" << k;
+  }
+}
+
+// ------------------------------------------------------------------ zbdd --
+
+TEST(Zbdd, SingletonAndUnion) {
+  ZbddManager z(3);
+  const ZRef a = z.singleton(0);
+  const ZRef b = z.singleton(1);
+  const ZRef u = z.unite(a, b);
+  EXPECT_DOUBLE_EQ(z.count(u), 2.0);
+  EXPECT_EQ(z.unite(u, a), u);  // idempotent
+  EXPECT_EQ(z.unite(kEmptyFamily, a), a);
+  EXPECT_DOUBLE_EQ(z.count(kUnitFamily), 1.0);
+  EXPECT_DOUBLE_EQ(z.count(kEmptyFamily), 0.0);
+}
+
+TEST(Zbdd, WithoutRemovesSupersets) {
+  ZbddManager z(3);
+  // family = {{0,1}, {2}}, b = {{0}}: sets ⊇ {0} are removed -> {{2}}.
+  // {{0,1}} is obtained as the minimal solutions of the BDD of x0 & x1.
+  BddManager m(3);
+  const BddRef f = m.land(m.var(0), m.var(1));
+  const ZRef set01 = z.minsol(m, f);  // {{0,1}}
+  EXPECT_DOUBLE_EQ(z.count(set01), 1.0);
+  const ZRef family = z.unite(set01, z.singleton(2));
+  EXPECT_DOUBLE_EQ(z.count(family), 2.0);
+  const ZRef pruned = z.without(family, z.singleton(0));
+  EXPECT_DOUBLE_EQ(z.count(pruned), 1.0);
+  std::vector<std::vector<Level>> sets;
+  z.enumerate(pruned, 10, [&](const std::vector<Level>& s) { sets.push_back(s); });
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0], std::vector<Level>{2});
+}
+
+TEST(Zbdd, WithoutEdgeCases) {
+  ZbddManager z(2);
+  const ZRef a = z.singleton(0);
+  EXPECT_EQ(z.without(a, kEmptyFamily), a);
+  EXPECT_EQ(z.without(a, kUnitFamily), kEmptyFamily);
+  EXPECT_EQ(z.without(kEmptyFamily, a), kEmptyFamily);
+  EXPECT_EQ(z.without(kUnitFamily, a), kUnitFamily);  // ∅ ⊉ {0}
+  EXPECT_EQ(z.without(a, a), kEmptyFamily);
+}
+
+// -------------------------------------------------------------- fta_bdd --
+
+TEST(FaultTreeBdd, PaperExampleMcs) {
+  const ft::FaultTree t = ft::fire_protection_system();
+  FaultTreeBdd analysis(t);
+  auto mcs = analysis.minimal_cut_sets();
+  // Expected MCSs: {x1,x2}, {x3}, {x4}, {x5,x6}, {x5,x7}.
+  ASSERT_EQ(mcs.size(), 5u);
+  std::sort(mcs.begin(), mcs.end());
+  EXPECT_DOUBLE_EQ(analysis.mcs_count(), 5.0);
+  const std::vector<ft::CutSet> expected{
+      ft::CutSet({0, 1}), ft::CutSet({2}), ft::CutSet({3}),
+      ft::CutSet({4, 5}), ft::CutSet({4, 6})};
+  for (const auto& e : expected) {
+    EXPECT_NE(std::find(mcs.begin(), mcs.end(), e), mcs.end())
+        << "missing " << e.to_string(t);
+  }
+}
+
+TEST(FaultTreeBdd, PaperExampleMpmcs) {
+  const ft::FaultTree t = ft::fire_protection_system();
+  FaultTreeBdd analysis(t);
+  const auto best = analysis.mpmcs();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->first, ft::CutSet({0, 1}));
+  EXPECT_NEAR(best->second, 0.02, 1e-12);
+}
+
+TEST(FaultTreeBdd, TopProbabilityMatchesBruteForce) {
+  const ft::FaultTree t = ft::fire_protection_system();
+  FaultTreeBdd analysis(t);
+  // Brute force over 2^7 assignments.
+  logic::FormulaStore store;
+  const auto f = t.to_formula(store);
+  double expected = 0.0;
+  for (std::uint64_t mask = 0; mask < (1u << 7); ++mask) {
+    std::vector<bool> a(7);
+    double w = 1.0;
+    for (std::uint32_t v = 0; v < 7; ++v) {
+      a[v] = (mask >> v) & 1;
+      const double p = t.event_probability(v);
+      w *= a[v] ? p : 1.0 - p;
+    }
+    if (logic::eval(store, f, a)) expected += w;
+  }
+  EXPECT_NEAR(analysis.top_probability(), expected, 1e-12);
+}
+
+TEST(FaultTreeBdd, AgreesWithMocusOnRandomTrees) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    gen::GeneratorOptions opts;
+    opts.num_events = 12;
+    opts.vote_fraction = 0.2;
+    opts.sharing = 0.2;
+    const auto tree = gen::random_tree(opts, seed);
+    FaultTreeBdd analysis(tree);
+    auto bdd_mcs = analysis.minimal_cut_sets();
+    auto mocus_result = mocus::mocus(tree);
+    ASSERT_TRUE(mocus_result.complete) << "seed " << seed;
+    std::sort(bdd_mcs.begin(), bdd_mcs.end());
+    std::sort(mocus_result.cut_sets.begin(), mocus_result.cut_sets.end());
+    EXPECT_EQ(bdd_mcs, mocus_result.cut_sets) << "seed " << seed;
+  }
+}
+
+TEST(FaultTreeBdd, OrderingsAgree) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    gen::GeneratorOptions opts;
+    opts.num_events = 15;
+    opts.sharing = 0.3;
+    const auto tree = gen::random_tree(opts, seed);
+    FaultTreeBdd dfs(tree, VariableOrder::Dfs);
+    FaultTreeBdd ins(tree, VariableOrder::Insertion);
+    EXPECT_NEAR(dfs.top_probability(), ins.top_probability(), 1e-12);
+    EXPECT_DOUBLE_EQ(dfs.mcs_count(), ins.mcs_count());
+    const auto a = dfs.mpmcs();
+    const auto b = ins.mpmcs();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) EXPECT_NEAR(a->second, b->second, 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(FaultTreeBdd, VoteGateTree) {
+  const auto tree = gen::ladder_tree(4, 77);
+  FaultTreeBdd analysis(tree);
+  // Each 2oo3 subsystem contributes 3 MCSs of size 2.
+  EXPECT_DOUBLE_EQ(analysis.mcs_count(), 12.0);
+  for (const auto& cs : analysis.minimal_cut_sets()) {
+    EXPECT_EQ(cs.size(), 2u);
+    EXPECT_TRUE(ft::is_minimal_cut_set(tree, cs));
+  }
+}
+
+TEST(FaultTreeBdd, EveryReportedMcsIsMinimal) {
+  for (std::uint64_t seed = 200; seed < 215; ++seed) {
+    gen::GeneratorOptions opts;
+    opts.num_events = 10;
+    opts.vote_fraction = 0.15;
+    const auto tree = gen::random_tree(opts, seed);
+    FaultTreeBdd analysis(tree);
+    for (const auto& cs : analysis.minimal_cut_sets()) {
+      EXPECT_TRUE(ft::is_minimal_cut_set(tree, cs))
+          << "seed " << seed << " set " << cs.to_string(tree);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fta::bdd

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "logic/dimacs.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace fta::logic {
+namespace {
+
+TEST(Cnf, NewVarAndEnsure) {
+  Cnf cnf;
+  EXPECT_EQ(cnf.new_var(), 0u);
+  EXPECT_EQ(cnf.new_var(), 1u);
+  cnf.ensure_var(10);
+  EXPECT_EQ(cnf.num_vars(), 11u);
+  cnf.ensure_var(3);  // no shrink
+  EXPECT_EQ(cnf.num_vars(), 11u);
+}
+
+TEST(Cnf, AddClauseGrowsVars) {
+  Cnf cnf;
+  cnf.add_clause({Lit::pos(4)});
+  EXPECT_EQ(cnf.num_vars(), 5u);
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.num_literals(), 1u);
+}
+
+TEST(Cnf, Eval) {
+  Cnf cnf(2);
+  cnf.add_clause({Lit::pos(0), Lit::pos(1)});
+  cnf.add_clause({Lit::neg(0)});
+  EXPECT_TRUE(cnf.eval({false, true}));
+  EXPECT_FALSE(cnf.eval({false, false}));
+  EXPECT_FALSE(cnf.eval({true, true}));
+}
+
+TEST(Lit, Encoding) {
+  const Lit p = Lit::pos(3);
+  const Lit n = Lit::neg(3);
+  EXPECT_EQ(p.var(), 3u);
+  EXPECT_FALSE(p.negated());
+  EXPECT_TRUE(n.negated());
+  EXPECT_EQ(~p, n);
+  EXPECT_EQ(~n, p);
+  EXPECT_EQ(p.to_dimacs(), 4);
+  EXPECT_EQ(n.to_dimacs(), -4);
+  EXPECT_EQ(Lit::from_index(p.index()), p);
+}
+
+TEST(Lit, Values) {
+  EXPECT_EQ(lit_value(Lit::pos(0), LBool::True), LBool::True);
+  EXPECT_EQ(lit_value(Lit::neg(0), LBool::True), LBool::False);
+  EXPECT_EQ(lit_value(Lit::pos(0), LBool::Undef), LBool::Undef);
+}
+
+TEST(Dimacs, WriteKnownDocument) {
+  Cnf cnf(3);
+  cnf.add_clause({Lit::pos(0), Lit::neg(1)});
+  cnf.add_clause({Lit::pos(2)});
+  const std::string text = to_dimacs_string(cnf);
+  EXPECT_EQ(text, "p cnf 3 2\n1 -2 0\n3 0\n");
+}
+
+TEST(Dimacs, RoundTrip) {
+  util::Rng rng(55);
+  for (int round = 0; round < 20; ++round) {
+    const auto cnf = test::random_cnf(rng, 10, 30, 3);
+    const Cnf back = from_dimacs_string(to_dimacs_string(cnf));
+    ASSERT_EQ(back.num_clauses(), cnf.num_clauses());
+    EXPECT_GE(back.num_vars(), 1u);
+    for (std::size_t i = 0; i < cnf.num_clauses(); ++i) {
+      EXPECT_EQ(back.clauses()[i], cnf.clauses()[i]);
+    }
+  }
+}
+
+TEST(Dimacs, ParsesCommentsAndMultilineClauses) {
+  const std::string text =
+      "c a comment\n"
+      "p cnf 3 2\n"
+      "1 2\n"
+      "3 0\n"
+      "-1 0\n";
+  const Cnf cnf = from_dimacs_string(text);
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+  EXPECT_EQ(cnf.clauses()[0].size(), 3u);
+}
+
+TEST(Dimacs, RejectsClauseBeforeHeader) {
+  EXPECT_THROW(from_dimacs_string("1 2 0\n"), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsUnterminatedClause) {
+  EXPECT_THROW(from_dimacs_string("p cnf 2 1\n1 2\n"), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsBadHeader) {
+  EXPECT_THROW(from_dimacs_string("p dnf 2 1\n1 0\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fta::logic

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ft/builder.hpp"
+#include "ft/cut_set.hpp"
+
+namespace fta::ft {
+namespace {
+
+TEST(CutSet, NormalisesOnConstruction) {
+  const CutSet cs({3, 1, 2, 1});
+  EXPECT_EQ(cs.events(), (std::vector<EventIndex>{1, 2, 3}));
+  EXPECT_EQ(cs.size(), 3u);
+  EXPECT_TRUE(cs.contains(2));
+  EXPECT_FALSE(cs.contains(0));
+}
+
+TEST(CutSet, SubsetRelation) {
+  const CutSet small({1, 2});
+  const CutSet big({1, 2, 3});
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(small.subset_of(small));
+  EXPECT_TRUE(CutSet{}.subset_of(small));
+}
+
+TEST(CutSet, ProbabilityAndLogCost) {
+  const FaultTree t = fire_protection_system();
+  const CutSet cs({0, 1});  // x1, x2
+  EXPECT_NEAR(cs.probability(t), 0.02, 1e-12);
+  EXPECT_NEAR(cs.log_cost(t), -std::log(0.02), 1e-9);
+  // Table I check: w1 + w2 = 1.60944 + 2.30259 = 3.91203.
+  EXPECT_NEAR(cs.log_cost(t), 3.91202, 1e-4);
+}
+
+TEST(CutSet, ZeroProbabilityGivesInfiniteCost) {
+  FaultTree t;
+  t.add_basic_event("x", 0.0);
+  t.set_top(t.add_gate("G", NodeType::Or, {0}));
+  const CutSet cs({0});
+  EXPECT_EQ(cs.probability(t), 0.0);
+  EXPECT_TRUE(std::isinf(cs.log_cost(t)));
+}
+
+TEST(CutSet, IsCutSetOnPaperExample) {
+  const FaultTree t = fire_protection_system();
+  EXPECT_TRUE(is_cut_set(t, CutSet({0, 1})));
+  EXPECT_TRUE(is_cut_set(t, CutSet({2})));
+  EXPECT_TRUE(is_cut_set(t, CutSet({4, 5})));
+  EXPECT_FALSE(is_cut_set(t, CutSet({0})));
+  EXPECT_FALSE(is_cut_set(t, CutSet({4})));
+  EXPECT_FALSE(is_cut_set(t, CutSet({5, 6})));
+  EXPECT_FALSE(is_cut_set(t, CutSet{}));
+}
+
+TEST(CutSet, MinimalityOnPaperExample) {
+  const FaultTree t = fire_protection_system();
+  EXPECT_TRUE(is_minimal_cut_set(t, CutSet({0, 1})));
+  EXPECT_TRUE(is_minimal_cut_set(t, CutSet({2})));
+  // Supersets of cuts are cuts but not minimal.
+  EXPECT_TRUE(is_cut_set(t, CutSet({0, 1, 2})));
+  EXPECT_FALSE(is_minimal_cut_set(t, CutSet({0, 1, 2})));
+  // Non-cuts are not minimal cuts.
+  EXPECT_FALSE(is_minimal_cut_set(t, CutSet({0})));
+}
+
+TEST(CutSet, ShrinkToMinimal) {
+  const FaultTree t = fire_protection_system();
+  const CutSet bloated({0, 1, 2, 4, 5});
+  const CutSet shrunk = shrink_to_minimal(t, bloated);
+  EXPECT_TRUE(is_minimal_cut_set(t, shrunk));
+  EXPECT_TRUE(shrunk.subset_of(bloated));
+  // Greedy drops the lowest-probability events first, so the single SPOF
+  // {x3} (p=0.001) disappears and a higher-probability cut remains.
+  EXPECT_FALSE(shrunk.contains(2));
+}
+
+TEST(CutSet, ShrinkKeepsAlreadyMinimal) {
+  const FaultTree t = fire_protection_system();
+  const CutSet minimal({0, 1});
+  EXPECT_EQ(shrink_to_minimal(t, minimal), minimal);
+}
+
+TEST(CutSet, MinimizeFamilyAbsorption) {
+  const std::vector<CutSet> family{CutSet({0, 1, 2}), CutSet({0, 1}),
+                                   CutSet({2}), CutSet({2, 3})};
+  const auto minimal = minimize_family(family);
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(minimal[0], CutSet({2}));
+  EXPECT_EQ(minimal[1], CutSet({0, 1}));
+}
+
+TEST(CutSet, MinimizeFamilyDeduplicates) {
+  const std::vector<CutSet> family{CutSet({1}), CutSet({1}), CutSet({1, 2})};
+  const auto minimal = minimize_family(family);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], CutSet({1}));
+}
+
+TEST(CutSet, ArgmaxProbability) {
+  const FaultTree t = fire_protection_system();
+  // {x1,x2}=0.02, {x3}=0.001, {x4}=0.002, {x5,x6}=0.005, {x5,x7}=0.0025.
+  const std::vector<CutSet> family{CutSet({0, 1}), CutSet({2}), CutSet({3}),
+                                   CutSet({4, 5}), CutSet({4, 6})};
+  EXPECT_EQ(argmax_probability(t, family), 0);
+  EXPECT_EQ(argmax_probability(t, {}), -1);
+}
+
+TEST(CutSet, ArgmaxTieBreaksTowardsSmaller) {
+  FaultTree t;
+  t.add_basic_event("a", 0.5);
+  t.add_basic_event("b", 0.5);
+  t.add_basic_event("c", 0.25);
+  t.set_top(t.add_gate("G", NodeType::Or, {0, 1, 2}));
+  // {a,b} and {c} both have probability 0.25: prefer the smaller set.
+  const std::vector<CutSet> family{CutSet({0, 1}), CutSet({2})};
+  EXPECT_EQ(argmax_probability(t, family), 1);
+}
+
+TEST(CutSet, ToString) {
+  const FaultTree t = fire_protection_system();
+  EXPECT_EQ(CutSet({0, 1}).to_string(t), "{x1, x2}");
+  EXPECT_EQ(CutSet{}.to_string(t), "{}");
+}
+
+}  // namespace
+}  // namespace fta::ft

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "logic/eval.hpp"
+#include "logic/formula.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace fta::logic {
+namespace {
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  FormulaStore store;
+  NodeId x0 = store.var(0);
+  NodeId x1 = store.var(1);
+  NodeId x2 = store.var(2);
+};
+
+TEST_F(FormulaTest, HashConsingSharesIdenticalNodes) {
+  const NodeId a = store.land({x0, x1});
+  const NodeId b = store.land({x1, x0});  // order-insensitive
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.var(0), x0);
+}
+
+TEST_F(FormulaTest, ConstantFolding) {
+  EXPECT_EQ(store.land({x0, store.constant(false)}), store.constant(false));
+  EXPECT_EQ(store.land({x0, store.constant(true)}), x0);
+  EXPECT_EQ(store.lor({x0, store.constant(true)}), store.constant(true));
+  EXPECT_EQ(store.lor({x0, store.constant(false)}), x0);
+}
+
+TEST_F(FormulaTest, IdempotenceAndComplementLaws) {
+  EXPECT_EQ(store.land({x0, x0}), x0);
+  EXPECT_EQ(store.lor({x0, x0}), x0);
+  EXPECT_EQ(store.land({x0, store.lnot(x0)}), store.constant(false));
+  EXPECT_EQ(store.lor({x0, store.lnot(x0)}), store.constant(true));
+}
+
+TEST_F(FormulaTest, DoubleNegation) {
+  EXPECT_EQ(store.lnot(store.lnot(x0)), x0);
+}
+
+TEST_F(FormulaTest, FlattensNestedGates) {
+  const NodeId inner = store.land({x0, x1});
+  const NodeId outer = store.land({inner, x2});
+  const NodeId direct = store.land({x0, x1, x2});
+  EXPECT_EQ(outer, direct);
+}
+
+TEST_F(FormulaTest, AtLeastBoundaryCases) {
+  // k=1 is OR; k=n is AND; k>n is false; k=0 is true.
+  EXPECT_EQ(store.at_least(1, {x0, x1}), store.lor({x0, x1}));
+  EXPECT_EQ(store.at_least(2, {x0, x1}), store.land({x0, x1}));
+  EXPECT_EQ(store.at_least(3, {x0, x1}), store.constant(false));
+  EXPECT_EQ(store.at_least(0, {x0, x1}), store.constant(true));
+}
+
+TEST_F(FormulaTest, AtLeastConstantChildren) {
+  // One child already true lowers the threshold.
+  EXPECT_EQ(store.at_least(2, {x0, store.constant(true), x1}),
+            store.lor({x0, x1}));
+  // False children just disappear.
+  EXPECT_EQ(store.at_least(2, {x0, store.constant(false), x1}),
+            store.land({x0, x1}));
+}
+
+TEST_F(FormulaTest, EvalBasics) {
+  const NodeId f = store.lor({store.land({x0, x1}), x2});
+  EXPECT_FALSE(eval(store, f, {false, false, false}));
+  EXPECT_TRUE(eval(store, f, {true, true, false}));
+  EXPECT_TRUE(eval(store, f, {false, false, true}));
+  EXPECT_FALSE(eval(store, f, {true, false, false}));
+}
+
+TEST_F(FormulaTest, EvalVote) {
+  const NodeId f = store.at_least(2, {x0, x1, x2});
+  EXPECT_FALSE(eval(store, f, {true, false, false}));
+  EXPECT_TRUE(eval(store, f, {true, true, false}));
+  EXPECT_TRUE(eval(store, f, {true, true, true}));
+}
+
+TEST_F(FormulaTest, NegateNnfIsComplement) {
+  const NodeId f = store.lor({store.land({x0, x1}), x2});
+  const NodeId not_f = store.negate_nnf(f);
+  for (std::uint64_t mask = 0; mask < 8; ++mask) {
+    const std::vector<bool> a{(mask & 1) != 0, (mask & 2) != 0,
+                              (mask & 4) != 0};
+    EXPECT_NE(eval(store, f, a), eval(store, not_f, a)) << "mask=" << mask;
+  }
+}
+
+TEST_F(FormulaTest, NegateNnfHandlesVote) {
+  const NodeId f = store.at_least(2, {x0, x1, x2});
+  const NodeId not_f = store.negate_nnf(f);
+  EXPECT_TRUE(store.is_monotone(f));
+  for (std::uint64_t mask = 0; mask < 8; ++mask) {
+    const std::vector<bool> a{(mask & 1) != 0, (mask & 2) != 0,
+                              (mask & 4) != 0};
+    EXPECT_NE(eval(store, f, a), eval(store, not_f, a)) << "mask=" << mask;
+  }
+}
+
+TEST_F(FormulaTest, DualizeOfPaperExample) {
+  // f(t) = (x1&x2) | (x3 | x4 | (x5 & (x6|x7))) from the paper;
+  // Y(t) = (y1|y2) & (y3 & y4 & (y5 | (y6&y7))) — same shape, gates
+  // flipped, variables kept positive.
+  FormulaStore s;
+  std::vector<NodeId> x;
+  for (Var v = 0; v < 7; ++v) x.push_back(s.var(v));
+  const NodeId f =
+      s.lor({s.land({x[0], x[1]}),
+             s.lor({x[2], x[3], s.land({x[4], s.lor({x[5], x[6]})})})});
+  const NodeId y = s.dualize(f);
+  const NodeId expected =
+      s.land({s.lor({x[0], x[1]}),
+              s.land({x[2], x[3], s.lor({x[4], s.land({x[5], x[6]})})})});
+  EXPECT_EQ(y, expected);
+}
+
+TEST_F(FormulaTest, DualizeTwiceIsIdentityOnMonotone) {
+  util::Rng rng(123);
+  for (int round = 0; round < 50; ++round) {
+    FormulaStore s;
+    const auto n = static_cast<std::uint32_t>(3 + rng.below(5));
+    const NodeId f = test::random_monotone_formula(rng, s, n);
+    EXPECT_EQ(s.dualize(s.dualize(f)), f) << "round " << round;
+  }
+}
+
+TEST_F(FormulaTest, DualizeEqualsNegationWithFlippedInputs) {
+  // For monotone f: dual(f)(x) == !f(!x). Check on random formulas.
+  util::Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    FormulaStore s;
+    const auto n = static_cast<std::uint32_t>(2 + rng.below(6));
+    const NodeId f = test::random_monotone_formula(rng, s, n);
+    const NodeId dual = s.dualize(f);
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      std::vector<bool> a(n), flipped(n);
+      for (std::uint32_t v = 0; v < n; ++v) {
+        a[v] = (mask >> v) & 1;
+        flipped[v] = !a[v];
+      }
+      ASSERT_EQ(eval(s, dual, a), !eval(s, f, flipped))
+          << "round " << round << " mask " << mask;
+    }
+  }
+}
+
+TEST_F(FormulaTest, LowerAtLeastPreservesSemantics) {
+  util::Rng rng(77);
+  for (int round = 0; round < 60; ++round) {
+    FormulaStore s;
+    const auto n = static_cast<std::uint32_t>(3 + rng.below(5));
+    const NodeId f = test::random_monotone_formula(rng, s, n, true);
+    const NodeId lowered = s.lower_at_least(f);
+    EXPECT_TRUE(equivalent(s, f, lowered, n)) << "round " << round;
+    // And no AtLeast nodes remain anywhere reachable from `lowered`.
+    std::vector<NodeId> stack{lowered};
+    std::unordered_map<NodeId, bool> seen;
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (seen.count(id)) continue;
+      seen.emplace(id, true);
+      EXPECT_NE(s.node(id).kind, NodeKind::AtLeast);
+      for (NodeId c : s.node(id).children) stack.push_back(c);
+    }
+  }
+}
+
+TEST_F(FormulaTest, SubstituteReplacesVariables) {
+  const NodeId f = store.land({x0, x1});
+  std::vector<NodeId> repl(2, kNoNode);
+  repl[1] = store.lor({x1, x2});
+  const NodeId g = store.substitute(f, repl);
+  EXPECT_EQ(g, store.land({x0, store.lor({x1, x2})}));
+}
+
+TEST_F(FormulaTest, StatsCountsNodes) {
+  const NodeId f = store.lor({store.land({x0, x1}), x2});
+  const FormulaStats st = store.stats(f);
+  EXPECT_EQ(st.vars, 3u);
+  EXPECT_EQ(st.gates, 2u);
+  EXPECT_EQ(st.nodes, 5u);
+  EXPECT_EQ(st.max_depth, 2u);
+}
+
+TEST_F(FormulaTest, IsMonotone) {
+  EXPECT_TRUE(store.is_monotone(store.land({x0, x1})));
+  EXPECT_FALSE(store.is_monotone(store.land({x0, store.lnot(x1)})));
+}
+
+TEST_F(FormulaTest, ToStringRoundTripReadable) {
+  const NodeId f = store.lor({store.land({x0, x1}), x2});
+  const std::string s = store.to_string(f);
+  EXPECT_NE(s.find("x0"), std::string::npos);
+  EXPECT_NE(s.find("&"), std::string::npos);
+  EXPECT_NE(s.find("|"), std::string::npos);
+}
+
+TEST(ModelCount, SmallFormulas) {
+  FormulaStore s;
+  const NodeId a = s.var(0);
+  const NodeId b = s.var(1);
+  EXPECT_EQ(count_models(s, s.land({a, b}), 2), 1u);
+  EXPECT_EQ(count_models(s, s.lor({a, b}), 2), 3u);
+  EXPECT_EQ(count_models(s, s.constant(true), 2), 4u);
+  EXPECT_EQ(count_models(s, s.constant(false), 2), 0u);
+}
+
+}  // namespace
+}  // namespace fta::logic

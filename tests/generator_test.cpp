@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "ft/parser.hpp"
+#include "gen/generator.hpp"
+
+namespace fta::gen {
+namespace {
+
+TEST(Generator, Deterministic) {
+  GeneratorOptions opts;
+  opts.num_events = 40;
+  opts.sharing = 0.3;
+  opts.vote_fraction = 0.2;
+  const auto a = random_tree(opts, 42);
+  const auto b = random_tree(opts, 42);
+  EXPECT_EQ(ft::to_text(a), ft::to_text(b));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorOptions opts;
+  opts.num_events = 40;
+  const auto a = random_tree(opts, 1);
+  const auto b = random_tree(opts, 2);
+  EXPECT_NE(ft::to_text(a), ft::to_text(b));
+}
+
+TEST(Generator, ExactEventCount) {
+  for (std::uint32_t n : {1u, 2u, 10u, 137u, 1000u}) {
+    GeneratorOptions opts;
+    opts.num_events = n;
+    const auto tree = random_tree(opts, 7);
+    EXPECT_EQ(tree.num_events(), n);
+    EXPECT_NO_THROW(tree.validate());
+  }
+}
+
+TEST(Generator, ProbabilitiesInRange) {
+  GeneratorOptions opts;
+  opts.num_events = 200;
+  opts.min_prob = 1e-3;
+  opts.max_prob = 0.1;
+  const auto tree = random_tree(opts, 3);
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    EXPECT_GE(tree.event_probability(e), 1e-3);
+    EXPECT_LE(tree.event_probability(e), 0.1);
+  }
+}
+
+TEST(Generator, FanInRespected) {
+  GeneratorOptions opts;
+  opts.num_events = 100;
+  opts.min_children = 3;
+  opts.max_children = 5;
+  const auto tree = random_tree(opts, 11);
+  for (ft::NodeIndex i = 0; i < tree.num_nodes(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.type == ft::NodeType::BasicEvent) continue;
+    // Sharing may add one extra child beyond max.
+    EXPECT_GE(n.children.size(), 2u);
+    EXPECT_LE(n.children.size(), 6u);
+  }
+}
+
+TEST(Generator, VoteFractionProducesVoteGates) {
+  GeneratorOptions opts;
+  opts.num_events = 300;
+  opts.min_children = 3;
+  opts.max_children = 4;
+  opts.vote_fraction = 0.5;
+  const auto tree = random_tree(opts, 13);
+  EXPECT_GT(tree.stats().vote_gates, 0u);
+}
+
+TEST(Generator, SharingCreatesDag) {
+  GeneratorOptions opts;
+  opts.num_events = 200;
+  opts.sharing = 0.8;
+  const auto tree = random_tree(opts, 17);
+  // In a DAG with sharing, some node has two parents: total child slots
+  // exceed nodes - 1.
+  std::size_t child_slots = 0;
+  for (ft::NodeIndex i = 0; i < tree.num_nodes(); ++i) {
+    child_slots += tree.node(i).children.size();
+  }
+  EXPECT_GT(child_slots, tree.num_nodes() - 1);
+}
+
+TEST(Generator, RejectsBadOptions) {
+  GeneratorOptions opts;
+  opts.num_events = 0;
+  EXPECT_THROW(random_tree(opts, 1), std::invalid_argument);
+  opts.num_events = 5;
+  opts.min_children = 1;
+  EXPECT_THROW(random_tree(opts, 1), std::invalid_argument);
+  opts.min_children = 4;
+  opts.max_children = 3;
+  EXPECT_THROW(random_tree(opts, 1), std::invalid_argument);
+}
+
+TEST(Generator, ChainTreeShape) {
+  const auto tree = chain_tree(50, 5);
+  EXPECT_EQ(tree.num_events(), 50u);
+  EXPECT_EQ(tree.stats().max_depth, 49u);
+  EXPECT_NO_THROW(tree.validate());
+}
+
+TEST(Generator, ChainTreeDeterministic) {
+  EXPECT_EQ(ft::to_text(chain_tree(30, 9)), ft::to_text(chain_tree(30, 9)));
+}
+
+TEST(Generator, LadderTreeShape) {
+  const auto tree = ladder_tree(5, 1);
+  EXPECT_EQ(tree.num_events(), 15u);
+  EXPECT_EQ(tree.stats().vote_gates, 5u);
+  EXPECT_EQ(tree.stats().or_gates, 1u);
+}
+
+TEST(Generator, LadderSingleSubsystem) {
+  const auto tree = ladder_tree(1, 1);
+  EXPECT_EQ(tree.num_events(), 3u);
+  EXPECT_EQ(tree.node(tree.top()).type, ft::NodeType::Vote);
+}
+
+TEST(Generator, GeneratedTreesParseBack) {
+  GeneratorOptions opts;
+  opts.num_events = 50;
+  opts.vote_fraction = 0.2;
+  const auto tree = random_tree(opts, 23);
+  const auto back = ft::parse_fault_tree(ft::to_text(tree));
+  EXPECT_EQ(back.num_events(), tree.num_events());
+  EXPECT_EQ(back.stats().gates, tree.stats().gates);
+}
+
+}  // namespace
+}  // namespace fta::gen

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "ft/builder.hpp"
+#include "gen/generator.hpp"
+#include "mocus/mocus.hpp"
+
+namespace fta::mocus {
+namespace {
+
+TEST(Mocus, PaperExample) {
+  const ft::FaultTree t = ft::fire_protection_system();
+  const MocusResult r = mocus(t);
+  ASSERT_TRUE(r.complete);
+  ASSERT_EQ(r.cut_sets.size(), 5u);
+  for (const auto& cs : r.cut_sets) {
+    EXPECT_TRUE(ft::is_minimal_cut_set(t, cs)) << cs.to_string(t);
+  }
+  // The documented MCS family.
+  auto sorted = r.cut_sets;
+  std::sort(sorted.begin(), sorted.end());
+  const std::vector<ft::CutSet> expected = [] {
+    std::vector<ft::CutSet> e{ft::CutSet({2}), ft::CutSet({3}),
+                              ft::CutSet({0, 1}), ft::CutSet({4, 5}),
+                              ft::CutSet({4, 6})};
+    std::sort(e.begin(), e.end());
+    return e;
+  }();
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(Mocus, SingleEventTree) {
+  ft::FaultTree t;
+  t.add_basic_event("x", 0.5);
+  t.set_top(t.add_gate("G", ft::NodeType::Or, {0}));
+  const MocusResult r = mocus(t);
+  ASSERT_EQ(r.cut_sets.size(), 1u);
+  EXPECT_EQ(r.cut_sets[0], ft::CutSet({0}));
+}
+
+TEST(Mocus, PureAndTreeHasOneCut) {
+  ft::FaultTree t;
+  std::vector<ft::NodeIndex> events;
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(t.add_basic_event("e" + std::to_string(i), 0.1));
+  }
+  t.set_top(t.add_gate("G", ft::NodeType::And, std::move(events)));
+  const MocusResult r = mocus(t);
+  ASSERT_EQ(r.cut_sets.size(), 1u);
+  EXPECT_EQ(r.cut_sets[0].size(), 5u);
+}
+
+TEST(Mocus, PureOrTreeHasSingletons) {
+  ft::FaultTree t;
+  std::vector<ft::NodeIndex> events;
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(t.add_basic_event("e" + std::to_string(i), 0.1));
+  }
+  t.set_top(t.add_gate("G", ft::NodeType::Or, std::move(events)));
+  const MocusResult r = mocus(t);
+  ASSERT_EQ(r.cut_sets.size(), 5u);
+  for (const auto& cs : r.cut_sets) EXPECT_EQ(cs.size(), 1u);
+}
+
+TEST(Mocus, VoteGateExpandsCombinations) {
+  const auto tree = gen::ladder_tree(2, 5);
+  const MocusResult r = mocus(tree);
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.cut_sets.size(), 6u);  // 3 pairs per 2oo3 subsystem
+  for (const auto& cs : r.cut_sets) EXPECT_EQ(cs.size(), 2u);
+}
+
+TEST(Mocus, SharedSubtreeAbsorption) {
+  // TOP = (a & S) | S where S = b | c: MCSs are {b}, {c}, absorbed from
+  // the AND branch entirely.
+  ft::FaultTree t;
+  const auto a = t.add_basic_event("a", 0.5);
+  const auto b = t.add_basic_event("b", 0.5);
+  const auto c = t.add_basic_event("c", 0.5);
+  const auto s = t.add_gate("S", ft::NodeType::Or, {b, c});
+  const auto g = t.add_gate("G", ft::NodeType::And, {a, s});
+  t.set_top(t.add_gate("TOP", ft::NodeType::Or, {g, s}));
+  const MocusResult r = mocus(t);
+  ASSERT_TRUE(r.complete);
+  auto sorted = r.cut_sets;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0], ft::CutSet({1}));
+  EXPECT_EQ(sorted[1], ft::CutSet({2}));
+}
+
+TEST(Mocus, CapTruncatesHonestly) {
+  // A wide two-level tree with a large product of choices.
+  gen::GeneratorOptions opts;
+  opts.num_events = 60;
+  opts.and_fraction = 0.7;
+  const auto tree = gen::random_tree(opts, 9);
+  MocusOptions mo;
+  mo.max_sets = 10;
+  const MocusResult r = mocus(tree, mo);
+  if (!r.complete) {
+    SUCCEED();  // truncation reported
+  } else {
+    EXPECT_LE(r.cut_sets.size(), 10u + 1);
+  }
+}
+
+TEST(Mocus, MpmcsExhaustiveOnPaperExample) {
+  const ft::FaultTree t = ft::fire_protection_system();
+  const auto best = mpmcs_exhaustive(t);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->first, ft::CutSet({0, 1}));
+  EXPECT_NEAR(best->second, 0.02, 1e-12);
+}
+
+TEST(Mocus, AllReportedSetsAreMinimalCuts) {
+  for (std::uint64_t seed = 300; seed < 320; ++seed) {
+    gen::GeneratorOptions opts;
+    opts.num_events = 9;
+    opts.vote_fraction = 0.25;
+    opts.sharing = 0.25;
+    const auto tree = gen::random_tree(opts, seed);
+    const MocusResult r = mocus(tree);
+    ASSERT_TRUE(r.complete);
+    EXPECT_FALSE(r.cut_sets.empty());
+    for (const auto& cs : r.cut_sets) {
+      EXPECT_TRUE(ft::is_minimal_cut_set(tree, cs))
+          << "seed " << seed << " " << cs.to_string(tree);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fta::mocus

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "ft/builder.hpp"
+#include "ft/parser.hpp"
+#include "logic/eval.hpp"
+
+namespace fta::ft {
+namespace {
+
+const char* kFpsDocument = R"(
+// Fire protection system (paper Fig. 1)
+toplevel FPS;
+FPS or DETECTION SUPPRESSION;
+DETECTION and x1 x2;
+SUPPRESSION or x3 x4 TRIGGER;
+TRIGGER and x5 REMOTE;
+REMOTE or x6 x7;
+x1 prob=0.2;
+x2 prob=0.1;
+x3 prob=0.001;
+x4 prob=0.002;
+x5 prob=0.05;
+x6 prob=0.1;
+x7 prob=0.05;
+)";
+
+TEST(Parser, ParsesPaperExample) {
+  const FaultTree t = parse_fault_tree(kFpsDocument);
+  EXPECT_EQ(t.num_events(), 7u);
+  EXPECT_EQ(t.stats().gates, 5u);
+  EXPECT_EQ(t.node(t.top()).name, "FPS");
+  const auto x1 = t.find("x1");
+  ASSERT_NE(x1, kNoIndex);
+  EXPECT_DOUBLE_EQ(t.node(x1).probability, 0.2);
+}
+
+TEST(Parser, ParsedTreeMatchesBuiltTree) {
+  const FaultTree parsed = parse_fault_tree(kFpsDocument);
+  const FaultTree built = fire_protection_system();
+  // Same Boolean function over events (names map 1:1 by construction).
+  logic::FormulaStore s1, s2;
+  const auto f1 = parsed.to_formula(s1);
+  const auto f2 = built.to_formula(s2);
+  for (std::uint64_t mask = 0; mask < (1u << 7); ++mask) {
+    std::vector<bool> a(7);
+    for (std::uint32_t v = 0; v < 7; ++v) a[v] = (mask >> v) & 1;
+    ASSERT_EQ(logic::eval(s1, f1, a), logic::eval(s2, f2, a)) << mask;
+  }
+}
+
+TEST(Parser, VoteGates) {
+  const FaultTree t = parse_fault_tree(
+      "toplevel V; V 2of3 a b c; a prob=0.1; b prob=0.2; c prob=0.3;");
+  const auto& top = t.node(t.top());
+  EXPECT_EQ(top.type, NodeType::Vote);
+  EXPECT_EQ(top.k, 2u);
+  EXPECT_EQ(top.children.size(), 3u);
+}
+
+TEST(Parser, VoteArityMismatchRejected) {
+  EXPECT_THROW(
+      parse_fault_tree("toplevel V; V 2of3 a b; a prob=0.1; b prob=0.1;"),
+      ParseError);
+}
+
+TEST(Parser, GatesMayBeDeclaredInAnyOrder) {
+  const FaultTree t = parse_fault_tree(
+      "toplevel T; INNER and x y; T or INNER z; x prob=0.1; y prob=0.2; "
+      "z prob=0.3;");
+  EXPECT_EQ(t.node(t.top()).name, "T");
+  EXPECT_EQ(t.num_events(), 3u);
+}
+
+TEST(Parser, QuotedNames) {
+  const FaultTree t = parse_fault_tree(
+      "toplevel \"main failure\"; \"main failure\" or \"pump 1\" \"pump 2\"; "
+      "\"pump 1\" prob=0.5; \"pump 2\" prob=0.5;");
+  EXPECT_NE(t.find("pump 1"), kNoIndex);
+  EXPECT_EQ(t.node(t.top()).name, "main failure");
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  const FaultTree t = parse_fault_tree(
+      "# hash comment\n"
+      "toplevel T; // trailing comment\n"
+      "\n"
+      "T and a b;\n"
+      "a prob=0.5; b prob=0.25;\n");
+  EXPECT_EQ(t.num_events(), 2u);
+}
+
+TEST(Parser, DefaultProbabilityIsZero) {
+  const FaultTree t = parse_fault_tree("toplevel T; T or a b; a prob=0.5;");
+  const auto b = t.find("b");
+  ASSERT_NE(b, kNoIndex);
+  EXPECT_DOUBLE_EQ(t.node(b).probability, 0.0);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_fault_tree("toplevel T;\nT nonsense a b;\na prob=0.1;\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("nonsense"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMissingToplevel) {
+  EXPECT_THROW(parse_fault_tree("T or a b; a prob=0.1;"), ParseError);
+}
+
+TEST(Parser, RejectsUndefinedToplevel) {
+  EXPECT_THROW(parse_fault_tree("toplevel NOPE; T or a b;"), ParseError);
+}
+
+TEST(Parser, RejectsDuplicateGate) {
+  EXPECT_THROW(parse_fault_tree("toplevel T; T or a b; T and a b;"),
+               ParseError);
+}
+
+TEST(Parser, RejectsProbabilityOnGate) {
+  EXPECT_THROW(
+      parse_fault_tree("toplevel T; T or a b; T prob=0.5; a prob=0.1;"),
+      ParseError);
+}
+
+TEST(Parser, RejectsBadProbabilityValue) {
+  EXPECT_THROW(parse_fault_tree("toplevel T; T or a b; a prob=banana;"),
+               ParseError);
+  EXPECT_THROW(parse_fault_tree("toplevel T; T or a b; a prob=1.5;"),
+               ParseError);
+}
+
+TEST(Parser, RejectsCycle) {
+  EXPECT_THROW(parse_fault_tree("toplevel A; A or B x; B or A y;"),
+               ParseError);
+}
+
+TEST(Parser, RejectsUnterminatedStatement) {
+  EXPECT_THROW(parse_fault_tree("toplevel T; T or a b"), ParseError);
+}
+
+TEST(Parser, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_fault_tree("toplevel \"T; T or a b;"), ParseError);
+}
+
+TEST(Parser, RoundTripThroughText) {
+  const FaultTree original = fire_protection_system();
+  const std::string text = to_text(original);
+  const FaultTree back = parse_fault_tree(text);
+  EXPECT_EQ(back.num_events(), original.num_events());
+  EXPECT_EQ(back.stats().gates, original.stats().gates);
+  // Probabilities survive.
+  for (EventIndex e = 0; e < original.num_events(); ++e) {
+    const auto idx = back.find(original.event(e).name);
+    ASSERT_NE(idx, kNoIndex);
+    EXPECT_DOUBLE_EQ(back.node(idx).probability,
+                     original.event_probability(e));
+  }
+}
+
+TEST(Parser, RoundTripVote) {
+  const FaultTree t = parse_fault_tree(
+      "toplevel V; V 2of3 a b c; a prob=0.1; b prob=0.2; c prob=0.3;");
+  const FaultTree back = parse_fault_tree(to_text(t));
+  const auto& top = back.node(back.top());
+  EXPECT_EQ(top.type, NodeType::Vote);
+  EXPECT_EQ(top.k, 2u);
+}
+
+}  // namespace
+}  // namespace fta::ft

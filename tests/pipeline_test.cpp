@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bdd/fta_bdd.hpp"
+#include "core/pipeline.hpp"
+#include "ft/builder.hpp"
+#include "gen/generator.hpp"
+#include "mocus/mocus.hpp"
+
+namespace fta::core {
+namespace {
+
+using maxsat::MaxSatStatus;
+
+TEST(Pipeline, PaperHeadlineResult) {
+  // §II: "the MPMCS is {x1, x2} with a joint probability of 0.02."
+  const ft::FaultTree t = ft::fire_protection_system();
+  for (const auto choice :
+       {SolverChoice::Portfolio, SolverChoice::Oll, SolverChoice::FuMalik,
+        SolverChoice::Lsu, SolverChoice::BruteForce}) {
+    PipelineOptions opts;
+    opts.solver = choice;
+    const MpmcsPipeline pipeline(opts);
+    const MpmcsSolution sol = pipeline.solve(t);
+    ASSERT_EQ(sol.status, MaxSatStatus::Optimal) << solver_choice_name(choice);
+    EXPECT_EQ(sol.cut, ft::CutSet({0, 1})) << solver_choice_name(choice);
+    EXPECT_NEAR(sol.probability, 0.02, 1e-12) << solver_choice_name(choice);
+    EXPECT_NEAR(sol.log_cost, -std::log(0.02), 1e-9);
+  }
+}
+
+TEST(Pipeline, Table1LogWeights) {
+  // Table I of the paper: w_i = -log p(x_i).
+  const ft::FaultTree t = ft::fire_protection_system();
+  const auto w = MpmcsPipeline::log_weights(t);
+  const double expected[] = {1.60944, 2.30259, 6.90776, 6.21461,
+                             2.99573, 2.30259, 2.99573};
+  ASSERT_EQ(w.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_NEAR(w[i], expected[i], 5e-6) << "x" << i + 1;
+  }
+}
+
+TEST(Pipeline, SolutionIsAlwaysMinimalCut) {
+  const MpmcsPipeline pipeline;
+  for (std::uint64_t seed = 500; seed < 520; ++seed) {
+    gen::GeneratorOptions opts;
+    opts.num_events = 14;
+    opts.vote_fraction = 0.2;
+    opts.sharing = 0.25;
+    const auto tree = gen::random_tree(opts, seed);
+    const auto sol = pipeline.solve(tree);
+    ASSERT_EQ(sol.status, MaxSatStatus::Optimal) << "seed " << seed;
+    EXPECT_TRUE(ft::is_minimal_cut_set(tree, sol.cut)) << "seed " << seed;
+    EXPECT_NEAR(sol.probability, sol.cut.probability(tree), 1e-15);
+  }
+}
+
+TEST(Pipeline, AgreesWithBddAndMocusBaselines) {
+  // The central cross-validation: the MaxSAT pipeline, the BDD/ZBDD
+  // argmax and exhaustive MOCUS scoring must report the same maximum
+  // probability (sets may differ under exact ties).
+  const MpmcsPipeline pipeline;
+  for (std::uint64_t seed = 600; seed < 625; ++seed) {
+    gen::GeneratorOptions opts;
+    opts.num_events = 12;
+    opts.vote_fraction = 0.15;
+    opts.sharing = 0.2;
+    const auto tree = gen::random_tree(opts, seed);
+
+    const auto sat_sol = pipeline.solve(tree);
+    ASSERT_EQ(sat_sol.status, MaxSatStatus::Optimal) << "seed " << seed;
+
+    bdd::FaultTreeBdd analysis(tree);
+    const auto bdd_sol = analysis.mpmcs();
+    ASSERT_TRUE(bdd_sol.has_value()) << "seed " << seed;
+
+    const auto mocus_sol = mocus::mpmcs_exhaustive(tree);
+    ASSERT_TRUE(mocus_sol.has_value()) << "seed " << seed;
+
+    // Probabilities agree across all three methods (weight scaling can
+    // perturb the argmax only below ~1e-5 relative).
+    EXPECT_NEAR(sat_sol.probability, bdd_sol->second,
+                1e-5 * bdd_sol->second + 1e-15)
+        << "seed " << seed;
+    EXPECT_NEAR(bdd_sol->second, mocus_sol->second, 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(Pipeline, HandlesProbabilityOneEvents) {
+  // p = 1 events have weight 0; the shrink pass must still return a
+  // genuinely minimal cut.
+  ft::FaultTree t;
+  const auto a = t.add_basic_event("always", 1.0);
+  const auto b = t.add_basic_event("b", 0.3);
+  const auto c = t.add_basic_event("c", 0.2);
+  const auto g1 = t.add_gate("G1", ft::NodeType::And, {a, b});
+  const auto g2 = t.add_gate("G2", ft::NodeType::And, {b, c});
+  t.set_top(t.add_gate("TOP", ft::NodeType::Or, {g1, g2}));
+  const MpmcsPipeline pipeline;
+  const auto sol = pipeline.solve(t);
+  ASSERT_EQ(sol.status, MaxSatStatus::Optimal);
+  // MCSs: {always, b} with p=0.3, {b, c} with p=0.06.
+  EXPECT_EQ(sol.cut, ft::CutSet({0, 1}));
+  EXPECT_NEAR(sol.probability, 0.3, 1e-12);
+  EXPECT_TRUE(ft::is_minimal_cut_set(t, sol.cut));
+}
+
+TEST(Pipeline, HandlesProbabilityZeroEvents) {
+  // p = 0 events are avoided unless structurally unavoidable.
+  ft::FaultTree t;
+  const auto never = t.add_basic_event("never", 0.0);
+  const auto b = t.add_basic_event("b", 0.5);
+  const auto g1 = t.add_gate("G1", ft::NodeType::And, {never, b});
+  t.set_top(t.add_gate("TOP", ft::NodeType::Or, {g1, b}));
+  const MpmcsPipeline pipeline;
+  const auto sol = pipeline.solve(t);
+  ASSERT_EQ(sol.status, MaxSatStatus::Optimal);
+  EXPECT_EQ(sol.cut, ft::CutSet({1}));
+  EXPECT_NEAR(sol.probability, 0.5, 1e-12);
+}
+
+TEST(Pipeline, UnavoidableZeroProbabilityEvent) {
+  ft::FaultTree t;
+  t.add_basic_event("never", 0.0);
+  t.set_top(t.add_gate("TOP", ft::NodeType::Or, {0}));
+  const MpmcsPipeline pipeline;
+  const auto sol = pipeline.solve(t);
+  ASSERT_EQ(sol.status, MaxSatStatus::Optimal);
+  EXPECT_EQ(sol.cut, ft::CutSet({0}));
+  EXPECT_EQ(sol.probability, 0.0);
+  EXPECT_TRUE(std::isinf(sol.log_cost));
+}
+
+TEST(Pipeline, TopKOnPaperExample) {
+  const ft::FaultTree t = ft::fire_protection_system();
+  const MpmcsPipeline pipeline;
+  const auto ranked = pipeline.top_k(t, 10);
+  // Exactly the 5 MCSs, in descending probability order:
+  // {x1,x2}=0.02, {x5,x6}=0.005, {x5,x7}=0.0025, {x4}=0.002, {x3}=0.001.
+  ASSERT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked[0].cut, ft::CutSet({0, 1}));
+  EXPECT_NEAR(ranked[0].probability, 0.02, 1e-12);
+  EXPECT_EQ(ranked[1].cut, ft::CutSet({4, 5}));
+  EXPECT_NEAR(ranked[1].probability, 0.005, 1e-12);
+  EXPECT_EQ(ranked[2].cut, ft::CutSet({4, 6}));
+  EXPECT_NEAR(ranked[2].probability, 0.0025, 1e-12);
+  EXPECT_EQ(ranked[3].cut, ft::CutSet({3}));
+  EXPECT_NEAR(ranked[3].probability, 0.002, 1e-12);
+  EXPECT_EQ(ranked[4].cut, ft::CutSet({2}));
+  EXPECT_NEAR(ranked[4].probability, 0.001, 1e-12);
+}
+
+TEST(Pipeline, TopKMatchesBddRanking) {
+  const MpmcsPipeline pipeline;
+  for (std::uint64_t seed = 700; seed < 710; ++seed) {
+    gen::GeneratorOptions opts;
+    opts.num_events = 10;
+    const auto tree = gen::random_tree(opts, seed);
+
+    bdd::FaultTreeBdd analysis(tree);
+    auto all = analysis.minimal_cut_sets();
+    std::vector<double> probs;
+    for (const auto& cs : all) probs.push_back(cs.probability(tree));
+    std::sort(probs.rbegin(), probs.rend());
+
+    const std::size_t k = std::min<std::size_t>(5, all.size());
+    const auto ranked = pipeline.top_k(tree, k);
+    ASSERT_EQ(ranked.size(), k) << "seed " << seed;
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(ranked[i].probability, probs[i], 1e-5 * probs[i] + 1e-15)
+          << "seed " << seed << " rank " << i;
+      // Descending order.
+      if (i > 0) EXPECT_LE(ranked[i].probability, ranked[i - 1].probability * (1 + 1e-9));
+    }
+  }
+}
+
+TEST(Pipeline, TopKExhaustsAllCuts) {
+  // Asking for more cuts than exist returns exactly the full family.
+  ft::FaultTree t;
+  t.add_basic_event("a", 0.5);
+  t.add_basic_event("b", 0.4);
+  t.set_top(t.add_gate("TOP", ft::NodeType::Or, {0, 1}));
+  const MpmcsPipeline pipeline;
+  const auto ranked = pipeline.top_k(t, 100);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].cut, ft::CutSet({0}));
+  EXPECT_EQ(ranked[1].cut, ft::CutSet({1}));
+}
+
+TEST(Pipeline, BuildInstanceShape) {
+  const ft::FaultTree t = ft::fire_protection_system();
+  const MpmcsPipeline pipeline;
+  const auto inst = pipeline.build_instance(t);
+  // One soft clause per event (all probabilities in (0,1)).
+  EXPECT_EQ(inst.soft().size(), 7u);
+  // All softs are unit negative literals on the event variables.
+  for (const auto& s : inst.soft()) {
+    ASSERT_EQ(s.lits.size(), 1u);
+    EXPECT_TRUE(s.lits[0].negated());
+    EXPECT_LT(s.lits[0].var(), 7u);
+    EXPECT_GT(s.weight, 0u);
+  }
+  // Scaled Table-I weights: w1 = round(1e6 * 1.60944) etc.
+  EXPECT_EQ(inst.soft()[0].weight, 1609438u);
+  EXPECT_EQ(inst.soft()[1].weight, 2302585u);
+}
+
+TEST(Pipeline, WeightScaleOptionChangesResolution) {
+  const ft::FaultTree t = ft::fire_protection_system();
+  PipelineOptions coarse;
+  coarse.weight_scale = 10;
+  const auto inst = MpmcsPipeline(coarse).build_instance(t);
+  EXPECT_EQ(inst.soft()[0].weight, 16u);  // round(10 * 1.60944)
+}
+
+TEST(Pipeline, JsonOutputContainsSolution) {
+  const ft::FaultTree t = ft::fire_protection_system();
+  const MpmcsPipeline pipeline;
+  const auto sol = pipeline.solve(t);
+  const std::string json = MpmcsPipeline::to_json(t, sol);
+  EXPECT_NE(json.find("\"mpmcs\""), std::string::npos);
+  EXPECT_NE(json.find("\"x1\""), std::string::npos);
+  EXPECT_NE(json.find("\"probability\": 0.02"), std::string::npos);
+}
+
+TEST(Pipeline, PolarityAwareTseitinGivesSameAnswer) {
+  PipelineOptions opts;
+  opts.polarity_aware_tseitin = true;
+  const MpmcsPipeline pg(opts);
+  const MpmcsPipeline full;
+  for (std::uint64_t seed = 800; seed < 810; ++seed) {
+    gen::GeneratorOptions gopts;
+    gopts.num_events = 12;
+    const auto tree = gen::random_tree(gopts, seed);
+    const auto a = pg.solve(tree);
+    const auto b = full.solve(tree);
+    ASSERT_EQ(a.status, MaxSatStatus::Optimal);
+    ASSERT_EQ(b.status, MaxSatStatus::Optimal);
+    EXPECT_EQ(a.scaled_cost, b.scaled_cost) << "seed " << seed;
+  }
+}
+
+TEST(Pipeline, ChainAndLadderFamilies) {
+  const MpmcsPipeline pipeline;
+  const auto chain = gen::chain_tree(60, 3);
+  const auto chain_sol = pipeline.solve(chain);
+  ASSERT_EQ(chain_sol.status, MaxSatStatus::Optimal);
+  EXPECT_TRUE(ft::is_minimal_cut_set(chain, chain_sol.cut));
+
+  const auto ladder = gen::ladder_tree(10, 4);
+  const auto ladder_sol = pipeline.solve(ladder);
+  ASSERT_EQ(ladder_sol.status, MaxSatStatus::Optimal);
+  EXPECT_EQ(ladder_sol.cut.size(), 2u);  // a 2-of-3 pair
+  EXPECT_TRUE(ft::is_minimal_cut_set(ladder, ladder_sol.cut));
+
+  // Cross-check the ladder against the BDD argmax.
+  bdd::FaultTreeBdd analysis(ladder);
+  EXPECT_NEAR(ladder_sol.probability, analysis.mpmcs()->second,
+              1e-5 * ladder_sol.probability);
+}
+
+TEST(Pipeline, MediumTreeUnderASecond) {
+  // The §IV scalability claim in miniature (full sweep in bench/).
+  gen::GeneratorOptions opts;
+  opts.num_events = 1000;
+  const auto tree = gen::random_tree(opts, 99);
+  PipelineOptions popts;
+  popts.solver = SolverChoice::Oll;
+  const MpmcsPipeline pipeline(popts);
+  const auto sol = pipeline.solve(tree);
+  ASSERT_EQ(sol.status, MaxSatStatus::Optimal);
+  EXPECT_TRUE(ft::is_minimal_cut_set(tree, sol.cut));
+  EXPECT_LT(sol.total_seconds, 5.0);
+}
+
+}  // namespace
+}  // namespace fta::core

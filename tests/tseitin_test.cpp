@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "logic/eval.hpp"
+#include "logic/tseitin.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace fta::logic {
+namespace {
+
+/// Checks that a CNF restricted to input variables has exactly the models
+/// of the formula: every formula model extends to a CNF model, and every
+/// CNF model projects to a formula model.
+void check_equisatisfiable_models(FormulaStore& store, NodeId root,
+                                  std::uint32_t num_vars,
+                                  TseitinOptions opts = {}) {
+  auto res = tseitin(store, root, /*assert_root=*/true, opts);
+  ASSERT_EQ(res.num_input_vars, store.num_vars());
+
+  const std::uint32_t total = res.cnf.num_vars();
+  ASSERT_LE(total, 63u) << "keep the exhaustive check tractable";
+
+  // Project all CNF models onto input vars.
+  std::vector<std::vector<bool>> cnf_projections;
+  std::vector<bool> a(total, false);
+  for (std::uint64_t mask = 0; mask < (1ULL << total); ++mask) {
+    for (std::uint32_t v = 0; v < total; ++v) a[v] = (mask >> v) & 1;
+    if (res.cnf.eval(a)) {
+      cnf_projections.emplace_back(a.begin(), a.begin() + num_vars);
+    }
+  }
+  // Every projection satisfies the formula, and every formula model
+  // appears among the projections.
+  std::uint64_t formula_models = 0;
+  std::vector<bool> input(num_vars, false);
+  for (std::uint64_t mask = 0; mask < (1ULL << num_vars); ++mask) {
+    for (std::uint32_t v = 0; v < num_vars; ++v) input[v] = (mask >> v) & 1;
+    const bool sat = eval(store, root, input);
+    if (sat) ++formula_models;
+    const bool in_projections =
+        std::find(cnf_projections.begin(), cnf_projections.end(), input) !=
+        cnf_projections.end();
+    if (sat) {
+      EXPECT_TRUE(in_projections) << "formula model missing from CNF";
+    } else {
+      EXPECT_FALSE(in_projections) << "CNF admits a non-model";
+    }
+  }
+  (void)formula_models;
+}
+
+TEST(Tseitin, AndGate) {
+  FormulaStore s;
+  const NodeId f = s.land({s.var(0), s.var(1)});
+  check_equisatisfiable_models(s, f, 2);
+}
+
+TEST(Tseitin, OrGate) {
+  FormulaStore s;
+  const NodeId f = s.lor({s.var(0), s.var(1)});
+  check_equisatisfiable_models(s, f, 2);
+}
+
+TEST(Tseitin, NotGate) {
+  FormulaStore s;
+  const NodeId f = s.land({s.var(0), s.lnot(s.var(1))});
+  check_equisatisfiable_models(s, f, 2);
+}
+
+TEST(Tseitin, PaperFormula) {
+  FormulaStore s;
+  std::vector<NodeId> x;
+  for (Var v = 0; v < 7; ++v) x.push_back(s.var(v));
+  const NodeId f =
+      s.lor({s.land({x[0], x[1]}),
+             s.lor({x[2], x[3], s.land({x[4], s.lor({x[5], x[6]})})})});
+  check_equisatisfiable_models(s, f, 7);
+}
+
+TEST(Tseitin, SuccessTreeOfPaperFormula) {
+  FormulaStore s;
+  std::vector<NodeId> x;
+  for (Var v = 0; v < 7; ++v) x.push_back(s.var(v));
+  const NodeId f =
+      s.lor({s.land({x[0], x[1]}),
+             s.lor({x[2], x[3], s.land({x[4], s.lor({x[5], x[6]})})})});
+  const NodeId success = s.negate_nnf(f);
+  check_equisatisfiable_models(s, success, 7);
+}
+
+TEST(Tseitin, VoteGate) {
+  FormulaStore s;
+  const NodeId f = s.at_least(2, {s.var(0), s.var(1), s.var(2)});
+  check_equisatisfiable_models(s, f, 3);
+}
+
+TEST(Tseitin, PolarityAwareVariantAgrees) {
+  FormulaStore s;
+  std::vector<NodeId> x;
+  for (Var v = 0; v < 5; ++v) x.push_back(s.var(v));
+  const NodeId f = s.lor(
+      {s.land({x[0], x[1]}), s.land({x[2], s.lor({x[3], x[4]})})});
+  check_equisatisfiable_models(s, f, 5, TseitinOptions{.polarity_aware = true});
+}
+
+TEST(Tseitin, PolarityAwareEmitsFewerClauses) {
+  FormulaStore s;
+  util::Rng rng(4242);
+  const NodeId f = test::random_monotone_formula(rng, s, 12, false);
+  auto full = tseitin(s, f, true, TseitinOptions{.polarity_aware = false});
+  auto pg = tseitin(s, f, true, TseitinOptions{.polarity_aware = true});
+  EXPECT_LT(pg.cnf.num_clauses(), full.cnf.num_clauses());
+}
+
+TEST(Tseitin, RandomFormulasEquisatisfiable) {
+  util::Rng rng(2024);
+  for (int round = 0; round < 40; ++round) {
+    FormulaStore s;
+    const auto n = static_cast<std::uint32_t>(2 + rng.below(4));
+    const NodeId f = test::random_monotone_formula(rng, s, n);
+    check_equisatisfiable_models(s, f, n);
+  }
+}
+
+TEST(Tseitin, ConstantTrueRoot) {
+  FormulaStore s;
+  auto res = tseitin(s, s.constant(true), true);
+  // Must be satisfiable.
+  std::vector<bool> a(res.cnf.num_vars(), true);
+  EXPECT_TRUE(res.cnf.eval(a));
+}
+
+TEST(Tseitin, ConstantFalseRootAsserted) {
+  FormulaStore s;
+  auto res = tseitin(s, s.constant(false), true);
+  // Must be unsatisfiable.
+  const std::uint32_t total = res.cnf.num_vars();
+  ASSERT_LE(total, 8u);
+  bool any = false;
+  std::vector<bool> a(total, false);
+  for (std::uint64_t mask = 0; mask < (1ULL << total); ++mask) {
+    for (std::uint32_t v = 0; v < total; ++v) a[v] = (mask >> v) & 1;
+    if (res.cnf.eval(a)) any = true;
+  }
+  EXPECT_FALSE(any);
+}
+
+TEST(Tseitin, LinearSizeInFormula) {
+  // A chain of alternating gates: CNF must stay linear, not explode.
+  FormulaStore s;
+  NodeId acc = s.var(0);
+  for (Var v = 1; v < 200; ++v) {
+    acc = (v % 2) ? s.land({acc, s.var(v)}) : s.lor({acc, s.var(v)});
+  }
+  auto res = tseitin(s, acc, true);
+  EXPECT_LT(res.cnf.num_clauses(), 1200u);
+}
+
+TEST(DistributiveCnf, MatchesTseitinOnSmallFormulas) {
+  util::Rng rng(31337);
+  for (int round = 0; round < 30; ++round) {
+    FormulaStore s;
+    const auto n = static_cast<std::uint32_t>(2 + rng.below(4));
+    const NodeId f = test::random_monotone_formula(rng, s, n);
+    auto naive = distributive_cnf(s, f);
+    ASSERT_TRUE(naive.has_value());
+    // Same models over input vars.
+    std::vector<bool> a(n, false);
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      for (std::uint32_t v = 0; v < n; ++v) a[v] = (mask >> v) & 1;
+      std::vector<bool> padded = a;
+      padded.resize(naive->num_vars(), false);
+      ASSERT_EQ(naive->eval(padded), eval(s, f, a))
+          << "round " << round << " mask " << mask;
+    }
+  }
+}
+
+TEST(DistributiveCnf, OverflowsOnHardFormulas) {
+  // (a1&b1) | (a2&b2) | ... has 2^n distributive clauses.
+  FormulaStore s;
+  std::vector<NodeId> disjuncts;
+  for (Var v = 0; v < 50; ++v) {
+    disjuncts.push_back(s.land({s.var(2 * v), s.var(2 * v + 1)}));
+  }
+  const NodeId f = s.lor(disjuncts);
+  EXPECT_FALSE(distributive_cnf(s, f, 10000).has_value());
+}
+
+}  // namespace
+}  // namespace fta::logic

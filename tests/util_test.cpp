@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/luby.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace fta {
+namespace {
+
+TEST(Rng, Deterministic) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  util::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  util::Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  util::Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Luby, KnownPrefix) {
+  const std::uint64_t expected[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8};
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(util::luby(i + 1), expected[i]) << "at index " << i + 1;
+  }
+}
+
+TEST(Luby, PowersAtSubsequenceEnds) {
+  EXPECT_EQ(util::luby(31), 16u);   // 2^5 - 1
+  EXPECT_EQ(util::luby(63), 32u);   // 2^6 - 1
+  EXPECT_EQ(util::luby(127), 64u);  // 2^7 - 1
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(util::trim("  hi  "), "hi");
+  EXPECT_EQ(util::trim("hi"), "hi");
+  EXPECT_EQ(util::trim("   "), "");
+  EXPECT_EQ(util::trim(""), "");
+  EXPECT_EQ(util::trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, Split) {
+  const auto parts = util::split("a b  c", " ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(util::split("", " ").empty());
+  EXPECT_TRUE(util::split("   ", " ").empty());
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(util::starts_with("prob=0.5", "prob="));
+  EXPECT_FALSE(util::starts_with("pro", "prob="));
+}
+
+TEST(Strings, JsonEscape) {
+  EXPECT_EQ(util::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(util::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(util::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(util::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(util::format_double(0.5), "0.5");
+  EXPECT_EQ(util::format_double(2), "2");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  util::Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  const double s = t.seconds();
+  const double ms = t.millis();
+  EXPECT_GE(ms, s * 1000.0);  // millis read later, clock is monotonic
+  EXPECT_NEAR(ms, s * 1000.0, 50.0);
+}
+
+TEST(Deadline, Unlimited) {
+  util::Deadline d;
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), 1e20);
+}
+
+TEST(Deadline, Expires) {
+  util::Deadline d(1e-9);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), 0.0);
+}
+
+}  // namespace
+}  // namespace fta
