@@ -1,0 +1,137 @@
+// E-engine: batch throughput of the concurrent analysis engine vs. the
+// sequential pipeline (trees/second).
+//
+// The workload models heavy multi-tree traffic: a corpus of distinct
+// generated trees, each analysed several times (monitoring and CI-style
+// traffic re-checks the same models), shuffled into one request stream.
+// Three configurations run the identical stream:
+//
+//   sequential        MpmcsPipeline::solve per request (the paper's tool)
+//   engine nocache    work-stealing pool only
+//   engine cached     pool + structural-hash artefact cache
+//
+// usage: bench_engine_batch [distinct] [repeats] [events] [jobs]
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "engine/analysis_engine.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fta;
+
+  const std::uint32_t distinct =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 6;
+  const std::uint32_t repeats =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 6;
+  const std::uint32_t events =
+      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 150;
+  const std::size_t jobs =
+      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 0;
+
+  core::PipelineOptions popts;
+  popts.solver = core::SolverChoice::Oll;  // deterministic, one thread/solve
+
+  gen::GeneratorOptions gopts;
+  gopts.num_events = events;
+  gopts.vote_fraction = 0.05;
+  gopts.sharing = 0.15;
+
+  std::vector<ft::FaultTree> corpus;
+  for (std::uint32_t i = 0; i < distinct; ++i) {
+    corpus.push_back(gen::random_tree(gopts, 0x9000 + i));
+  }
+
+  // One shuffled stream of distinct × repeats requests.
+  std::vector<std::size_t> stream(static_cast<std::size_t>(distinct) * repeats);
+  for (std::size_t i = 0; i < stream.size(); ++i) stream[i] = i % distinct;
+  util::Rng rng(0xba7c4a11);
+  for (std::size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.below(i)]);
+  }
+
+  bench::banner("engine batch throughput (trees/second)");
+  std::printf("corpus: %u distinct trees x %u repeats, ~%u events each\n",
+              distinct, repeats, events);
+
+  // --- sequential baseline ------------------------------------------------
+  const core::MpmcsPipeline pipeline(popts);
+  std::vector<double> expected(distinct, -1.0);
+  util::Timer seq_timer;
+  for (const std::size_t idx : stream) {
+    const core::MpmcsSolution sol = pipeline.solve(corpus[idx]);
+    if (sol.status != maxsat::MaxSatStatus::Optimal) {
+      std::fprintf(stderr, "sequential solve failed on tree %zu\n", idx);
+      return 1;
+    }
+    expected[idx] = sol.probability;
+  }
+  const double seq_seconds = seq_timer.seconds();
+  const double seq_tps = stream.size() / seq_seconds;
+
+  // --- engine configurations ----------------------------------------------
+  struct Config {
+    const char* label;
+    std::size_t cache_capacity;
+    bool memoize;
+  };
+  const Config configs[] = {
+      {"engine nocache", 0, false},    // work-stealing pool only
+      {"engine cached", 256, false},   // + Step 1-4 artefact cache
+      {"engine memoized", 256, true},  // + solution memoization tier
+  };
+
+  bench::print_row({"config", "trees/s", "speedup", "cache", "memo",
+                    "steals"},
+                   {18, 12, 10, 8, 8, 8});
+  bench::print_row(
+      {"sequential", bench::fmt(seq_tps, "%.1f"), "1.00x", "-", "-", "-"},
+      {18, 12, 10, 8, 8, 8});
+
+  for (const Config& config : configs) {
+    engine::EngineOptions eopts;
+    eopts.num_threads = jobs;
+    eopts.cache_capacity = config.cache_capacity;
+    eopts.memoize_results = config.memoize;
+    engine::AnalysisEngine eng(eopts);
+
+    std::vector<engine::AnalysisRequest> batch;
+    batch.reserve(stream.size());
+    for (const std::size_t idx : stream) {
+      engine::AnalysisRequest req;
+      req.id = std::to_string(idx);
+      req.tree = corpus[idx];
+      req.pipeline = popts;
+      batch.push_back(std::move(req));
+    }
+
+    util::Timer timer;
+    const auto results = eng.run_batch(std::move(batch));
+    const double seconds = timer.seconds();
+
+    for (const auto& r : results) {
+      const std::size_t idx = std::strtoull(r.id.c_str(), nullptr, 10);
+      if (!r.ok || r.mpmcs.probability != expected[idx]) {
+        std::fprintf(stderr, "%s: result mismatch on tree %zu\n",
+                     config.label, idx);
+        return 1;
+      }
+    }
+
+    const engine::EngineStats stats = eng.stats();
+    const double tps = results.size() / seconds;
+    bench::print_row({config.label, bench::fmt(tps, "%.1f"),
+                      bench::fmt(tps / seq_tps, "%.2f") + "x",
+                      std::to_string(stats.cache_hits),
+                      std::to_string(stats.memo_hits),
+                      std::to_string(stats.pool_steals)},
+                     {18, 12, 10, 8, 8, 8});
+  }
+  return 0;
+}

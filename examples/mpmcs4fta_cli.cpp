@@ -3,6 +3,7 @@
 // that JSON rendered in a browser).
 //
 //   usage: mpmcs4fta_cli [options] <tree.ft>
+//          mpmcs4fta_cli [options] --batch <dir>
 //     --solver NAME   portfolio (default) | oll | fu-malik | lsu | brute
 //     --top K         also report the K most probable MCSs
 //     --json PATH     write the JSON result document ('-' for stdout)
@@ -10,35 +11,266 @@
 //     --wcnf PATH     export the Step-4 Weighted Partial MaxSAT instance
 //                     in standard WCNF (for external MaxSAT solvers)
 //     --scale S       weight scaling factor (default 1e6)
-//     --timeout SEC   portfolio wall-clock cap
+//     --timeout SEC   per-tree wall-clock cap
+//     --batch DIR     analyse every tree file (*.ft, *.xml, *.opsa) in DIR
+//                     concurrently and emit one JSON summary
+//     --jobs N        batch worker threads (default: hardware concurrency)
 //     --quiet         suppress the human-readable summary
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
+#include "engine/analysis_engine.hpp"
 #include "ft/dot_writer.hpp"
 #include "ft/openpsa.hpp"
 #include "ft/parser.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [options] <tree.ft>\n"
+               "       %s [options] --batch <dir>\n"
                "  --solver NAME   portfolio|oll|fu-malik|lsu|brute\n"
                "  --top K         report the K most probable MCSs\n"
                "  --json PATH     write JSON result ('-' = stdout)\n"
                "  --dot PATH      write Graphviz with MPMCS highlighted\n"
                "  --scale S       weight scale (default 1e6)\n"
-               "  --timeout SEC   portfolio time limit\n"
+               "  --timeout SEC   per-tree time limit\n"
+               "  --batch DIR     analyse every tree file in DIR\n"
+               "  --jobs N        batch worker threads\n"
                "  --quiet         no human-readable summary\n",
-               argv0);
+               argv0, argv0);
   return 2;
+}
+
+fta::ft::FaultTree parse_tree_text(const std::string& text) {
+  // Auto-detect format: Open-PSA MEF documents start with '<'.
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '<') {
+    return fta::ft::parse_open_psa(text);
+  }
+  return fta::ft::parse_fault_tree(text);
+}
+
+bool is_tree_file(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".ft" || ext == ".xml" || ext == ".opsa" || ext == ".mef";
+}
+
+std::string cut_to_json_array(const std::vector<std::string>& event_names,
+                              const fta::ft::CutSet& cut) {
+  std::string out = "[";
+  bool sep = false;
+  for (const fta::ft::EventIndex e : cut.events()) {
+    if (sep) out += ", ";
+    out += '"' + fta::util::json_escape(event_names.at(e)) + '"';
+    sep = true;
+  }
+  return out + "]";
+}
+
+std::string cut_to_string(const std::vector<std::string>& event_names,
+                          const fta::ft::CutSet& cut) {
+  std::string out = "{";
+  bool sep = false;
+  for (const fta::ft::EventIndex e : cut.events()) {
+    if (sep) out += ", ";
+    out += event_names.at(e);
+    sep = true;
+  }
+  return out + "}";
+}
+
+/// Runs --batch mode: every tree file in `dir` through the engine.
+int run_batch(const std::string& dir, std::size_t jobs,
+              const fta::core::PipelineOptions& opts, std::size_t top_k,
+              const std::string& json_path, bool quiet) {
+  namespace fs = std::filesystem;
+  using namespace fta;
+
+  std::vector<fs::path> files;
+  try {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file() && is_tree_file(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+    if (ec) throw fs::filesystem_error("cannot read directory", dir, ec);
+  } catch (const fs::filesystem_error& e) {
+    // Construction *and* iteration can fail (e.g. the directory mutating
+    // underneath us); neither should take the process down.
+    std::fprintf(stderr, "cannot read directory %s: %s\n", dir.c_str(),
+                 e.what());
+    return 1;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "no tree files (*.ft, *.xml, *.opsa) in %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+
+  // Parse up front; parse failures become failed results, not a dead batch.
+  std::vector<engine::AnalysisRequest> requests;
+  std::vector<std::pair<std::string, std::string>> parse_failures;
+  std::vector<const ft::FaultTree*> trees_by_request;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      engine::AnalysisRequest req;
+      req.id = file.filename().string();
+      req.tree = parse_tree_text(buffer.str());
+      req.kind = top_k > 0 ? engine::AnalysisKind::TopK
+                           : engine::AnalysisKind::Mpmcs;
+      req.top_k = top_k;
+      req.pipeline = opts;
+      req.timeout_seconds = opts.timeout_seconds;
+      requests.push_back(std::move(req));
+    } catch (const std::exception& e) {
+      parse_failures.emplace_back(file.filename().string(), e.what());
+    }
+  }
+  // The requests own their trees; only the event names are needed for the
+  // report below (run_batch preserves submission order).
+  std::vector<std::vector<std::string>> event_names;
+  event_names.reserve(requests.size());
+  for (const auto& req : requests) {
+    std::vector<std::string> names;
+    names.reserve(req.tree.num_events());
+    for (ft::EventIndex e = 0; e < req.tree.num_events(); ++e) {
+      names.push_back(req.tree.event(e).name);
+    }
+    event_names.push_back(std::move(names));
+  }
+
+  engine::EngineOptions eopts;
+  eopts.num_threads = jobs;
+  engine::AnalysisEngine eng(eopts);
+
+  util::Timer wall;
+  const auto results = eng.run_batch(std::move(requests));
+  const double seconds = wall.seconds();
+  const engine::EngineStats stats = eng.stats();
+
+  std::size_t ok = 0, cancelled = 0, failed = parse_failures.size();
+  for (const auto& r : results) {
+    if (r.ok) ++ok;
+    else if (r.cancelled) ++cancelled;
+    else ++failed;
+  }
+
+  if (!quiet) {
+    std::printf("batch     : %s (%zu trees, %zu jobs)\n", dir.c_str(),
+                results.size() + parse_failures.size(), eng.num_threads());
+    std::printf("ok        : %zu  (cancelled %zu, failed %zu)\n", ok,
+                cancelled, failed);
+    std::printf("cache     : %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_misses));
+    std::printf("throughput: %.1f trees/s  (%.2f s wall)\n",
+                seconds > 0.0 ? results.size() / seconds : 0.0, seconds);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const engine::AnalysisResult& r = results[i];
+      if (!r.ok) {
+        std::printf("  %-28s %s\n", r.id.c_str(),
+                    r.cancelled ? "[cancelled]" : r.error.c_str());
+        continue;
+      }
+      if (r.kind == engine::AnalysisKind::TopK && r.top.empty()) {
+        std::printf("  %-28s no minimal cut sets\n", r.id.c_str());
+        continue;
+      }
+      const core::MpmcsSolution& sol =
+          r.kind == engine::AnalysisKind::TopK ? r.top.front() : r.mpmcs;
+      std::printf("  %-28s P = %-12g %s%s\n", r.id.c_str(), sol.probability,
+                  cut_to_string(event_names[i], sol.cut).c_str(),
+                  r.cache_hit ? "  [cached]" : "");
+    }
+    for (const auto& [file, error] : parse_failures) {
+      std::printf("  %-28s parse error: %s\n", file.c_str(), error.c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::string json = "{\n  \"batch\": {\n";
+    json += "    \"directory\": \"" + util::json_escape(dir) + "\",\n";
+    json += "    \"jobs\": " + std::to_string(eng.num_threads()) + ",\n";
+    json += "    \"trees\": " +
+            std::to_string(results.size() + parse_failures.size()) + ",\n";
+    json += "    \"ok\": " + std::to_string(ok) + ",\n";
+    json += "    \"cancelled\": " + std::to_string(cancelled) + ",\n";
+    json += "    \"failed\": " + std::to_string(failed) + ",\n";
+    json += "    \"cacheHits\": " + std::to_string(stats.cache_hits) + ",\n";
+    json += "    \"seconds\": " + util::format_double(seconds) + ",\n";
+    json += "    \"treesPerSecond\": " +
+            util::format_double(seconds > 0.0 ? results.size() / seconds
+                                              : 0.0) +
+            "\n  },\n  \"results\": [";
+    bool sep = false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const engine::AnalysisResult& r = results[i];
+      json += sep ? ",\n    {" : "\n    {";
+      sep = true;
+      json += "\"file\": \"" + util::json_escape(r.id) + "\", ";
+      json += std::string("\"ok\": ") + (r.ok ? "true" : "false") + ", ";
+      if (!r.ok) {
+        json += r.cancelled
+                    ? std::string("\"cancelled\": true}")
+                    : "\"error\": \"" + util::json_escape(r.error) + "\"}";
+        continue;
+      }
+      json += std::string("\"cacheHit\": ") +
+              (r.cache_hit ? "true" : "false") + ", ";
+      json += "\"seconds\": " + util::format_double(r.seconds) + ", ";
+      const auto solution_json = [&](const core::MpmcsSolution& sol) {
+        return "{\"probability\": " + util::format_double(sol.probability) +
+               ", \"logCost\": " + util::format_double(sol.log_cost) +
+               ", \"solver\": \"" + util::json_escape(sol.solver_name) +
+               "\", \"mpmcs\": " + cut_to_json_array(event_names[i], sol.cut) +
+               "}";
+      };
+      if (r.kind == engine::AnalysisKind::TopK) {
+        json += "\"top\": [";
+        for (std::size_t k = 0; k < r.top.size(); ++k) {
+          if (k > 0) json += ", ";
+          json += solution_json(r.top[k]);
+        }
+        json += "]}";
+      } else {
+        json += "\"solution\": " + solution_json(r.mpmcs) + "}";
+      }
+    }
+    for (const auto& [file, error] : parse_failures) {
+      json += sep ? ",\n    {" : "\n    {";
+      sep = true;
+      json += "\"file\": \"" + util::json_escape(file) +
+              "\", \"ok\": false, \"error\": \"" + util::json_escape(error) +
+              "\"}";
+    }
+    json += "\n  ]\n}\n";
+    if (json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(json_path);
+      out << json;
+      if (!quiet) std::printf("JSON      : %s\n", json_path.c_str());
+    }
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -48,10 +280,12 @@ int main(int argc, char** argv) {
 
   core::PipelineOptions opts;
   std::string tree_path;
+  std::string batch_dir;
   std::string json_path;
   std::string dot_path;
   std::string wcnf_path;
   std::size_t top_k = 0;
+  std::size_t jobs = 0;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +317,10 @@ int main(int argc, char** argv) {
       opts.weight_scale = std::strtod(next(), nullptr);
     } else if (arg == "--timeout") {
       opts.timeout_seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--batch") {
+      batch_dir = next();
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -92,6 +330,15 @@ int main(int argc, char** argv) {
     } else {
       tree_path = arg;
     }
+  }
+  if (!batch_dir.empty()) {
+    if (!tree_path.empty()) return usage(argv[0]);
+    if (!dot_path.empty() || !wcnf_path.empty()) {
+      std::fprintf(stderr, "--dot/--wcnf are single-tree options and do not "
+                           "combine with --batch\n");
+      return 2;
+    }
+    return run_batch(batch_dir, jobs, opts, top_k, json_path, quiet);
   }
   if (tree_path.empty()) return usage(argv[0]);
 
@@ -103,16 +350,9 @@ int main(int argc, char** argv) {
 
   ft::FaultTree tree;
   try {
-    // Auto-detect format: Open-PSA MEF documents start with '<'.
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::string text = buffer.str();
-    const auto first = text.find_first_not_of(" \t\r\n");
-    if (first != std::string::npos && text[first] == '<') {
-      tree = ft::parse_open_psa(text);
-    } else {
-      tree = ft::parse_fault_tree(text);
-    }
+    tree = parse_tree_text(buffer.str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", tree_path.c_str(), e.what());
     return 1;

@@ -139,7 +139,7 @@ maxsat::MaxSatSolverPtr MpmcsPipeline::make_solver() const {
 
 MpmcsSolution MpmcsPipeline::solve_instance(
     const ft::FaultTree& tree, maxsat::WcnfInstance instance,
-    const std::vector<bool>& candidates) const {
+    const std::vector<bool>& candidates, util::CancelTokenPtr cancel) const {
   util::Timer total;
   MpmcsSolution sol;
   sol.cnf_vars = instance.num_vars();
@@ -148,7 +148,7 @@ MpmcsSolution MpmcsPipeline::solve_instance(
   // Step 5 (parallel MaxSAT resolution, or a single configured solver).
   auto solver = make_solver();
   util::Timer solving;
-  const maxsat::MaxSatResult r = solver->solve(instance);
+  const maxsat::MaxSatResult r = solver->solve(instance, std::move(cancel));
   sol.solve_seconds = solving.seconds();
   sol.status = r.status;
   sol.solver_name = r.solver_name.empty() ? solver->name() : r.solver_name;
@@ -174,21 +174,44 @@ MpmcsSolution MpmcsPipeline::solve_instance(
   return sol;
 }
 
-MpmcsSolution MpmcsPipeline::solve(const ft::FaultTree& tree) const {
+MpmcsSolution MpmcsPipeline::solve(const ft::FaultTree& tree,
+                                   util::CancelTokenPtr cancel) const {
   util::Timer total;
   tree.validate();
   if (opts_.decompose_top_or &&
       tree.node(tree.top()).type == ft::NodeType::Or) {
-    MpmcsSolution sol = solve_decomposed(tree);
+    MpmcsSolution sol = solve_decomposed(tree, std::move(cancel));
     sol.total_seconds = total.seconds();
     return sol;
   }
-  MpmcsSolution sol = solve_instance(tree, build_instance(tree));
+  MpmcsSolution sol =
+      solve_instance(tree, build_instance(tree), {}, std::move(cancel));
   sol.total_seconds = total.seconds();
   return sol;
 }
 
-MpmcsSolution MpmcsPipeline::solve_decomposed(const ft::FaultTree& tree) const {
+MpmcsSolution MpmcsPipeline::solve_prepared(const ft::FaultTree& tree,
+                                            const maxsat::WcnfInstance& instance,
+                                            util::CancelTokenPtr cancel) const {
+  util::Timer total;
+  MpmcsSolution sol = solve_instance(tree, instance, {}, std::move(cancel));
+  sol.total_seconds = total.seconds();
+  return sol;
+}
+
+std::future<MpmcsSolution> MpmcsPipeline::solve_async(
+    ft::FaultTree tree, util::CancelTokenPtr cancel) const {
+  // The task owns copies of the tree and the pipeline configuration, so
+  // the future stays valid even if both originals die before get().
+  return std::async(std::launch::async,
+                    [pipeline = *this, tree = std::move(tree),
+                     cancel = std::move(cancel)]() {
+                      return pipeline.solve(tree, cancel);
+                    });
+}
+
+MpmcsSolution MpmcsPipeline::solve_decomposed(const ft::FaultTree& tree,
+                                              util::CancelTokenPtr cancel) const {
   // MPMCS(f1 | ... | fk) = argmax_i MPMCS(f_i): any cut of a child is a
   // cut of the whole, and the global maximum-probability MCS is minimal
   // within some child (dropping events never lowers the probability).
@@ -205,7 +228,7 @@ MpmcsSolution MpmcsPipeline::solve_decomposed(const ft::FaultTree& tree) const {
     const logic::NodeId f = tree.to_formula(store, child);
     std::vector<bool> used;
     maxsat::WcnfInstance inst = instance_for_formula(tree, store, f, &used);
-    MpmcsSolution sub = solve_instance(tree, std::move(inst), used);
+    MpmcsSolution sub = solve_instance(tree, std::move(inst), used, cancel);
     solve_seconds += sub.solve_seconds;
     cnf_vars = std::max(cnf_vars, sub.cnf_vars);
     cnf_clauses += sub.cnf_clauses;
@@ -238,14 +261,19 @@ MpmcsSolution MpmcsPipeline::solve_decomposed(const ft::FaultTree& tree) const {
   return best;
 }
 
-std::vector<MpmcsSolution> MpmcsPipeline::top_k(const ft::FaultTree& tree,
-                                                std::size_t k) const {
+std::vector<MpmcsSolution> MpmcsPipeline::top_k(
+    const ft::FaultTree& tree, std::size_t k, util::CancelTokenPtr cancel,
+    maxsat::MaxSatStatus* final_status) const {
   tree.validate();
+  if (final_status) *final_status = maxsat::MaxSatStatus::Optimal;
   std::vector<MpmcsSolution> out;
   maxsat::WcnfInstance instance = build_instance(tree);
   for (std::size_t i = 0; i < k; ++i) {
-    MpmcsSolution sol = solve_instance(tree, instance);
-    if (sol.status != maxsat::MaxSatStatus::Optimal) break;
+    MpmcsSolution sol = solve_instance(tree, instance, {}, cancel);
+    if (sol.status != maxsat::MaxSatStatus::Optimal) {
+      if (final_status) *final_status = sol.status;
+      break;
+    }
     out.push_back(sol);
     // Block this cut and every superset: at least one member must be
     // absent in any further solution.

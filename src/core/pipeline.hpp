@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "ft/json_writer.hpp"
 #include "maxsat/instance.hpp"
 #include "maxsat/solver.hpp"
+#include "util/cancel.hpp"
 
 namespace fta::core {
 
@@ -80,14 +82,39 @@ class MpmcsPipeline {
  public:
   explicit MpmcsPipeline(PipelineOptions opts = {});
 
-  /// Computes the MPMCS of a validated fault tree.
-  MpmcsSolution solve(const ft::FaultTree& tree) const;
+  /// Computes the MPMCS of a validated fault tree. The cancel token, when
+  /// set, is polled cooperatively by every solver layer (including the
+  /// portfolio members and the SAT search loops); cancellation or an
+  /// expired token deadline yields status Unknown.
+  MpmcsSolution solve(const ft::FaultTree& tree,
+                      util::CancelTokenPtr cancel = nullptr) const;
 
   /// The k most probable MCSs in descending probability order (fewer if
   /// the tree has fewer MCSs). Each round blocks the previous cut and its
-  /// supersets with a hard clause and re-solves.
-  std::vector<MpmcsSolution> top_k(const ft::FaultTree& tree,
-                                   std::size_t k) const;
+  /// supersets with a hard clause and re-solves. When fewer than k sets
+  /// come back, `final_status` (if non-null) tells why enumeration ended:
+  /// Unsatisfiable = the tree's MCSs are exhausted, Unknown = cancelled
+  /// or budget-limited, Optimal = k sets were found.
+  std::vector<MpmcsSolution> top_k(const ft::FaultTree& tree, std::size_t k,
+                                   util::CancelTokenPtr cancel = nullptr,
+                                   maxsat::MaxSatStatus* final_status =
+                                       nullptr) const;
+
+  /// Like solve(), but starting from a previously built Step 1-4 artefact
+  /// (see build_instance) instead of re-running the transformation steps —
+  /// the engine's structural cache hits this path. `decompose_top_or` is
+  /// ignored here (the prepared instance is already whole-tree).
+  MpmcsSolution solve_prepared(const ft::FaultTree& tree,
+                               const maxsat::WcnfInstance& instance,
+                               util::CancelTokenPtr cancel = nullptr) const;
+
+  /// Async entry point: solve() on a detached thread, result via future.
+  /// The task takes its own copy of the tree and options, so neither the
+  /// tree nor this pipeline needs to outlive the call. Batch workloads
+  /// should prefer engine::AnalysisEngine, which adds a work-stealing
+  /// pool and the structural-hash artefact cache on top.
+  std::future<MpmcsSolution> solve_async(
+      ft::FaultTree tree, util::CancelTokenPtr cancel = nullptr) const;
 
   const PipelineOptions& options() const noexcept { return opts_; }
 
@@ -117,11 +144,13 @@ class MpmcsPipeline {
   /// leaves foreign events unconstrained.
   MpmcsSolution solve_instance(const ft::FaultTree& tree,
                                maxsat::WcnfInstance instance,
-                               const std::vector<bool>& candidates = {}) const;
+                               const std::vector<bool>& candidates = {},
+                               util::CancelTokenPtr cancel = nullptr) const;
   maxsat::WcnfInstance instance_for_formula(
       const ft::FaultTree& tree, logic::FormulaStore& store,
       logic::NodeId fault, std::vector<bool>* events_used = nullptr) const;
-  MpmcsSolution solve_decomposed(const ft::FaultTree& tree) const;
+  MpmcsSolution solve_decomposed(const ft::FaultTree& tree,
+                                 util::CancelTokenPtr cancel) const;
   maxsat::MaxSatSolverPtr make_solver() const;
 
   PipelineOptions opts_;

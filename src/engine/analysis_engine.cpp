@@ -1,0 +1,190 @@
+#include "engine/analysis_engine.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "bdd/fta_bdd.hpp"
+#include "util/timer.hpp"
+
+namespace fta::engine {
+
+const char* analysis_kind_name(AnalysisKind k) noexcept {
+  switch (k) {
+    case AnalysisKind::Mpmcs: return "mpmcs";
+    case AnalysisKind::TopK: return "top-k";
+    case AnalysisKind::Importance: return "importance";
+    case AnalysisKind::Quantitative: return "quantitative";
+  }
+  return "?";
+}
+
+AnalysisEngine::AnalysisEngine(EngineOptions opts)
+    : opts_(opts),
+      cache_(opts.cache_capacity),
+      lifetime_(std::make_shared<util::CancelToken>()),
+      pool_(opts.num_threads) {}
+
+AnalysisEngine::~AnalysisEngine() = default;
+
+std::future<AnalysisResult> AnalysisEngine::submit(AnalysisRequest request) {
+  util::CancelTokenPtr token;
+  {
+    std::lock_guard<std::mutex> lock(lifetime_mutex_);
+    token = util::make_child_token(lifetime_);
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return pool_.submit(
+      [this, request = std::move(request), token = std::move(token)]() mutable {
+        return execute(std::move(request), std::move(token));
+      });
+}
+
+std::vector<AnalysisResult> AnalysisEngine::run_batch(
+    std::vector<AnalysisRequest> requests) {
+  std::vector<std::future<AnalysisResult>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) futures.push_back(submit(std::move(request)));
+  std::vector<AnalysisResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+void AnalysisEngine::cancel_all() {
+  std::lock_guard<std::mutex> lock(lifetime_mutex_);
+  lifetime_->cancel();
+  // In-flight and queued requests observe the old token; new submissions
+  // start clean under a fresh lifetime.
+  lifetime_ = std::make_shared<util::CancelToken>();
+}
+
+EngineStats AnalysisEngine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  s.pool_steals = pool_.steals();
+  return s;
+}
+
+void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
+                               util::CancelTokenPtr token,
+                               AnalysisResult& result) {
+  const core::MpmcsPipeline pipeline(request.pipeline);
+  // Top-OR decomposition builds per-child instances, which the whole-tree
+  // cache entry cannot serve.
+  const bool cacheable =
+      cache_.capacity() > 0 && !request.pipeline.decompose_top_or;
+  if (!cacheable) {
+    result.mpmcs = pipeline.solve(request.tree, std::move(token));
+  } else {
+    const std::string key = structural_key(request.tree, request.pipeline);
+    PreparedTreePtr prepared = cache_.find(key);
+    if (prepared) {
+      result.cache_hit = true;
+    } else {
+      util::Timer build;
+      auto built = std::make_shared<PreparedTree>();
+      built->instance = pipeline.build_instance(request.tree);
+      built->build_seconds = build.seconds();
+      // If a concurrent miss on the same key inserted first, adopt that
+      // entry (keeping its memoized solutions) and drop ours.
+      prepared = cache_.insert(key, std::move(built));
+    }
+    // Second tier: a solution memoized under the same structure and an
+    // outcome-equivalent solver configuration skips Step 5 entirely.
+    const std::string memo_key =
+        std::string(core::solver_choice_name(request.pipeline.solver)) +
+        (request.pipeline.shrink_to_minimal ? "|s" : "|-");
+    if (opts_.memoize_results) {
+      std::lock_guard<std::mutex> lock(prepared->memo_mutex);
+      const auto it = prepared->solutions.find(memo_key);
+      if (it != prepared->solutions.end()) {
+        result.mpmcs = it->second;
+        result.memoized = true;
+        result.ok = true;
+        memo_hits_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    result.mpmcs = pipeline.solve_prepared(request.tree, prepared->instance,
+                                           std::move(token));
+    if (opts_.memoize_results &&
+        result.mpmcs.status != maxsat::MaxSatStatus::Unknown) {
+      std::lock_guard<std::mutex> lock(prepared->memo_mutex);
+      prepared->solutions.emplace(memo_key, result.mpmcs);
+    }
+  }
+  result.ok = result.mpmcs.status != maxsat::MaxSatStatus::Unknown;
+}
+
+AnalysisResult AnalysisEngine::execute(AnalysisRequest request,
+                                       util::CancelTokenPtr token) {
+  util::Timer timer;
+  AnalysisResult result;
+  result.id = request.id;
+  result.kind = request.kind;
+  const double timeout = request.timeout_seconds > 0.0
+                             ? request.timeout_seconds
+                             : opts_.default_timeout_seconds;
+  token->set_deadline_after(timeout);
+  try {
+    request.tree.validate();
+    if (!token->cancelled()) {
+      switch (request.kind) {
+        case AnalysisKind::Mpmcs:
+          run_mpmcs(request, token, result);
+          break;
+        case AnalysisKind::TopK: {
+          const core::MpmcsPipeline pipeline(request.pipeline);
+          maxsat::MaxSatStatus final_status = maxsat::MaxSatStatus::Optimal;
+          result.top = pipeline.top_k(request.tree, request.top_k, token,
+                                      &final_status);
+          // Unsatisfiable just means the tree ran out of MCSs; only an
+          // Unknown round (cancellation / budget) is a failed request.
+          result.ok = final_status != maxsat::MaxSatStatus::Unknown;
+          break;
+        }
+        case AnalysisKind::Importance: {
+          bdd::FaultTreeBdd analysis(request.tree);
+          const auto mcs = analysis.minimal_cut_sets();
+          if (!token->cancelled()) {
+            result.importance =
+                analysis::importance_measures(request.tree, mcs);
+            result.ok = true;
+          }
+          break;
+        }
+        case AnalysisKind::Quantitative: {
+          bdd::FaultTreeBdd analysis(request.tree);
+          result.quantitative.top_probability = analysis.top_probability();
+          result.quantitative.mcs_count = analysis.mcs_count();
+          const ft::TreeStats ts = request.tree.stats();
+          result.quantitative.events = ts.events;
+          result.quantitative.gates = ts.gates;
+          result.ok = true;  // the BDD ran to completion
+          break;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  result.cancelled = !result.ok && result.error.empty() && token->cancelled();
+  result.seconds = timer.seconds();
+  if (result.cancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.ok) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace fta::engine

@@ -1,0 +1,91 @@
+#include "engine/tree_cache.hpp"
+
+#include <cstring>
+
+namespace fta::engine {
+
+namespace {
+
+void append_u32(std::string& out, std::uint32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+}  // namespace
+
+std::string structural_key(const ft::FaultTree& tree,
+                           const core::PipelineOptions& opts) {
+  // Node indices are insertion-ordered and stable, so encoding nodes in
+  // index order is canonical for any two trees built the same way; names
+  // are deliberately omitted.
+  std::string key;
+  key.reserve(tree.num_nodes() * 16 + 32);
+  append_f64(key, opts.weight_scale);
+  key.push_back(opts.polarity_aware_tseitin ? 'P' : 'p');
+  append_u32(key, static_cast<std::uint32_t>(tree.num_nodes()));
+  append_u32(key, static_cast<std::uint32_t>(tree.num_events()));
+  append_u32(key, tree.top());
+  for (ft::NodeIndex i = 0; i < tree.num_nodes(); ++i) {
+    const ft::Node& n = tree.node(i);
+    key.push_back(static_cast<char>(n.type));
+    if (n.type == ft::NodeType::BasicEvent) {
+      append_u32(key, n.event_index);
+      append_f64(key, n.probability);
+    } else {
+      if (n.type == ft::NodeType::Vote) append_u32(key, n.k);
+      append_u32(key, static_cast<std::uint32_t>(n.children.size()));
+      for (const ft::NodeIndex c : n.children) append_u32(key, c);
+    }
+  }
+  return key;
+}
+
+PreparedTreePtr TreeCache::find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.value;
+}
+
+PreparedTreePtr TreeCache::insert(const std::string& key,
+                                  PreparedTreePtr value) {
+  if (capacity_ == 0) return value;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.value;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{value, lru_.begin()});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return value;
+}
+
+void TreeCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+std::size_t TreeCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace fta::engine

@@ -1,0 +1,89 @@
+// Structural-hash cache of the pipeline's Step 1-4 artefacts.
+//
+// Heavy multi-tree traffic is dominated by re-analysis of the same (or
+// structurally identical) models: monitoring re-checks a plant model with
+// every configuration push, and generated corpora repeat shapes. The
+// engine therefore keys the expensive transformation steps — success-tree
+// formula construction, Tseitin CNF and the Weighted Partial MaxSAT
+// instance — on a canonical structural signature of the tree, so repeated
+// trees go straight to Step 5 (solving).
+//
+// The signature is an exact canonical encoding, not a lossy hash: node
+// shape, gate types/thresholds, event indices and probability bit
+// patterns, plus the transformation options that shape the instance
+// (weight scale, Tseitin polarity mode). Event/gate *names* are excluded —
+// renaming every node of a tree yields the same artefacts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/pipeline.hpp"
+#include "ft/fault_tree.hpp"
+#include "maxsat/instance.hpp"
+
+namespace fta::engine {
+
+/// The cached Step 1-4 artefact: everything needed to jump to Step 5.
+///
+/// Entries also carry a second cache tier: solutions memoized per solver
+/// configuration (see EngineOptions::memoize_results). The artefact is
+/// solver-independent; a memoized solution is keyed by the options that
+/// influence which optimal cut comes back (solver choice, shrink pass).
+struct PreparedTree {
+  maxsat::WcnfInstance instance;
+  double build_seconds = 0.0;  ///< Transformation cost this entry saved.
+
+  mutable std::mutex memo_mutex;
+  mutable std::unordered_map<std::string, core::MpmcsSolution> solutions;
+};
+
+using PreparedTreePtr = std::shared_ptr<const PreparedTree>;
+
+/// Canonical structural signature of (tree, transformation options):
+/// equal strings iff the Step 1-4 artefacts are identical.
+std::string structural_key(const ft::FaultTree& tree,
+                           const core::PipelineOptions& opts);
+
+/// Thread-safe LRU cache over prepared trees.
+class TreeCache {
+ public:
+  explicit TreeCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the entry for `key` (refreshing its recency), or null.
+  PreparedTreePtr find(const std::string& key);
+
+  /// Inserts `key` and returns the resident entry. When another thread
+  /// raced the build and inserted first, the *existing* entry wins (so
+  /// its memoized solutions survive) and is returned instead of `value`.
+  /// Evicts least-recently-used entries beyond capacity; with capacity 0
+  /// nothing is stored and `value` is returned unchanged.
+  PreparedTreePtr insert(const std::string& key, PreparedTreePtr value);
+
+  void clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_.load(); }
+  std::uint64_t misses() const noexcept { return misses_.load(); }
+
+ private:
+  struct Entry {
+    PreparedTreePtr value;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace fta::engine

@@ -45,7 +45,10 @@ PortfolioSolver PortfolioSolver::make_default(PortfolioOptions opts) {
 MaxSatResult PortfolioSolver::solve(const WcnfInstance& instance,
                                     util::CancelTokenPtr cancel) {
   util::Timer timer;
-  auto shared_token = std::make_shared<util::CancelToken>();
+  // Child of the caller's token: members observe external cancellation and
+  // deadlines directly at their own poll points, not just via the 20 ms
+  // supervision loop below.
+  auto shared_token = util::make_child_token(cancel);
 
   std::mutex mutex;
   std::condition_variable cv;

@@ -1,28 +1,74 @@
-// Cooperative cancellation shared between the portfolio driver and solvers.
+// Cooperative cancellation shared between the portfolio driver, the batch
+// engine and solvers.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <utility>
 
 namespace fta::util {
+
+class CancelToken;
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
 
 /// A flag the portfolio sets when one solver finishes so the others can
 /// abandon their search promptly. Solvers poll `cancelled()` at restart
 /// boundaries and every few thousand propagations.
+///
+/// Tokens compose for the batch engine: a token may carry an optional
+/// *parent* (cancelling the parent cancels every child — used for
+/// engine-wide shutdown) and an optional *deadline* (per-request timeout).
+/// Both are observed by the same `cancelled()` poll the solvers already
+/// perform, so no extra watchdog threads are needed.
 class CancelToken {
  public:
   CancelToken() = default;
+  explicit CancelToken(CancelTokenPtr parent) : parent_(std::move(parent)) {}
 
   void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+
   bool cancelled() const noexcept {
-    return flag_.load(std::memory_order_relaxed);
+    if (flag_.load(std::memory_order_relaxed)) return true;
+    if (parent_ && parent_->cancelled()) return true;
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      // Latch so later polls take the cheap flag path.
+      flag_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
-  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+  /// Arms a deadline `seconds` from now; non-positive disarms it.
+  void set_deadline_after(double seconds) noexcept {
+    if (seconds <= 0.0) {
+      has_deadline_ = false;
+      return;
+    }
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    has_deadline_ = true;
+  }
+
+  bool has_deadline() const noexcept { return has_deadline_; }
+
+  void reset() noexcept {
+    flag_.store(false, std::memory_order_relaxed);
+    has_deadline_ = false;
+  }
 
  private:
-  std::atomic<bool> flag_{false};
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::atomic<bool> flag_{false};
+  CancelTokenPtr parent_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
 };
 
-using CancelTokenPtr = std::shared_ptr<CancelToken>;
+/// A child token of `parent` (either may be null-armed independently).
+inline CancelTokenPtr make_child_token(CancelTokenPtr parent) {
+  return std::make_shared<CancelToken>(std::move(parent));
+}
 
 }  // namespace fta::util

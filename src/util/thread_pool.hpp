@@ -1,0 +1,86 @@
+// A work-stealing thread pool for the batch-analysis engine.
+//
+// Each worker owns a deque: it pushes and pops its own tasks LIFO (good
+// locality for tasks that spawn subtasks) and steals FIFO from the other
+// workers when its own deque runs dry — the classic Blumofe–Leiserson
+// discipline. External submissions are distributed round-robin.
+//
+// Tasks are type-erased closures; `submit` wraps a callable in a
+// std::packaged_task and returns the matching future. The destructor
+// drains every queued task before joining; for fast shutdown, cancel the
+// tasks' own work (e.g. via util::CancelToken) so the drain is quick.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fta::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Schedules `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` surface through the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    post([task] { (*task)(); });
+    return future;
+  }
+
+  /// Tasks executed after being stolen from another worker's deque.
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void post(std::function<void()> fn);
+  void worker_loop(std::size_t index);
+  bool try_pop_own(std::size_t index, std::function<void()>& out);
+  bool try_steal(std::size_t thief, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::size_t pending_ = 0;  // queued-but-unstarted tasks, guarded by wake_mutex_
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> next_queue_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> executed_{0};
+
+  static thread_local const ThreadPool* current_pool_;
+  static thread_local std::size_t current_index_;
+};
+
+}  // namespace fta::util

@@ -236,7 +236,9 @@ TEST(FaultTreeBdd, OrderingsAgree) {
     const auto a = dfs.mpmcs();
     const auto b = ins.mpmcs();
     ASSERT_EQ(a.has_value(), b.has_value());
-    if (a) EXPECT_NEAR(a->second, b->second, 1e-12) << "seed " << seed;
+    if (a) {
+      EXPECT_NEAR(a->second, b->second, 1e-12) << "seed " << seed;
+    }
   }
 }
 

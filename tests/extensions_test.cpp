@@ -45,7 +45,9 @@ TEST(StratifiedOll, MatchesPlainOllOnRandomWcnf) {
                          1 + rng.below(1'000'000));
     }
     maxsat::OllSolver plain;
-    maxsat::OllSolver strat(maxsat::OllOptions{.stratified = true});
+    maxsat::OllOptions oll_opts;
+    oll_opts.stratified = true;
+    maxsat::OllSolver strat(oll_opts);
     const auto a = plain.solve(inst);
     const auto b = strat.solve(inst);
     ASSERT_EQ(a.status, b.status) << "round " << round;
@@ -76,7 +78,9 @@ TEST(StratifiedOll, MatchesBruteForce) {
                          1 + rng.below(100));
     }
     maxsat::BruteForceSolver oracle;
-    maxsat::OllSolver strat(maxsat::OllOptions{.stratified = true});
+    maxsat::OllOptions oll_opts;
+    oll_opts.stratified = true;
+    maxsat::OllSolver strat(oll_opts);
     const auto expected = oracle.solve(inst);
     const auto got = strat.solve(inst);
     ASSERT_EQ(got.status, expected.status) << "round " << round;
@@ -91,7 +95,9 @@ TEST(StratifiedOll, SolvesPaperExampleThroughPipeline) {
   // directly through a custom single-member check.
   const ft::FaultTree t = ft::fire_protection_system();
   const auto inst = core::MpmcsPipeline().build_instance(t);
-  maxsat::OllSolver strat(maxsat::OllOptions{.stratified = true});
+  maxsat::OllOptions oll_opts;
+  oll_opts.stratified = true;
+  maxsat::OllSolver strat(oll_opts);
   const auto r = strat.solve(inst);
   ASSERT_EQ(r.status, maxsat::MaxSatStatus::Optimal);
   EXPECT_TRUE(r.model[0]);

@@ -420,7 +420,9 @@ TEST(Portfolio, ExternalCancellation) {
   // Races are allowed: either a member finished before the cancel was
   // observed (Optimal) or everyone was cancelled (Unknown). Never wrong.
   const auto r = portfolio.solve(inst, token);
-  if (r.status == MaxSatStatus::Optimal) EXPECT_EQ(r.cost, 1u);
+  if (r.status == MaxSatStatus::Optimal) {
+    EXPECT_EQ(r.cost, 1u);
+  }
 }
 
 TEST(Portfolio, SolveAllMembersReturnsOnePerMember) {

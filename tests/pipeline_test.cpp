@@ -172,7 +172,10 @@ TEST(Pipeline, TopKMatchesBddRanking) {
       EXPECT_NEAR(ranked[i].probability, probs[i], 1e-5 * probs[i] + 1e-15)
           << "seed " << seed << " rank " << i;
       // Descending order.
-      if (i > 0) EXPECT_LE(ranked[i].probability, ranked[i - 1].probability * (1 + 1e-9));
+      if (i > 0) {
+        EXPECT_LE(ranked[i].probability,
+                  ranked[i - 1].probability * (1 + 1e-9));
+      }
     }
   }
 }

@@ -117,7 +117,7 @@ TEST(Strings, FormatDouble) {
 TEST(Timer, MeasuresElapsedTime) {
   util::Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), 0.0);
   const double s = t.seconds();
   const double ms = t.millis();
@@ -134,7 +134,7 @@ TEST(Deadline, Unlimited) {
 TEST(Deadline, Expires) {
   util::Deadline d(1e-9);
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_TRUE(d.expired());
   EXPECT_EQ(d.remaining(), 0.0);
 }
