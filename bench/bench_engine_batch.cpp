@@ -11,9 +11,13 @@
 //   engine cached     pool + structural-hash artefact cache
 //
 // usage: bench_engine_batch [distinct] [repeats] [events] [jobs]
+//                           [--json PATH]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -21,19 +25,31 @@
 #include "engine/analysis_engine.hpp"
 #include "gen/generator.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace fta;
 
+  const bench::Args args = bench::parse_args(argc, argv);
+  const std::vector<const char*>& positional = args.positional;
+  const std::string& json_path = args.json_path;
   const std::uint32_t distinct =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 6;
+      positional.size() > 0
+          ? static_cast<std::uint32_t>(std::atoi(positional[0]))
+          : 6;
   const std::uint32_t repeats =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 6;
+      positional.size() > 1
+          ? static_cast<std::uint32_t>(std::atoi(positional[1]))
+          : 6;
   const std::uint32_t events =
-      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 150;
+      positional.size() > 2
+          ? static_cast<std::uint32_t>(std::atoi(positional[2]))
+          : 150;
   const std::size_t jobs =
-      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 0;
+      positional.size() > 3
+          ? static_cast<std::size_t>(std::atoi(positional[3]))
+          : 0;
 
   core::PipelineOptions popts;
   popts.solver = core::SolverChoice::Oll;  // deterministic, one thread/solve
@@ -94,6 +110,7 @@ int main(int argc, char** argv) {
       {"sequential", bench::fmt(seq_tps, "%.1f"), "1.00x", "-", "-", "-"},
       {18, 12, 10, 8, 8, 8});
 
+  std::string json_configs;
   for (const Config& config : configs) {
     engine::EngineOptions eopts;
     eopts.num_threads = jobs;
@@ -132,6 +149,24 @@ int main(int argc, char** argv) {
                       std::to_string(stats.memo_hits),
                       std::to_string(stats.pool_steals)},
                      {18, 12, 10, 8, 8, 8});
+    if (!json_path.empty()) {
+      if (!json_configs.empty()) json_configs += ",";
+      json_configs += "\n    {\"label\": \"" + std::string(config.label) +
+                      "\", \"treesPerSecond\": " + util::format_double(tps) +
+                      ", \"speedup\": " + util::format_double(tps / seq_tps) +
+                      "}";
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::string json = "{\n  \"bench\": \"bench_engine_batch\",\n";
+    json += "  \"distinct\": " + std::to_string(distinct) + ",\n";
+    json += "  \"repeats\": " + std::to_string(repeats) + ",\n";
+    json += "  \"events\": " + std::to_string(events) + ",\n";
+    json += "  \"sequentialTreesPerSecond\": " +
+            util::format_double(seq_tps) + ",\n";
+    json += "  \"configs\": [" + json_configs + "\n  ]\n}\n";
+    bench::write_json(json_path, json);
   }
   return 0;
 }

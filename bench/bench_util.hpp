@@ -1,8 +1,11 @@
-// Shared helpers for the experiment binaries: fixed-width table printing
-// and a median-of-N timing wrapper.
+// Shared helpers for the experiment binaries: fixed-width table printing,
+// a median-of-N timing wrapper, and common flag/JSON-report handling.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -10,6 +13,42 @@
 #include "util/timer.hpp"
 
 namespace fta::bench {
+
+/// Command-line shape shared by the bench mains: positional arguments
+/// plus an optional `--json PATH` report request.
+struct Args {
+  std::vector<const char*> positional;
+  std::string json_path;
+};
+
+/// Parses argv; a `--json` without a path or an unknown flag aborts
+/// (exit 2) instead of silently being consumed as a positional number.
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a path\n", argv[0]);
+        std::exit(2);
+      }
+      args.json_path = argv[++i];
+    } else if (argv[i][0] == '-' && argv[i][1] != '\0' &&
+               !(argv[i][1] >= '0' && argv[i][1] <= '9')) {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], argv[i]);
+      std::exit(2);
+    } else {
+      args.positional.push_back(argv[i]);
+    }
+  }
+  return args;
+}
+
+/// Writes a --json report (no-op when no path was requested).
+inline void write_json(const std::string& path, const std::string& content) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  out << content;
+}
 
 /// Prints a header like "== E4: scaling (paper §IV claim) ==".
 inline void banner(const std::string& title) {

@@ -1,14 +1,21 @@
 // E2 — Fig. 1 / §II worked example: the Fire Protection System MPMCS.
 // Paper: "the MPMCS is {x1, x2} with a joint probability of 0.02."
 // Runs every solver configuration on the tree and reports agreement.
+//
+// usage: fig1_fps_mpmcs [--json PATH]
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/pipeline.hpp"
 #include "ft/builder.hpp"
+#include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fta;
+  const std::string json_path = bench::parse_args(argc, argv).json_path;
   bench::banner("E2: Fig. 1 — FPS example, MPMCS = {x1, x2}, P = 0.02");
 
   const ft::FaultTree tree = ft::fire_protection_system();
@@ -16,6 +23,7 @@ int main() {
                    {12, 14, 10, 10, 10});
 
   bool all_ok = true;
+  std::string json_solvers;
   for (const auto choice :
        {core::SolverChoice::Portfolio, core::SolverChoice::Oll,
         core::SolverChoice::FuMalik, core::SolverChoice::Lsu,
@@ -33,8 +41,22 @@ int main() {
                       bench::fmt(sol.log_cost, "%.5f"),
                       bench::fmt(sol.solve_seconds * 1e3)},
                      {12, 14, 10, 10, 10});
+    if (!json_path.empty()) {
+      if (!json_solvers.empty()) json_solvers += ",";
+      json_solvers += "\n    {\"solver\": \"" +
+                      std::string(core::solver_choice_name(choice)) +
+                      "\", \"ok\": " + (ok ? "true" : "false") +
+                      ", \"solveMs\": " +
+                      util::format_double(sol.solve_seconds * 1e3) + "}";
+    }
   }
   std::printf("\nexpected {x1, x2} with P = 0.02: %s\n",
               all_ok ? "REPRODUCED by every solver" : "MISMATCH");
+  if (!json_path.empty()) {
+    std::string json = "{\n  \"bench\": \"fig1_fps_mpmcs\",\n";
+    json += std::string("  \"allOk\": ") + (all_ok ? "true" : "false") +
+            ",\n  \"solvers\": [" + json_solvers + "\n  ]\n}\n";
+    bench::write_json(json_path, json);
+  }
   return all_ok ? 0 : 1;
 }

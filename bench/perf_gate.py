@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate.
+
+Runs the fixed-seed benchmark binaries (bench_engine_batch,
+fig1_fps_mpmcs, ablation_preprocess), takes per-metric medians over a
+few runs, writes the combined report (BENCH_pr2.json) and fails when a
+throughput metric regresses more than --tolerance below the committed
+bench/baseline.json.
+
+    python3 bench/perf_gate.py --build-dir build            # gate
+    python3 bench/perf_gate.py --build-dir build --update   # refresh baseline
+
+Correctness flags (fig1 allOk, ablation resultsMatch) are hard failures
+regardless of tolerance.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+
+ENGINE_BATCH_ARGS = ["6", "6", "150", "4"]
+ABLATION_ARGS = ["16"]
+
+
+def run_bench(binary, args, runs):
+    """Runs `binary` `runs` times, returns the list of parsed --json docs.
+
+    A non-zero exit is tolerated as long as the JSON report was written:
+    fig1/ablation exit 1 exactly when their correctness flag is false,
+    and that flag must surface as a readable gate check, not a crash.
+    """
+    docs = []
+    for _ in range(runs):
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            path = tmp.name
+        try:
+            proc = subprocess.run([binary, *args, "--json", path],
+                                  stdout=subprocess.DEVNULL)
+            try:
+                with open(path) as fh:
+                    docs.append(json.load(fh))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise SystemExit(
+                    f"{binary} exited {proc.returncode} without a usable "
+                    f"JSON report: {exc}")
+        finally:
+            os.unlink(path)
+    return docs
+
+
+def median_of(docs, pick):
+    return statistics.median(pick(doc) for doc in docs)
+
+
+def collect_metrics(build_dir, runs):
+    """Returns {metric_name: value} plus hard correctness flags."""
+    metrics = {}
+    flags = {}
+
+    batch = run_bench(os.path.join(build_dir, "bench_engine_batch"),
+                      ENGINE_BATCH_ARGS, runs)
+    metrics["engine_batch.sequential_tps"] = median_of(
+        batch, lambda d: d["sequentialTreesPerSecond"])
+    for config in batch[0]["configs"]:
+        label = config["label"].replace(" ", "_")
+        metrics[f"engine_batch.{label}_tps"] = median_of(
+            batch, lambda d, l=config["label"]: next(
+                c["treesPerSecond"] for c in d["configs"] if c["label"] == l))
+
+    fig1 = run_bench(os.path.join(build_dir, "fig1_fps_mpmcs"), [], 1)
+    flags["fig1.all_ok"] = bool(fig1[0]["allOk"])
+
+    ablation = run_bench(os.path.join(build_dir, "ablation_preprocess"),
+                         ABLATION_ARGS, runs)
+    metrics["ablation.solves_per_second_on"] = median_of(
+        ablation, lambda d: d["solvesPerSecondOn"])
+    metrics["ablation.median_speedup"] = median_of(
+        ablation, lambda d: d["medianSpeedup"])
+    flags["ablation.results_match"] = all(d["resultsMatch"] for d in ablation)
+
+    return metrics, flags
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("--out", default="BENCH_pr2.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="runs per bench; medians are compared")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline instead of gating")
+    args = parser.parse_args()
+
+    metrics, flags = collect_metrics(args.build_dir, args.runs)
+
+    if args.update:
+        with open(args.baseline, "w") as fh:
+            json.dump({"metrics": metrics}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {args.baseline}")
+        for name, value in sorted(metrics.items()):
+            print(f"  {name:40s} {value:.2f}")
+        return 0
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)["metrics"]
+
+    checks = []
+    ok = True
+    for name, value in sorted(metrics.items()):
+        base = baseline.get(name)
+        if base is None:
+            checks.append({"metric": name, "current": value,
+                           "baseline": None, "pass": True,
+                           "note": "no baseline entry"})
+            continue
+        passed = value >= base * (1.0 - args.tolerance)
+        ok = ok and passed
+        checks.append({"metric": name, "current": value, "baseline": base,
+                       "ratio": value / base if base else None,
+                       "pass": passed})
+    for name, value in sorted(flags.items()):
+        ok = ok and value
+        checks.append({"metric": name, "current": value, "pass": bool(value)})
+
+    report = {"tolerance": args.tolerance, "runs": args.runs,
+              "metrics": metrics, "flags": flags, "checks": checks,
+              "pass": ok}
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for check in checks:
+        status = "ok  " if check["pass"] else "FAIL"
+        base = check.get("baseline")
+        if isinstance(check["current"], bool):
+            print(f"[{status}] {check['metric']:40s} {check['current']}")
+        elif base:
+            print(f"[{status}] {check['metric']:40s} "
+                  f"{check['current']:10.2f} vs baseline {base:10.2f} "
+                  f"({100 * check['ratio']:.0f}%)")
+        else:
+            print(f"[{status}] {check['metric']:40s} {check['current']:10.2f}")
+    print(f"\nperf gate: {'PASS' if ok else 'FAIL'} "
+          f"(tolerance {args.tolerance:.0%}, report {args.out})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 //     --wcnf PATH     export the Step-4 Weighted Partial MaxSAT instance
 //                     in standard WCNF (for external MaxSAT solvers)
 //     --scale S       weight scaling factor (default 1e6)
+//     --no-preprocess skip the Step 3.5 WCNF simplification
 //     --timeout SEC   per-tree wall-clock cap
 //     --batch DIR     analyse every tree file (*.ft, *.xml, *.opsa) in DIR
 //                     concurrently and emit one JSON summary
@@ -46,6 +47,7 @@ int usage(const char* argv0) {
                "  --json PATH     write JSON result ('-' = stdout)\n"
                "  --dot PATH      write Graphviz with MPMCS highlighted\n"
                "  --scale S       weight scale (default 1e6)\n"
+               "  --no-preprocess skip the Step 3.5 WCNF simplification\n"
                "  --timeout SEC   per-tree time limit\n"
                "  --batch DIR     analyse every tree file in DIR\n"
                "  --jobs N        batch worker threads\n"
@@ -270,7 +272,10 @@ int run_batch(const std::string& dir, std::size_t jobs,
       if (!quiet) std::printf("JSON      : %s\n", json_path.c_str());
     }
   }
-  return failed == 0 ? 0 : 1;
+  // Any tree that could not be parsed or solved sinks the exit status —
+  // timeouts/cancellations included — so CI and scripts can gate on the
+  // batch without grepping the JSON summary.
+  return failed == 0 && cancelled == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -315,6 +320,8 @@ int main(int argc, char** argv) {
       wcnf_path = next();
     } else if (arg == "--scale") {
       opts.weight_scale = std::strtod(next(), nullptr);
+    } else if (arg == "--no-preprocess") {
+      opts.preprocess = false;
     } else if (arg == "--timeout") {
       opts.timeout_seconds = std::strtod(next(), nullptr);
     } else if (arg == "--batch") {

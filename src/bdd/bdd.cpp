@@ -71,8 +71,10 @@ BddRef BddManager::land(BddRef a, BddRef b) {
     ++stats_.cache_hits;
     return it->second;
   }
-  const BddNode& na = nodes_[a];
-  const BddNode& nb = nodes_[b];
+  // Copies, not references: the recursive calls below can grow nodes_
+  // and reallocate it from under a reference (heap-use-after-free).
+  const BddNode na = nodes_[a];
+  const BddNode nb = nodes_[b];
   const Level level = std::min(na.level, nb.level);
   const BddRef a_lo = na.level == level ? na.lo : a;
   const BddRef a_hi = na.level == level ? na.hi : a;
@@ -96,8 +98,10 @@ BddRef BddManager::lor(BddRef a, BddRef b) {
     ++stats_.cache_hits;
     return it->second;
   }
-  const BddNode& na = nodes_[a];
-  const BddNode& nb = nodes_[b];
+  // Copies, not references: the recursive calls below can grow nodes_
+  // and reallocate it from under a reference (heap-use-after-free).
+  const BddNode na = nodes_[a];
+  const BddNode nb = nodes_[b];
   const Level level = std::min(na.level, nb.level);
   const BddRef a_lo = na.level == level ? na.lo : a;
   const BddRef a_hi = na.level == level ? na.hi : a;
@@ -117,7 +121,7 @@ BddRef BddManager::lnot(BddRef a) {
     ++stats_.cache_hits;
     return it->second;
   }
-  const BddNode& n = nodes_[a];
+  const BddNode n = nodes_[a];  // copy: recursion below may grow nodes_
   const BddRef out = make_node(n.level, lnot(n.lo), lnot(n.hi));
   op_cache_.emplace(key, out);
   return out;
@@ -135,7 +139,7 @@ BddRef BddManager::flip_inputs(BddRef f) {
     ++stats_.cache_hits;
     return it->second;
   }
-  const BddNode& n = nodes_[f];
+  const BddNode n = nodes_[f];  // copy: recursion below may grow nodes_
   const BddRef out =
       make_node(n.level, flip_inputs(n.hi), flip_inputs(n.lo));
   op_cache_.emplace(key, out);

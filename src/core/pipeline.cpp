@@ -137,29 +137,115 @@ maxsat::MaxSatSolverPtr MpmcsPipeline::make_solver() const {
   return std::make_unique<maxsat::OllSolver>();
 }
 
+namespace {
+
+/// Step 3.5 freeze set: every basic-event variable (soft-clause
+/// variables are frozen by the preprocessor automatically; a decomposed
+/// child instance may not carry softs for all events, so the whole event
+/// range is pinned explicitly).
+std::vector<bool> event_freeze_mask(const ft::FaultTree& tree,
+                                    std::uint32_t num_vars) {
+  std::vector<bool> frozen(num_vars, false);
+  for (ft::EventIndex e = 0; e < tree.num_events() && e < num_vars; ++e) {
+    frozen[e] = true;
+  }
+  return frozen;
+}
+
+/// Step 3.5 technique profile for a concrete tree. Wide voting gates
+/// (k-of-n with n >= 5) lower to sizeable cardinality networks whose
+/// auxiliary variables resolution must not touch: eliminating them
+/// rewrites the counting structure into wide resolvents and can flip a
+/// milliseconds instance into an intractable one (observed >400x on
+/// corpora dominated by 6..12-input votes). Narrow votes (the ubiquitous
+/// 2-of-3) and the odd wide gate in an otherwise AND/OR tree are
+/// unaffected, so BVE is switched off only when wide votes make up 10%
+/// or more of the gates; the other techniques stay on — they only ever
+/// remove redundant clauses.
+preprocess::PreprocessOptions effective_preprocess_options(
+    const ft::FaultTree& tree, const PipelineOptions& opts) {
+  preprocess::PreprocessOptions pp = opts.preprocess_opts;
+  if (pp.bve) {
+    std::size_t gates = 0, wide_votes = 0;
+    for (ft::NodeIndex i = 0; i < tree.num_nodes(); ++i) {
+      const ft::Node& n = tree.node(i);
+      if (n.type == ft::NodeType::BasicEvent) continue;
+      ++gates;
+      if (n.type == ft::NodeType::Vote && n.children.size() >= 5) {
+        ++wide_votes;
+      }
+    }
+    if (wide_votes * 10 >= gates && gates > 0) pp.bve = false;
+  }
+  return pp;
+}
+
+}  // namespace
+
 MpmcsSolution MpmcsPipeline::solve_instance(
     const ft::FaultTree& tree, maxsat::WcnfInstance instance,
     const std::vector<bool>& candidates, util::CancelTokenPtr cancel) const {
+  PreparedInstance prepared;
+  prepared.raw = std::move(instance);
+  if (opts_.preprocess) {
+    // Step 3.5: simplify before solving; blocking clauses and
+    // decomposition restrictions ride along (events are frozen).
+    prepared.pre = std::make_shared<preprocess::PreprocessResult>(
+        preprocess::preprocess(
+            prepared.raw, event_freeze_mask(tree, prepared.raw.num_vars()),
+            effective_preprocess_options(tree, opts_), cancel));
+  }
+  const preprocess::PreprocessResult* pre = prepared.pre.get();
+  return solve_simplified(tree, pre ? pre->simplified : prepared.raw, pre,
+                          candidates, std::move(cancel));
+}
+
+MpmcsSolution MpmcsPipeline::solve_simplified(
+    const ft::FaultTree& tree, const maxsat::WcnfInstance& to_solve,
+    const preprocess::PreprocessResult* pre,
+    const std::vector<bool>& candidates, util::CancelTokenPtr cancel) const {
   util::Timer total;
   MpmcsSolution sol;
-  sol.cnf_vars = instance.num_vars();
-  sol.cnf_clauses = instance.hard().size();
+  sol.cnf_vars = to_solve.num_vars();
+  sol.cnf_clauses = to_solve.hard().size();
+  if (pre) {
+    sol.preprocess_seconds = pre->stats.seconds;
+    sol.preprocess_removed_vars = pre->stats.fixed_vars +
+                                  pre->stats.substituted_vars +
+                                  pre->stats.eliminated_vars;
+    if (pre->unsat) {
+      // Refuted at level 0: no model regardless of softs.
+      sol.status = maxsat::MaxSatStatus::Unsatisfiable;
+      sol.solver_name = "preprocess";
+      sol.total_seconds = total.seconds();
+      return sol;
+    }
+  }
 
   // Step 5 (parallel MaxSAT resolution, or a single configured solver).
   auto solver = make_solver();
   util::Timer solving;
-  const maxsat::MaxSatResult r = solver->solve(instance, std::move(cancel));
+  const maxsat::MaxSatResult r = solver->solve(to_solve, std::move(cancel));
   sol.solve_seconds = solving.seconds();
   sol.status = r.status;
   sol.solver_name = r.solver_name.empty() ? solver->name() : r.solver_name;
-  sol.scaled_cost = r.cost;
+  sol.scaled_cost = r.cost + (pre ? pre->cost_offset : 0);
 
   if (r.status == maxsat::MaxSatStatus::Optimal) {
-    // The occurring events in the optimal model form the cut.
+    // Map the model back to the original variable space (fixed,
+    // substituted and eliminated variables get their forced values),
+    // then read the occurring events off it: they form the cut.
+    std::vector<bool> model = r.model;
+    if (pre) {
+      // Preprocessing never renumbers, so the simplified instance spans
+      // the original variable range already.
+      model.resize(to_solve.num_vars(), false);
+      pre->reconstructor.extend(model);
+    }
     std::vector<ft::EventIndex> events;
     for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
       if (!candidates.empty() && !candidates[e]) continue;
-      if (r.model[e]) events.push_back(e);
+      if (model[e]) events.push_back(e);
     }
     ft::CutSet cut(std::move(events));
     if (opts_.shrink_to_minimal) cut = ft::shrink_to_minimal(tree, cut);
@@ -186,6 +272,31 @@ MpmcsSolution MpmcsPipeline::solve(const ft::FaultTree& tree,
   }
   MpmcsSolution sol =
       solve_instance(tree, build_instance(tree), {}, std::move(cancel));
+  sol.total_seconds = total.seconds();
+  return sol;
+}
+
+PreparedInstance MpmcsPipeline::prepare(const ft::FaultTree& tree,
+                                        util::CancelTokenPtr cancel) const {
+  PreparedInstance prepared;
+  prepared.raw = build_instance(tree);
+  if (opts_.preprocess) {
+    prepared.pre = std::make_shared<preprocess::PreprocessResult>(
+        preprocess::preprocess(
+            prepared.raw, event_freeze_mask(tree, prepared.raw.num_vars()),
+            effective_preprocess_options(tree, opts_), std::move(cancel)));
+  }
+  return prepared;
+}
+
+MpmcsSolution MpmcsPipeline::solve_prepared(const ft::FaultTree& tree,
+                                            const PreparedInstance& prepared,
+                                            util::CancelTokenPtr cancel) const {
+  util::Timer total;
+  const preprocess::PreprocessResult* pre = prepared.pre.get();
+  MpmcsSolution sol =
+      solve_simplified(tree, pre ? pre->simplified : prepared.raw, pre, {},
+                       std::move(cancel));
   sol.total_seconds = total.seconds();
   return sol;
 }
@@ -267,21 +378,36 @@ std::vector<MpmcsSolution> MpmcsPipeline::top_k(
   tree.validate();
   if (final_status) *final_status = maxsat::MaxSatStatus::Optimal;
   std::vector<MpmcsSolution> out;
-  maxsat::WcnfInstance instance = build_instance(tree);
+  // Steps 1-4 and 3.5 run once; every round then appends its blocking
+  // clause to the working (simplified, when enabled) instance and pays
+  // Step 5 only. Sound because blocking clauses mention only event
+  // variables, which are frozen — the reconstructor stays valid.
+  const PreparedInstance prepared = prepare(tree, cancel);
+  const preprocess::PreprocessResult* pre = prepared.pre.get();
+  maxsat::WcnfInstance working = pre ? pre->simplified : prepared.raw;
   for (std::size_t i = 0; i < k; ++i) {
-    MpmcsSolution sol = solve_instance(tree, instance, {}, cancel);
+    MpmcsSolution sol = solve_simplified(tree, working, pre, {}, cancel);
     if (sol.status != maxsat::MaxSatStatus::Optimal) {
       if (final_status) *final_status = sol.status;
       break;
     }
     out.push_back(sol);
+    if (sol.cut.size() == 0) break;  // degenerate: constant-true tree
     // Block this cut and every superset: at least one member must be
-    // absent in any further solution.
+    // absent in any further solution. Members fixed true at level 0 can
+    // never be absent, so their literals drop out of the clause.
     logic::Clause block;
     block.reserve(sol.cut.size());
-    for (ft::EventIndex e : sol.cut.events()) block.push_back(Lit::neg(e));
-    if (block.empty()) break;  // degenerate: empty cut (constant-true tree)
-    instance.add_hard(std::move(block));
+    for (ft::EventIndex e : sol.cut.events()) {
+      if (pre && pre->fixed_true(e)) continue;
+      block.push_back(Lit::neg(e));
+    }
+    if (block.empty()) {
+      // The whole cut is forced: every further model is a superset.
+      if (final_status) *final_status = maxsat::MaxSatStatus::Unsatisfiable;
+      break;
+    }
+    working.add_hard(std::move(block));
   }
   return out;
 }

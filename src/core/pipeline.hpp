@@ -10,6 +10,12 @@
 //   2. CNF conversion — Tseitin transformation (logic/tseitin).
 //   3. Probability transformation — w_i = -log p(x_i), scaled to integers.
 //   4. Weighted Partial MaxSAT instance — hard tree CNF + soft (¬x_i, w_i).
+//      Step 3.5 (extension): the WCNF preprocessor (src/preprocess)
+//      simplifies the hard clauses — unit propagation, subsumption,
+//      self-subsuming resolution, equivalent-literal substitution and
+//      bounded variable elimination over the Tseitin auxiliaries — with
+//      basic-event/soft variables frozen and a ModelReconstructor mapping
+//      solver models back to the original variable space.
 //   5. Parallel MaxSAT resolution — the solver portfolio (maxsat/portfolio).
 //   6. Reverse transformation — P = exp(-Σ w_i) over the chosen events
 //      (recomputed exactly from the tree's probabilities).
@@ -21,6 +27,7 @@
 
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +37,7 @@
 #include "ft/json_writer.hpp"
 #include "maxsat/instance.hpp"
 #include "maxsat/solver.hpp"
+#include "preprocess/preprocess.hpp"
 #include "util/cancel.hpp"
 
 namespace fta::core {
@@ -56,6 +64,12 @@ struct PipelineOptions {
   bool shrink_to_minimal = true;
   /// Plaisted–Greenbaum polarity-aware Tseitin (fewer clauses).
   bool polarity_aware_tseitin = false;
+  /// Step 3.5: simplify the WCNF before solving (src/preprocess). Exact —
+  /// every solver sees an equivalent instance and models are mapped back
+  /// to the original variable space. The CLI exposes --no-preprocess.
+  bool preprocess = true;
+  /// Technique/effort knobs for Step 3.5 (ignored when !preprocess).
+  preprocess::PreprocessOptions preprocess_opts;
   /// Extension beyond the paper: when the top gate is an OR, solve one
   /// MaxSAT instance per child and take the probability argmax — sound
   /// because MCS(f1 | f2) ⊆ minimize(MCS(f1) ∪ MCS(f2)) and dropping
@@ -74,8 +88,20 @@ struct MpmcsSolution {
   double solve_seconds = 0.0;   ///< MaxSAT solving time.
   double total_seconds = 0.0;   ///< Including transformation steps.
   maxsat::Weight scaled_cost = 0;  ///< Optimal cost in scaled-integer space.
-  std::size_t cnf_vars = 0;     ///< Size of the Step-2 CNF.
-  std::size_t cnf_clauses = 0;
+  std::size_t cnf_vars = 0;     ///< Vars of the instance handed to Step 5.
+  std::size_t cnf_clauses = 0;  ///< Hard clauses handed to Step 5.
+  double preprocess_seconds = 0.0;  ///< Step 3.5 cost (0 when disabled).
+  /// Variables removed by Step 3.5 (fixed + substituted + eliminated).
+  std::size_t preprocess_removed_vars = 0;
+};
+
+/// The Step 1-4 artefacts plus the optional Step 3.5 simplification —
+/// everything needed to jump straight to Step 5. Built once per tree by
+/// prepare() and cached by engine::TreeCache for repeated structures.
+struct PreparedInstance {
+  maxsat::WcnfInstance raw;  ///< Steps 1-4 (see build_instance).
+  /// Step 3.5 artefact; null when PipelineOptions::preprocess is off.
+  std::shared_ptr<const preprocess::PreprocessResult> pre;
 };
 
 class MpmcsPipeline {
@@ -100,10 +126,24 @@ class MpmcsPipeline {
                                    maxsat::MaxSatStatus* final_status =
                                        nullptr) const;
 
-  /// Like solve(), but starting from a previously built Step 1-4 artefact
-  /// (see build_instance) instead of re-running the transformation steps —
-  /// the engine's structural cache hits this path. `decompose_top_or` is
+  /// Steps 1-4 plus (when enabled) the Step 3.5 preprocessing pass, as
+  /// one reusable artefact. The engine's structural cache stores these.
+  /// The cancel token (when set) bounds the preprocessing phase; an
+  /// early stop yields a sound but less simplified artefact.
+  PreparedInstance prepare(const ft::FaultTree& tree,
+                           util::CancelTokenPtr cancel = nullptr) const;
+
+  /// Like solve(), but starting from a previously built artefact (see
+  /// prepare) instead of re-running the transformation steps — the
+  /// engine's structural cache hits this path. `decompose_top_or` is
   /// ignored here (the prepared instance is already whole-tree).
+  MpmcsSolution solve_prepared(const ft::FaultTree& tree,
+                               const PreparedInstance& prepared,
+                               util::CancelTokenPtr cancel = nullptr) const;
+
+  /// Convenience overload for a bare Step 1-4 instance; preprocessing
+  /// (when enabled) runs on the fly, so prefer the PreparedInstance form
+  /// for repeated solves.
   MpmcsSolution solve_prepared(const ft::FaultTree& tree,
                                const maxsat::WcnfInstance& instance,
                                util::CancelTokenPtr cancel = nullptr) const;
@@ -146,6 +186,15 @@ class MpmcsPipeline {
                                maxsat::WcnfInstance instance,
                                const std::vector<bool>& candidates = {},
                                util::CancelTokenPtr cancel = nullptr) const;
+  /// Step 5 + Step 6 over `to_solve`. When `pre` is non-null the model
+  /// is mapped back through its reconstructor and costs include its
+  /// offset (to_solve is then the simplified instance, possibly with
+  /// extra hard clauses such as top-k blockers appended).
+  MpmcsSolution solve_simplified(const ft::FaultTree& tree,
+                                 const maxsat::WcnfInstance& to_solve,
+                                 const preprocess::PreprocessResult* pre,
+                                 const std::vector<bool>& candidates,
+                                 util::CancelTokenPtr cancel) const;
   maxsat::WcnfInstance instance_for_formula(
       const ft::FaultTree& tree, logic::FormulaStore& store,
       logic::NodeId fault, std::vector<bool>* events_used = nullptr) const;

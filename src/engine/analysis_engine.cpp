@@ -89,7 +89,7 @@ void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
     } else {
       util::Timer build;
       auto built = std::make_shared<PreparedTree>();
-      built->instance = pipeline.build_instance(request.tree);
+      built->prepared = pipeline.prepare(request.tree);
       built->build_seconds = build.seconds();
       // If a concurrent miss on the same key inserted first, adopt that
       // entry (keeping its memoized solutions) and drop ours.
@@ -111,7 +111,7 @@ void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
         return;
       }
     }
-    result.mpmcs = pipeline.solve_prepared(request.tree, prepared->instance,
+    result.mpmcs = pipeline.solve_prepared(request.tree, prepared->prepared,
                                            std::move(token));
     if (opts_.memoize_results &&
         result.mpmcs.status != maxsat::MaxSatStatus::Unknown) {

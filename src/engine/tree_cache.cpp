@@ -26,9 +26,23 @@ std::string structural_key(const ft::FaultTree& tree,
   // index order is canonical for any two trees built the same way; names
   // are deliberately omitted.
   std::string key;
-  key.reserve(tree.num_nodes() * 16 + 32);
+  key.reserve(tree.num_nodes() * 16 + 48);
   append_f64(key, opts.weight_scale);
   key.push_back(opts.polarity_aware_tseitin ? 'P' : 'p');
+  // Step 3.5 configuration: a differently-preprocessed instance is a
+  // different artefact (the reconstructor travels with it).
+  key.push_back(opts.preprocess ? 'Z' : 'z');
+  if (opts.preprocess) {
+    const preprocess::PreprocessOptions& pp = opts.preprocess_opts;
+    key.push_back(static_cast<char>((pp.subsumption ? 1 : 0) |
+                                    (pp.equivalences ? 2 : 0) |
+                                    (pp.bve ? 4 : 0) |
+                                    (pp.bce ? 8 : 0)));
+    append_u32(key, pp.max_rounds);
+    append_u32(key, pp.bve_occurrence_cap);
+    append_u32(key, pp.bve_clause_growth);
+    append_f64(key, pp.bve_literal_growth);
+  }
   append_u32(key, static_cast<std::uint32_t>(tree.num_nodes()));
   append_u32(key, static_cast<std::uint32_t>(tree.num_events()));
   append_u32(key, tree.top());

@@ -11,8 +11,9 @@
 // The signature is an exact canonical encoding, not a lossy hash: node
 // shape, gate types/thresholds, event indices and probability bit
 // patterns, plus the transformation options that shape the instance
-// (weight scale, Tseitin polarity mode). Event/gate *names* are excluded —
-// renaming every node of a tree yields the same artefacts.
+// (weight scale, Tseitin polarity mode, the Step 3.5 preprocessing
+// configuration). Event/gate *names* are excluded — renaming every node
+// of a tree yields the same artefacts.
 #pragma once
 
 #include <atomic>
@@ -29,14 +30,15 @@
 
 namespace fta::engine {
 
-/// The cached Step 1-4 artefact: everything needed to jump to Step 5.
+/// The cached Step 1-4 artefact plus the Step 3.5 preprocessing result:
+/// everything needed to jump to Step 5.
 ///
 /// Entries also carry a second cache tier: solutions memoized per solver
 /// configuration (see EngineOptions::memoize_results). The artefact is
 /// solver-independent; a memoized solution is keyed by the options that
 /// influence which optimal cut comes back (solver choice, shrink pass).
 struct PreparedTree {
-  maxsat::WcnfInstance instance;
+  core::PreparedInstance prepared;
   double build_seconds = 0.0;  ///< Transformation cost this entry saved.
 
   mutable std::mutex memo_mutex;

@@ -119,17 +119,33 @@ namespace {
 
 /// Memoized bottom-up rewrite driver shared by the transformations below.
 /// `fn(store, node, rewritten_children)` builds the replacement node.
+/// Iterative post-order: chain-shaped formulas reach depths that
+/// overflow the call stack (first seen under sanitizer-sized frames).
 template <typename Fn>
 NodeId rewrite(FormulaStore& store, NodeId root, Fn&& fn,
                std::unordered_map<NodeId, NodeId>& memo) {
-  if (auto it = memo.find(root); it != memo.end()) return it->second;
-  const FormulaNode& n = store.node(root);
+  std::vector<std::pair<NodeId, bool>> stack{{root, false}};
   std::vector<NodeId> kids;
-  kids.reserve(n.children.size());
-  for (NodeId c : n.children) kids.push_back(rewrite(store, c, fn, memo));
-  const NodeId out = fn(root, kids);
-  memo.emplace(root, out);
-  return out;
+  while (!stack.empty()) {
+    const auto [id, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.count(id)) continue;
+    if (!expanded) {
+      stack.push_back({id, true});
+      for (NodeId c : store.node(id).children) {
+        if (!memo.count(c)) stack.push_back({c, false});
+      }
+      continue;
+    }
+    kids.clear();
+    const FormulaNode& n = store.node(id);
+    kids.reserve(n.children.size());
+    for (NodeId c : n.children) kids.push_back(memo.at(c));
+    // `n` must not be used past this call: fn may grow the store.
+    const NodeId out = fn(id, kids);
+    memo.emplace(id, out);
+  }
+  return memo.at(root);
 }
 
 }  // namespace

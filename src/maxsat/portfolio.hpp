@@ -9,6 +9,12 @@
 // member to return a definitive result (Optimal/Unsatisfiable) wins and
 // the shared cancel token stops the others. Members returning Unknown
 // never win the race.
+//
+// The portfolio solves whatever instance it is handed, so the pipeline's
+// Step 3.5 preprocessing (src/preprocess) benefits every member at once:
+// the WCNF is simplified a single time before the race, with every
+// soft-clause indicator literal frozen automatically so each member's
+// assumption/relaxation machinery still lines up with the soft clauses.
 #pragma once
 
 #include <functional>

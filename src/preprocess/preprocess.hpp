@@ -1,0 +1,121 @@
+// WCNF preprocessing (pipeline Step 3.5): formula simplification before
+// MaxSAT solving, in the SatELite / CaDiCaL tradition.
+//
+// The Tseitin encoding of a fault tree is dominated by auxiliary gate
+// variables with few occurrences — exactly the variables classical CNF
+// preprocessing removes. Four techniques run to fixpoint over shared
+// occurrence lists:
+//
+//   * level-0 unit propagation (the asserted root cascades through
+//     single-child chains and forced gates),
+//   * clause subsumption and self-subsuming resolution,
+//   * equivalent-literal substitution from the binary implication
+//     graph's strongly connected components,
+//   * blocked clause elimination (BCE): on full Tseitin encodings this
+//     strips the unused-polarity half of each gate definition, converging
+//     towards the Plaisted–Greenbaum form and unlocking further BVE, and
+//   * bounded variable elimination (BVE): a variable is resolved away
+//     when the non-tautological resolvents do not outnumber the clauses
+//     they replace, in clauses or in total literals.
+//
+// Soundness for *weighted partial* MaxSAT needs more care than for plain
+// SAT: any variable appearing in a soft clause is automatically frozen
+// (callers may freeze more, e.g. every basic-event variable), and frozen
+// variables are never eliminated or substituted away — so the set of
+// models projected onto the frozen variables, and hence the optimal
+// cost, is preserved exactly. Unit propagation may still *fix* a frozen
+// variable (the assignment is forced); the affected soft clauses are
+// discharged into `cost_offset` and the fix is replayed by the
+// ModelReconstructor, which maps simplified-space models back to the
+// original variable space.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "maxsat/instance.hpp"
+#include "preprocess/reconstruct.hpp"
+#include "util/cancel.hpp"
+
+namespace fta::preprocess {
+
+/// Technique toggles and effort caps. Level-0 unit propagation is not
+/// optional: every other pass relies on a propagated clause database
+/// (no live clause mentions an assigned variable).
+struct PreprocessOptions {
+  bool subsumption = true;       ///< Includes self-subsuming resolution.
+  bool equivalences = true;      ///< Binary-implication-graph SCCs.
+  bool bce = true;               ///< Blocked clause elimination.
+  bool bve = true;
+  /// Simplification passes repeat until fixpoint or this many rounds.
+  std::uint32_t max_rounds = 4;
+  /// BVE skips variables with more total occurrences than this (dense
+  /// variables rarely eliminate and cost quadratic resolvent checks).
+  std::uint32_t bve_occurrence_cap = 24;
+  /// BVE accepts an elimination when it adds at most this many clauses
+  /// over the ones it removes (0 = classic "never grow" rule).
+  std::uint32_t bve_clause_growth = 0;
+  /// ... and when the resolvents' total literal count stays within this
+  /// factor of the removed literals (1.0 = never grow; literal growth is
+  /// what makes clause-count-only BVE slow down unit propagation).
+  double bve_literal_growth = 1.0;
+};
+
+struct PreprocessStats {
+  std::size_t original_clauses = 0;
+  std::size_t original_literals = 0;
+  std::size_t simplified_clauses = 0;
+  std::size_t simplified_literals = 0;
+  std::size_t fixed_vars = 0;        ///< Level-0 assignments.
+  std::size_t substituted_vars = 0;  ///< Equivalent-literal merges.
+  std::size_t eliminated_vars = 0;   ///< BVE removals.
+  std::size_t subsumed_clauses = 0;
+  std::size_t strengthened_clauses = 0;  ///< Self-subsuming resolutions.
+  std::size_t blocked_clauses = 0;       ///< Removed by BCE.
+  std::size_t rounds = 0;
+  double seconds = 0.0;
+  double equivalence_seconds = 0.0;
+  double subsumption_seconds = 0.0;
+  double bce_seconds = 0.0;
+  double bve_seconds = 0.0;
+};
+
+struct PreprocessResult {
+  /// Hard clauses were refuted at level 0: the instance has no model.
+  bool unsat = false;
+  /// Simplified instance over the *same* variable numbering (removed
+  /// variables simply no longer occur). Soft clauses carry over minus
+  /// the ones discharged by fixed assignments.
+  maxsat::WcnfInstance simplified;
+  /// Maps models of `simplified` back to the original variable space.
+  ModelReconstructor reconstructor;
+  /// Soft weight made mandatory by forced assignments; add to the
+  /// solver-reported cost to get the original-instance cost.
+  maxsat::Weight cost_offset = 0;
+  /// Level-0 assignment per variable (Undef when free): lets callers
+  /// simplify clauses they append to `simplified` afterwards (e.g. the
+  /// pipeline's top-k blocking clauses over frozen event variables).
+  std::vector<logic::LBool> level0;
+  PreprocessStats stats;
+
+  bool fixed_true(logic::Var v) const {
+    return v < level0.size() && level0[v] == logic::LBool::True;
+  }
+};
+
+/// Simplifies `instance`. Variables of soft clauses are always frozen;
+/// `extra_frozen` (indexed by variable, may be shorter than num_vars)
+/// freezes more. Exact: optimal cost and optimal-model projections onto
+/// frozen variables are preserved.
+///
+/// The cancel token (when set) is polled at pass boundaries: a deadline
+/// or cancellation stops simplification early and returns the current —
+/// still sound, just less simplified — state, so per-request timeouts
+/// bound this phase too.
+PreprocessResult preprocess(const maxsat::WcnfInstance& instance,
+                            const std::vector<bool>& extra_frozen = {},
+                            const PreprocessOptions& opts = {},
+                            util::CancelTokenPtr cancel = nullptr);
+
+}  // namespace fta::preprocess

@@ -1,0 +1,77 @@
+#include "preprocess/reconstruct.hpp"
+
+#include <cassert>
+
+namespace fta::preprocess {
+
+using logic::Clause;
+using logic::Lit;
+
+namespace {
+
+bool lit_true(const std::vector<bool>& model, Lit l) {
+  return model[l.var()] != l.negated();
+}
+
+}  // namespace
+
+void ModelReconstructor::extend(std::vector<bool>& model) const {
+  // Reverse replay: the last simplification is undone first. A record's
+  // witnesses only mention variables still present in the formula when
+  // the record was made — surviving variables, or ones removed strictly
+  // later, whose removals are replayed before this one — so every value
+  // a record reads has already been restored.
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    const Record& r = *it;
+    switch (r.kind) {
+      case Kind::Fixed:
+        model[r.var] = !r.lit.negated();
+        break;
+      case Kind::Equivalence:
+        model[r.var] = lit_true(model, r.lit);
+        break;
+      case Kind::Elimination: {
+        // Standard elimination witness: v = false satisfies every clause
+        // with ~v; flip to true only if some clause containing v is not
+        // already satisfied by its other literals. Because the model
+        // satisfies all resolvents, this value satisfies *all* witness
+        // clauses (asserted below).
+        bool value = false;
+        for (const Clause& c : r.clauses) {
+          bool has_pos = false;
+          bool other_true = false;
+          for (const Lit l : c) {
+            if (l.var() == r.var) {
+              if (!l.negated()) has_pos = true;
+            } else if (lit_true(model, l)) {
+              other_true = true;
+              break;
+            }
+          }
+          if (has_pos && !other_true) {
+            value = true;
+            break;
+          }
+        }
+        model[r.var] = value;
+#ifndef NDEBUG
+        for (const Clause& c : r.clauses) {
+          bool sat = false;
+          for (const Lit l : c) sat = sat || lit_true(model, l);
+          assert(sat && "elimination witness must be satisfiable");
+        }
+#endif
+        break;
+      }
+      case Kind::Blocked: {
+        // Repair only when the removed clause is actually falsified.
+        bool sat = false;
+        for (const Lit l : r.clauses.front()) sat = sat || lit_true(model, l);
+        if (!sat) model[r.var] = !r.lit.negated();
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace fta::preprocess

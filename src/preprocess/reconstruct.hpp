@@ -1,0 +1,71 @@
+// Model reconstruction for the WCNF preprocessor.
+//
+// Every simplification that removes a variable from the formula — a
+// level-0 fixed assignment, an equivalent-literal substitution, or a
+// bounded-variable-elimination step — appends a record here. Replaying
+// the records in reverse chronological order extends any model of the
+// simplified formula to a model of the original formula over the full
+// variable space (the classic SatELite/MiniSat elimination-stack
+// scheme), so MPMCS extraction, top-k blocking clauses and cost
+// accounting all keep working in original-variable terms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/cnf.hpp"
+#include "logic/lit.hpp"
+
+namespace fta::preprocess {
+
+class ModelReconstructor {
+ public:
+  /// A level-0 assignment: `l` holds in every model.
+  void record_fixed(logic::Lit l) {
+    records_.push_back(Record{Kind::Fixed, l.var(), l, {}});
+  }
+
+  /// `v` was substituted away: v <-> rep (rep may be negated).
+  void record_equivalence(logic::Var v, logic::Lit rep) {
+    records_.push_back(Record{Kind::Equivalence, v, rep, {}});
+  }
+
+  /// `v` was eliminated by resolution; `occurrences` are the original
+  /// clauses containing v (either polarity) at elimination time.
+  void record_elimination(logic::Var v,
+                          std::vector<logic::Clause> occurrences) {
+    records_.push_back(
+        Record{Kind::Elimination, v, logic::kNoLit, std::move(occurrences)});
+  }
+
+  /// `clause` was removed as blocked on `l` (var(l) still occurs in the
+  /// formula): a model falsifying the clause is repaired by making `l`
+  /// true, which cannot break any clause containing ~l (all those
+  /// resolvents are tautological by the blocking condition).
+  void record_blocked(logic::Lit l, logic::Clause clause) {
+    records_.push_back(Record{Kind::Blocked, l.var(), l, {std::move(clause)}});
+  }
+
+  /// Completes `model` (indexed by original variable, at least
+  /// `num_vars` entries) in place: every removed variable is assigned a
+  /// value consistent with the original formula. Values of surviving
+  /// variables are left untouched.
+  void extend(std::vector<bool>& model) const;
+
+  std::size_t num_records() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+ private:
+  enum class Kind : std::uint8_t { Fixed, Equivalence, Elimination, Blocked };
+
+  struct Record {
+    Kind kind;
+    logic::Var var;
+    logic::Lit lit;  ///< Fixed: forced; Equivalence: rep; Blocked: blocker.
+    std::vector<logic::Clause> clauses;  ///< Elimination/Blocked witnesses.
+  };
+
+  std::vector<Record> records_;  // chronological order of simplification
+};
+
+}  // namespace fta::preprocess
