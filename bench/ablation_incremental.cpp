@@ -1,0 +1,241 @@
+// Ablation: persistent incremental SAT sessions on vs. off
+// (maxsat/incremental) on the engine's cached hot path.
+//
+// Workload model, extending bench/ablation_preprocess: production traffic
+// re-analyses the same model structures, so Step 1-4 + 3.5 artefacts are
+// prepared once per structure and every request pays Step 5 only. PR 2
+// showed that with preprocessing on, the remaining cost on ~1500-event
+// DAGs is the per-solve floor — rebuilding the SAT solver and
+// re-discovering ~75 cores per solve. This bench measures what the
+// persistent session recovers, per layer:
+//
+//   * cold    — the first solve on a fresh artefact (sessions pay a small
+//               construction overhead here),
+//   * warm    — repeated solve_prepared on the same artefact (the cached
+//               hot path; incremental resumes from the converged OLL
+//               state in one SAT call),
+//   * top-k   — superset-blocking enumeration (each round resumes from
+//               the previous round's solver state via retractable
+//               blocking clauses instead of solving from scratch).
+//
+// Both modes run the identical deterministic stream (solver = oll) and
+// must produce identical scaled optima; small trees are additionally
+// cross-checked against the exact BDD engine.
+//
+// usage: ablation_incremental [repeats] [--json PATH]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bdd/fta_bdd.hpp"
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "ft/cut_set.hpp"
+#include "gen/generator.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct Member {
+  std::string label;
+  fta::ft::FaultTree tree;
+};
+
+std::vector<Member> build_corpus() {
+  using namespace fta;
+  std::vector<Member> corpus;
+  // The ~1500-event DAG corpus from the PR 2 ablation (random + near-tie
+  // probability variants), widened with extra seeds so the median is not
+  // dominated by a single topology.
+  for (const auto& [events, seed] :
+       {std::pair<std::uint32_t, std::uint64_t>{1200u, 0xA100 + 1200},
+        {1500u, 0xA100 + 1500},
+        {1500u, 0xA700}}) {
+    gen::GeneratorOptions g;
+    g.num_events = events;
+    g.vote_fraction = 0.05;
+    g.sharing = 0.2;
+    corpus.push_back({"random" + std::to_string(events) +
+                          (seed == 0xA700 ? "b" : ""),
+                      gen::random_tree(g, seed)});
+  }
+  for (const auto& [events, seed] :
+       {std::pair<std::uint32_t, std::uint64_t>{1200u, 0xB200 + 1200},
+        {1500u, 0xB200 + 1500},
+        {1500u, 0xB700}}) {
+    gen::GeneratorOptions g;
+    g.num_events = events;
+    g.vote_fraction = 0.15;
+    g.sharing = 0.3;
+    g.min_prob = 0.02;  // near-tie weights: the optimization-hard case
+    g.max_prob = 0.3;
+    corpus.push_back({"neartie" + std::to_string(events) +
+                          (seed == 0xB700 ? "b" : ""),
+                      gen::random_tree(g, seed)});
+  }
+  return corpus;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n == 0 ? 0.0
+                : (n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fta;
+
+  const bench::Args args = bench::parse_args(argc, argv);
+  const std::size_t repeats =
+      args.positional.empty()
+          ? 8
+          : static_cast<std::size_t>(std::atoi(args.positional[0]));
+  const std::size_t top_k = 8;
+
+  core::PipelineOptions off;
+  off.solver = core::SolverChoice::Oll;  // deterministic, single thread
+  off.incremental = false;
+  core::PipelineOptions on = off;
+  on.incremental = true;
+
+  const core::MpmcsPipeline pipe_off(off);
+  const core::MpmcsPipeline pipe_on(on);
+  const std::vector<Member> corpus = build_corpus();
+
+  bench::banner(
+      "ablation: incremental SAT sessions (solver = oll, preprocess on)");
+  std::printf(
+      "model: prepare once per tree + 1 cold + %zu warm solves + top-%zu\n\n",
+      repeats, top_k);
+  bench::print_row({"tree", "cold off/on ms", "warm off ms", "warm on ms",
+                    "warm x", "topk off ms", "topk on ms", "topk x"},
+                   {16, 16, 12, 11, 8, 12, 11, 8});
+
+  std::vector<double> warm_speedups, topk_speedups, cold_speedups;
+  double warm_total_off = 0.0, warm_total_on = 0.0;
+  bool all_match = true;
+
+  for (const Member& m : corpus) {
+    struct ModeResult {
+      double cold_ms = 0.0;
+      double warm_ms = 0.0;
+      double topk_ms = 0.0;
+      maxsat::Weight cost = 0;
+      std::vector<maxsat::Weight> topk_costs;
+      bool ok = true;
+    };
+    const auto run = [&](const core::MpmcsPipeline& pipe) {
+      ModeResult r;
+      const core::PreparedInstance prepared = pipe.prepare(m.tree);
+      {
+        util::Timer t;
+        const core::MpmcsSolution sol = pipe.solve_prepared(m.tree, prepared);
+        r.cold_ms = t.seconds() * 1e3;
+        r.ok = sol.status == maxsat::MaxSatStatus::Optimal;
+        r.cost = sol.scaled_cost;
+      }
+      {
+        util::Timer t;
+        for (std::size_t rep = 0; rep < repeats; ++rep) {
+          const core::MpmcsSolution sol =
+              pipe.solve_prepared(m.tree, prepared);
+          r.ok = r.ok && sol.status == maxsat::MaxSatStatus::Optimal &&
+                 sol.scaled_cost == r.cost;
+        }
+        r.warm_ms = t.seconds() * 1e3;
+      }
+      {
+        util::Timer t;
+        const auto sols = pipe.top_k(m.tree, top_k);
+        r.topk_ms = t.seconds() * 1e3;
+        for (const auto& s : sols) r.topk_costs.push_back(s.scaled_cost);
+      }
+      return r;
+    };
+    const ModeResult a = run(pipe_off);
+    const ModeResult b = run(pipe_on);
+    const bool match = a.ok && b.ok && a.cost == b.cost &&
+                       a.topk_costs == b.topk_costs;
+    all_match = all_match && match;
+    warm_total_off += a.warm_ms;
+    warm_total_on += b.warm_ms;
+    cold_speedups.push_back(a.cold_ms / b.cold_ms);
+    warm_speedups.push_back(a.warm_ms / b.warm_ms);
+    topk_speedups.push_back(a.topk_ms / b.topk_ms);
+    bench::print_row(
+        {m.label,
+         bench::fmt(a.cold_ms, "%.0f") + "/" + bench::fmt(b.cold_ms, "%.0f"),
+         bench::fmt(a.warm_ms, "%.1f"), bench::fmt(b.warm_ms, "%.1f"),
+         bench::fmt(warm_speedups.back(), "%.1fx"),
+         bench::fmt(a.topk_ms, "%.1f"), bench::fmt(b.topk_ms, "%.1f"),
+         bench::fmt(topk_speedups.back(), "%.1fx") +
+             (match ? "" : " MISMATCH")},
+        {16, 16, 12, 11, 8, 12, 11, 8});
+  }
+
+  // Exact cross-check on BDD-tractable sizes: the incremental pipeline's
+  // optimum must equal the max-probability MCS from exhaustive BDD
+  // enumeration.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    gen::GeneratorOptions g;
+    g.num_events = 80;
+    g.sharing = 0.2;
+    const ft::FaultTree tree = gen::random_tree(g, 0xBDD0 + seed);
+    const core::PreparedInstance prepared = pipe_on.prepare(tree);
+    const core::MpmcsSolution sol = pipe_on.solve_prepared(tree, prepared);
+    bdd::FaultTreeBdd exact(tree);
+    const auto mcs = exact.minimal_cut_sets();
+    const std::ptrdiff_t best = ft::argmax_probability(tree, mcs);
+    const bool ok =
+        sol.status == maxsat::MaxSatStatus::Optimal && best >= 0 &&
+        std::abs(sol.probability -
+                 mcs[static_cast<std::size_t>(best)].probability(tree)) <=
+            1e-9 * sol.probability;
+    all_match = all_match && ok;
+    if (!ok) std::printf("BDD cross-check MISMATCH on seed %llu\n",
+                         static_cast<unsigned long long>(seed));
+  }
+
+  const double requests = static_cast<double>(corpus.size() * repeats);
+  const double tps_off = requests / (warm_total_off / 1e3);
+  const double tps_on = requests / (warm_total_on / 1e3);
+  const double warm_median = median(warm_speedups);
+  const double topk_median = median(topk_speedups);
+  const double cold_median = median(cold_speedups);
+
+  std::printf("\nwarm throughput : %.1f -> %.1f solves/s\n", tps_off, tps_on);
+  std::printf("median speedup  : warm %.2fx  top-k %.2fx  cold %.2fx\n",
+              warm_median, topk_median, cold_median);
+  std::printf("overall warm    : %.2fx  (%.0f ms -> %.0f ms)\n",
+              warm_total_off / warm_total_on, warm_total_off, warm_total_on);
+  std::printf("results         : %s\n",
+              all_match ? "identical optima (incl. BDD cross-check)"
+                        : "MISMATCH");
+
+  if (!args.json_path.empty()) {
+    std::string json = "{\n  \"bench\": \"ablation_incremental\",\n";
+    json += "  \"trees\": " + std::to_string(corpus.size()) + ",\n";
+    json += "  \"repeats\": " + std::to_string(repeats) + ",\n";
+    json += "  \"warmSolvesPerSecondOff\": " + util::format_double(tps_off) +
+            ",\n";
+    json += "  \"warmSolvesPerSecondOn\": " + util::format_double(tps_on) +
+            ",\n";
+    json += "  \"warmMedianSpeedup\": " + util::format_double(warm_median) +
+            ",\n";
+    json += "  \"topkMedianSpeedup\": " + util::format_double(topk_median) +
+            ",\n";
+    json += "  \"coldMedianSpeedup\": " + util::format_double(cold_median) +
+            ",\n";
+    json += std::string("  \"resultsMatch\": ") +
+            (all_match ? "true" : "false") + "\n}\n";
+    bench::write_json(args.json_path, json);
+  }
+  return all_match ? 0 : 1;
+}

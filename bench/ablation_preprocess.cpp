@@ -106,6 +106,11 @@ int main(int argc, char** argv) {
   core::PipelineOptions off;
   off.solver = core::SolverChoice::Oll;  // deterministic, single thread
   off.preprocess = false;
+  // Pin the incremental sessions off: warm session re-solves cost one SAT
+  // call regardless of formula size, which would mask exactly the Step 5
+  // cost this ablation isolates (bench/ablation_incremental measures the
+  // session layer on top of preprocessing).
+  off.incremental = false;
   core::PipelineOptions on = off;
   on.preprocess = true;
 

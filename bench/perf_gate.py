@@ -2,16 +2,16 @@
 """CI perf-regression gate.
 
 Runs the fixed-seed benchmark binaries (bench_engine_batch,
-fig1_fps_mpmcs, ablation_preprocess), takes per-metric medians over a
-few runs, writes the combined report (BENCH_pr2.json) and fails when a
-throughput metric regresses more than --tolerance below the committed
-bench/baseline.json.
+fig1_fps_mpmcs, ablation_preprocess, ablation_incremental), takes
+per-metric medians over a few runs, writes the combined report
+(BENCH_pr3.json) and fails when a throughput metric regresses more than
+--tolerance below the committed bench/baseline.json.
 
     python3 bench/perf_gate.py --build-dir build            # gate
     python3 bench/perf_gate.py --build-dir build --update   # refresh baseline
 
-Correctness flags (fig1 allOk, ablation resultsMatch) are hard failures
-regardless of tolerance.
+Correctness flags (fig1 allOk, the ablations' resultsMatch) are hard
+failures regardless of tolerance.
 """
 
 import argparse
@@ -24,6 +24,7 @@ import tempfile
 
 ENGINE_BATCH_ARGS = ["6", "6", "150", "4"]
 ABLATION_ARGS = ["16"]
+ABLATION_INCREMENTAL_ARGS = ["8"]
 
 
 def run_bench(binary, args, runs):
@@ -82,6 +83,17 @@ def collect_metrics(build_dir, runs):
         ablation, lambda d: d["medianSpeedup"])
     flags["ablation.results_match"] = all(d["resultsMatch"] for d in ablation)
 
+    incremental = run_bench(os.path.join(build_dir, "ablation_incremental"),
+                            ABLATION_INCREMENTAL_ARGS, runs)
+    metrics["incremental.warm_solves_per_second_on"] = median_of(
+        incremental, lambda d: d["warmSolvesPerSecondOn"])
+    metrics["incremental.warm_median_speedup"] = median_of(
+        incremental, lambda d: d["warmMedianSpeedup"])
+    metrics["incremental.topk_median_speedup"] = median_of(
+        incremental, lambda d: d["topkMedianSpeedup"])
+    flags["incremental.results_match"] = all(
+        d["resultsMatch"] for d in incremental)
+
     return metrics, flags
 
 
@@ -89,7 +101,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--baseline", default="bench/baseline.json")
-    parser.add_argument("--out", default="BENCH_pr2.json")
+    parser.add_argument("--out", default="BENCH_pr3.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
     parser.add_argument("--runs", type=int, default=3,

@@ -48,6 +48,7 @@ int usage(const char* argv0) {
                "  --dot PATH      write Graphviz with MPMCS highlighted\n"
                "  --scale S       weight scale (default 1e6)\n"
                "  --no-preprocess skip the Step 3.5 WCNF simplification\n"
+               "  --no-incremental stateless solving (no SAT sessions)\n"
                "  --timeout SEC   per-tree time limit\n"
                "  --batch DIR     analyse every tree file in DIR\n"
                "  --jobs N        batch worker threads\n"
@@ -322,6 +323,8 @@ int main(int argc, char** argv) {
       opts.weight_scale = std::strtod(next(), nullptr);
     } else if (arg == "--no-preprocess") {
       opts.preprocess = false;
+    } else if (arg == "--no-incremental") {
+      opts.incremental = false;
     } else if (arg == "--timeout") {
       opts.timeout_seconds = std::strtod(next(), nullptr);
     } else if (arg == "--batch") {

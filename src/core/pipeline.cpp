@@ -6,6 +6,7 @@
 #include "logic/tseitin.hpp"
 #include "maxsat/brute_force.hpp"
 #include "maxsat/fu_malik.hpp"
+#include "maxsat/incremental.hpp"
 #include "maxsat/lsu.hpp"
 #include "maxsat/oll.hpp"
 #include "maxsat/portfolio.hpp"
@@ -200,10 +201,60 @@ MpmcsSolution MpmcsPipeline::solve_instance(
                           candidates, std::move(cancel));
 }
 
+maxsat::MaxSatResult MpmcsPipeline::solve_with_session(
+    maxsat::IncrementalSolveSession::Guard& session,
+    const maxsat::WcnfInstance& working, util::CancelTokenPtr cancel) const {
+  switch (opts_.solver) {
+    case SolverChoice::Oll:
+      return session.solve_oll(std::move(cancel));
+    case SolverChoice::Lsu:
+      return session.solve_lsu(std::move(cancel));
+    case SolverChoice::Portfolio: {
+      // Incremental members run on the persistent session; stateless
+      // hedges race on the working instance (which carries any top-k
+      // blockers as plain hard clauses) exactly as before. A stateless
+      // win cancels the session engines mid-run — their partial progress
+      // (cores, learnt clauses) still persists for the next solve.
+      auto* guard = &session;
+      std::vector<maxsat::PortfolioMember> members;
+      members.push_back({"oll-inc", [guard] {
+                           return std::make_unique<maxsat::SessionMemberSolver>(
+                               "oll-inc", [guard](util::CancelTokenPtr c) {
+                                 return guard->solve_oll(std::move(c));
+                               });
+                         }});
+      if (session.lsu_useful()) {
+        members.push_back(
+            {"lsu-inc", [guard] {
+               return std::make_unique<maxsat::SessionMemberSolver>(
+                   "lsu-inc", [guard](util::CancelTokenPtr c) {
+                     return guard->solve_lsu(std::move(c));
+                   });
+             }});
+      }
+      for (auto& member : maxsat::PortfolioSolver::default_members()) {
+        // The plain OLL/LSU members are strictly dominated by their
+        // incremental twins on this path; keep the diversified hedges.
+        if (member.label == "oll" || member.label == "lsu") continue;
+        members.push_back(std::move(member));
+      }
+      maxsat::PortfolioOptions po;
+      po.timeout_seconds = opts_.timeout_seconds;
+      maxsat::PortfolioSolver portfolio(std::move(members), po);
+      return portfolio.solve(working, std::move(cancel));
+    }
+    default:
+      // prepare() never attaches a session for the remaining choices.
+      return make_solver()->solve(working, std::move(cancel));
+  }
+}
+
 MpmcsSolution MpmcsPipeline::solve_simplified(
     const ft::FaultTree& tree, const maxsat::WcnfInstance& to_solve,
     const preprocess::PreprocessResult* pre,
-    const std::vector<bool>& candidates, util::CancelTokenPtr cancel) const {
+    const std::vector<bool>& candidates, util::CancelTokenPtr cancel,
+    maxsat::IncrementalSolveSession::Guard* session,
+    const ft::ShrinkContext* shrink) const {
   util::Timer total;
   MpmcsSolution sol;
   sol.cnf_vars = to_solve.num_vars();
@@ -222,13 +273,21 @@ MpmcsSolution MpmcsPipeline::solve_simplified(
     }
   }
 
-  // Step 5 (parallel MaxSAT resolution, or a single configured solver).
-  auto solver = make_solver();
+  // Step 5 (parallel MaxSAT resolution, or a single configured solver) —
+  // on the persistent incremental session when the caller holds one.
   util::Timer solving;
-  const maxsat::MaxSatResult r = solver->solve(to_solve, std::move(cancel));
+  maxsat::MaxSatResult r;
+  if (session != nullptr && *session) {
+    r = solve_with_session(*session, to_solve, std::move(cancel));
+    if (r.solver_name.empty()) r.solver_name = "incremental";
+  } else {
+    auto solver = make_solver();
+    r = solver->solve(to_solve, std::move(cancel));
+    if (r.solver_name.empty()) r.solver_name = solver->name();
+  }
   sol.solve_seconds = solving.seconds();
   sol.status = r.status;
-  sol.solver_name = r.solver_name.empty() ? solver->name() : r.solver_name;
+  sol.solver_name = r.solver_name;
   sol.scaled_cost = r.cost + (pre ? pre->cost_offset : 0);
 
   if (r.status == maxsat::MaxSatStatus::Optimal) {
@@ -248,7 +307,10 @@ MpmcsSolution MpmcsPipeline::solve_simplified(
       if (model[e]) events.push_back(e);
     }
     ft::CutSet cut(std::move(events));
-    if (opts_.shrink_to_minimal) cut = ft::shrink_to_minimal(tree, cut);
+    if (opts_.shrink_to_minimal) {
+      cut = shrink != nullptr ? shrink->shrink(tree, std::move(cut))
+                              : ft::shrink_to_minimal(tree, std::move(cut));
+    }
 
     // Step 6 (reverse log-space transformation) — recomputed exactly from
     // the tree's probabilities rather than the scaled integer cost.
@@ -286,6 +348,33 @@ PreparedInstance MpmcsPipeline::prepare(const ft::FaultTree& tree,
             prepared.raw, event_freeze_mask(tree, prepared.raw.num_vars()),
             effective_preprocess_options(tree, opts_), std::move(cancel)));
   }
+  // The persistent solving state rides with the artefact: whoever caches
+  // this PreparedInstance (engine::TreeCache) caches the session too, and
+  // a configuration change produces a different structural key — i.e. a
+  // fresh session — by construction. Engine construction inside the
+  // session is lazy, so prepare() stays as cheap as before. The session
+  // is attached regardless of the configured solver: the structural key
+  // does not encode the solver choice, so a cache entry built under
+  // (say) brute-force traffic must still serve later portfolio requests
+  // incrementally.
+  if (opts_.incremental && !(prepared.pre && prepared.pre->unsat)) {
+    std::shared_ptr<const maxsat::WcnfInstance> instance;
+    if (prepared.pre) {
+      // Aliasing share: the session keeps the whole preprocess artefact
+      // alive and points at its simplified instance.
+      instance = std::shared_ptr<const maxsat::WcnfInstance>(
+          prepared.pre, &prepared.pre->simplified);
+    } else {
+      instance = std::make_shared<maxsat::WcnfInstance>(prepared.raw);
+    }
+    maxsat::IncrementalOptions inc;
+    inc.memory_cap_bytes = opts_.incremental_memory_cap_bytes;
+    prepared.session = std::make_shared<maxsat::IncrementalSolveSession>(
+        std::move(instance), inc);
+  }
+  // Unconditional for the same cache-sharing reason: a later request
+  // with the shrink pass enabled must find the context ready.
+  prepared.shrink = std::make_shared<const ft::ShrinkContext>(tree);
   return prepared;
 }
 
@@ -294,9 +383,14 @@ MpmcsSolution MpmcsPipeline::solve_prepared(const ft::FaultTree& tree,
                                             util::CancelTokenPtr cancel) const {
   util::Timer total;
   const preprocess::PreprocessResult* pre = prepared.pre.get();
+  // Concurrent solves of the same cached structure race for the session;
+  // losers simply take the stateless path.
+  maxsat::IncrementalSolveSession::Guard guard;
+  if (prepared.session) guard = prepared.session->try_acquire();
   MpmcsSolution sol =
       solve_simplified(tree, pre ? pre->simplified : prepared.raw, pre, {},
-                       std::move(cancel));
+                       std::move(cancel), guard ? &guard : nullptr,
+                       prepared.shrink.get());
   sol.total_seconds = total.seconds();
   return sol;
 }
@@ -379,14 +473,26 @@ std::vector<MpmcsSolution> MpmcsPipeline::top_k(
   if (final_status) *final_status = maxsat::MaxSatStatus::Optimal;
   std::vector<MpmcsSolution> out;
   // Steps 1-4 and 3.5 run once; every round then appends its blocking
-  // clause to the working (simplified, when enabled) instance and pays
-  // Step 5 only. Sound because blocking clauses mention only event
-  // variables, which are frozen — the reconstructor stays valid.
+  // clause and pays Step 5 only. Sound because blocking clauses mention
+  // only event variables, which are frozen — the reconstructor stays
+  // valid. With an incremental session the blockers are retractable
+  // (activation-literal-guarded) clauses on the live solver, so each
+  // round resumes from the previous round's solver state instead of
+  // solving from scratch; the working-instance copy still accumulates
+  // them as plain hard clauses for the stateless portfolio hedges.
   const PreparedInstance prepared = prepare(tree, cancel);
   const preprocess::PreprocessResult* pre = prepared.pre.get();
   maxsat::WcnfInstance working = pre ? pre->simplified : prepared.raw;
+  maxsat::IncrementalSolveSession::Guard guard;
+  if (prepared.session) guard = prepared.session->try_acquire();
+  // The context opens lazily at the first blocker: round 1 is
+  // semantically context-free, so it runs on (and converges) the
+  // session's persistent base state, which rounds 2..k then copy.
+  bool context_open = false;
   for (std::size_t i = 0; i < k; ++i) {
-    MpmcsSolution sol = solve_simplified(tree, working, pre, {}, cancel);
+    MpmcsSolution sol =
+        solve_simplified(tree, working, pre, {}, cancel,
+                         guard ? &guard : nullptr, prepared.shrink.get());
     if (sol.status != maxsat::MaxSatStatus::Optimal) {
       if (final_status) *final_status = sol.status;
       break;
@@ -407,8 +513,16 @@ std::vector<MpmcsSolution> MpmcsPipeline::top_k(
       if (final_status) *final_status = maxsat::MaxSatStatus::Unsatisfiable;
       break;
     }
+    if (guard) {
+      if (!context_open) {
+        guard.begin_context();
+        context_open = true;
+      }
+      guard.add_blocking_clause(block);
+    }
     working.add_hard(std::move(block));
   }
+  if (guard && context_open) guard.end_context();
   return out;
 }
 

@@ -35,6 +35,7 @@
 #include "ft/cut_set.hpp"
 #include "ft/fault_tree.hpp"
 #include "ft/json_writer.hpp"
+#include "maxsat/incremental.hpp"
 #include "maxsat/instance.hpp"
 #include "maxsat/solver.hpp"
 #include "preprocess/preprocess.hpp"
@@ -70,6 +71,18 @@ struct PipelineOptions {
   bool preprocess = true;
   /// Technique/effort knobs for Step 3.5 (ignored when !preprocess).
   preprocess::PreprocessOptions preprocess_opts;
+  /// Keep a persistent incremental SAT session per prepared instance
+  /// (maxsat/incremental): the OLL/LSU solver state — learnt clauses,
+  /// totalizers, core transformations — survives successive
+  /// solve_prepared calls on the same cached structure, and top-k rounds
+  /// become retractable (activation-literal-guarded) blocking clauses on
+  /// the live solver instead of fresh solves. Exact; the CLI exposes
+  /// --no-incremental as the escape hatch.
+  bool incremental = true;
+  /// Per-session memory cap: above it the session's engines are dropped
+  /// and lazily rebuilt (their state is a cache, not required for
+  /// correctness).
+  std::size_t incremental_memory_cap_bytes = std::size_t{256} << 20;
   /// Extension beyond the paper: when the top gate is an OR, solve one
   /// MaxSAT instance per child and take the probability argmax — sound
   /// because MCS(f1 | f2) ⊆ minimize(MCS(f1) ∪ MCS(f2)) and dropping
@@ -102,6 +115,14 @@ struct PreparedInstance {
   maxsat::WcnfInstance raw;  ///< Steps 1-4 (see build_instance).
   /// Step 3.5 artefact; null when PipelineOptions::preprocess is off.
   std::shared_ptr<const preprocess::PreprocessResult> pre;
+  /// Persistent incremental solving state over the instance Step 5 will
+  /// see (the simplified one when preprocessing ran). Null when
+  /// PipelineOptions::incremental is off or the configured solver cannot
+  /// use it; shared so cached copies of this artefact share one session.
+  maxsat::IncrementalSessionPtr session;
+  /// Reusable minimality-shrink context (the tree formula, built once);
+  /// null when the shrink pass is disabled.
+  std::shared_ptr<const ft::ShrinkContext> shrink;
 };
 
 class MpmcsPipeline {
@@ -189,12 +210,22 @@ class MpmcsPipeline {
   /// Step 5 + Step 6 over `to_solve`. When `pre` is non-null the model
   /// is mapped back through its reconstructor and costs include its
   /// offset (to_solve is then the simplified instance, possibly with
-  /// extra hard clauses such as top-k blockers appended).
-  MpmcsSolution solve_simplified(const ft::FaultTree& tree,
-                                 const maxsat::WcnfInstance& to_solve,
-                                 const preprocess::PreprocessResult* pre,
-                                 const std::vector<bool>& candidates,
-                                 util::CancelTokenPtr cancel) const;
+  /// extra hard clauses such as top-k blockers appended). When `session`
+  /// points at an acquired session guard, Step 5 runs the incremental
+  /// engines on it (racing the stateless hedges under the portfolio
+  /// choice); `shrink` (when non-null) replaces the per-call
+  /// shrink_to_minimal formula rebuild.
+  MpmcsSolution solve_simplified(
+      const ft::FaultTree& tree, const maxsat::WcnfInstance& to_solve,
+      const preprocess::PreprocessResult* pre,
+      const std::vector<bool>& candidates, util::CancelTokenPtr cancel,
+      maxsat::IncrementalSolveSession::Guard* session = nullptr,
+      const ft::ShrinkContext* shrink = nullptr) const;
+  /// Step 5 through an acquired incremental session (direct engine call
+  /// for the Oll/Lsu choices, a session-augmented race for Portfolio).
+  maxsat::MaxSatResult solve_with_session(
+      maxsat::IncrementalSolveSession::Guard& session,
+      const maxsat::WcnfInstance& working, util::CancelTokenPtr cancel) const;
   maxsat::WcnfInstance instance_for_formula(
       const ft::FaultTree& tree, logic::FormulaStore& store,
       logic::NodeId fault, std::vector<bool>* events_used = nullptr) const;

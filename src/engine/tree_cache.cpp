@@ -29,6 +29,10 @@ std::string structural_key(const ft::FaultTree& tree,
   key.reserve(tree.num_nodes() * 16 + 48);
   append_f64(key, opts.weight_scale);
   key.push_back(opts.polarity_aware_tseitin ? 'P' : 'p');
+  // Incremental sessions ride with the artefact; flipping the mode must
+  // invalidate the entry (an incremental-off artefact has no session and
+  // would silently pin the cached hot path to stateless solving).
+  key.push_back(opts.incremental ? 'I' : 'i');
   // Step 3.5 configuration: a differently-preprocessed instance is a
   // different artefact (the reconstructor travels with it).
   key.push_back(opts.preprocess ? 'Z' : 'z');

@@ -79,10 +79,16 @@ bool is_minimal_cut_set(const FaultTree& tree, const CutSet& cs) {
 }
 
 CutSet shrink_to_minimal(const FaultTree& tree, CutSet cs) {
-  logic::FormulaStore store;
-  const logic::NodeId f = tree.to_formula(store);
-  std::vector<bool> occurs(tree.num_events(), false);
+  return ShrinkContext(tree).shrink(tree, std::move(cs));
+}
+
+ShrinkContext::ShrinkContext(const FaultTree& tree)
+    : root_(tree.to_formula(store_)), num_events_(tree.num_events()) {}
+
+CutSet ShrinkContext::shrink(const FaultTree& tree, CutSet cs) const {
+  std::vector<bool> occurs(num_events_, false);
   for (EventIndex e : cs.events()) occurs[e] = true;
+  logic::IncrementalEvaluator eval(store_, root_, std::move(occurs));
 
   // Try to drop events in ascending probability order: losing a low-
   // probability factor raises the joint probability the most.
@@ -95,11 +101,11 @@ CutSet shrink_to_minimal(const FaultTree& tree, CutSet cs) {
 
   std::vector<EventIndex> kept = cs.events();
   for (EventIndex e : order) {
-    occurs[e] = false;
-    if (logic::eval(store, f, occurs)) {
+    eval.set(e, false);
+    if (eval.value()) {
       kept.erase(std::remove(kept.begin(), kept.end(), e), kept.end());
     } else {
-      occurs[e] = true;  // e is necessary
+      eval.set(e, true);  // e is necessary
     }
   }
   return CutSet(std::move(kept));

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ft/fault_tree.hpp"
+#include "logic/formula.hpp"
 
 namespace fta::ft {
 
@@ -60,6 +61,27 @@ bool is_minimal_cut_set(const FaultTree& tree, const CutSet& cs);
 /// the smallest probability first (this can only increase the joint
 /// probability of the remaining set).
 CutSet shrink_to_minimal(const FaultTree& tree, CutSet cs);
+
+/// Reusable minimality-shrink context: the tree formula is built once and
+/// candidate drops are evaluated through logic::IncrementalEvaluator, so
+/// per-request shrinking costs a linear evaluator setup plus a few count
+/// updates per member instead of a formula rebuild and a full DAG
+/// re-evaluation per member (ROADMAP "shrink_to_minimal cost"). A context
+/// serves any structurally identical tree (the pipeline caches one per
+/// PreparedInstance); shrink() is const and safe to call concurrently.
+class ShrinkContext {
+ public:
+  explicit ShrinkContext(const FaultTree& tree);
+
+  /// Equivalent to shrink_to_minimal(tree, cs); `tree` must be
+  /// structurally identical to the construction tree.
+  CutSet shrink(const FaultTree& tree, CutSet cs) const;
+
+ private:
+  logic::FormulaStore store_;
+  logic::NodeId root_;
+  std::uint32_t num_events_;
+};
 
 /// Removes non-minimal sets from a family (absorption law): any set that
 /// is a superset of another set in the family is dropped.

@@ -76,6 +76,110 @@ std::uint64_t count_models(const FormulaStore& store, NodeId root,
   return count;
 }
 
+IncrementalEvaluator::IncrementalEvaluator(const FormulaStore& store,
+                                           NodeId root,
+                                           std::vector<bool> assignment)
+    : assignment_(std::move(assignment)) {
+  // Dense post-order (children before parents) over the reachable DAG.
+  constexpr std::uint32_t kVisiting = 0xffffffffu;
+  std::unordered_map<NodeId, std::uint32_t> dense;
+  std::vector<NodeId> order;
+  {
+    std::vector<std::pair<NodeId, bool>> stack{{root, false}};
+    while (!stack.empty()) {
+      const auto [id, expanded] = stack.back();
+      stack.pop_back();
+      const auto it = dense.find(id);
+      if (expanded) {
+        it->second = static_cast<std::uint32_t>(order.size());
+        order.push_back(id);
+        continue;
+      }
+      if (it != dense.end()) continue;  // already visiting or finished
+      dense.emplace(id, kVisiting);
+      stack.emplace_back(id, true);
+      for (const NodeId c : store.node(id).children) {
+        if (!dense.count(c)) stack.emplace_back(c, false);
+      }
+    }
+  }
+
+  const std::size_t n = order.size();
+  info_.resize(n);
+  parents_.resize(n);
+  val_.resize(n, 0);
+  true_children_.resize(n, 0);
+  root_index_ = dense.at(root);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const FormulaNode& node = store.node(order[i]);
+    NodeInfo& info = info_[i];
+    info.kind = node.kind;
+    info.num_children = static_cast<std::uint32_t>(node.children.size());
+    info.threshold = node.payload;  // k for AtLeast, var index for Var
+    for (const NodeId c : node.children) {
+      const std::uint32_t ci = dense.at(c);
+      parents_[ci].push_back(static_cast<std::uint32_t>(i));
+      if (val_[ci] != 0) ++true_children_[i];
+    }
+    if (node.kind == NodeKind::Var) {
+      if (var_index_.size() <= node.payload) {
+        var_index_.resize(node.payload + 1, -1);
+      }
+      var_index_[node.payload] = static_cast<std::int32_t>(i);
+    }
+    val_[i] = recompute(i) ? 1 : 0;
+  }
+}
+
+bool IncrementalEvaluator::recompute(std::size_t idx) const {
+  const NodeInfo& info = info_[idx];
+  const std::uint32_t count = true_children_[idx];
+  switch (info.kind) {
+    case NodeKind::False: return false;
+    case NodeKind::True: return true;
+    case NodeKind::Var:
+      assert(info.threshold < assignment_.size());
+      return assignment_[info.threshold];
+    case NodeKind::Not: return count == 0;
+    case NodeKind::And: return count == info.num_children;
+    case NodeKind::Or: return count > 0;
+    case NodeKind::AtLeast: return count >= info.threshold;
+  }
+  return false;
+}
+
+void IncrementalEvaluator::set(Var v, bool value) {
+  assert(v < assignment_.size());
+  if (assignment_[v] == value) return;
+  assignment_[v] = value;
+  if (v >= var_index_.size() || var_index_[v] < 0) return;  // unused var
+  const auto leaf = static_cast<std::uint32_t>(var_index_[v]);
+  val_[leaf] = value ? 1 : 0;
+  worklist_.clear();
+  worklist_.emplace_back(leaf, value);
+  // Each worklist entry is one flip event, with its direction captured at
+  // flip time — a node re-flipping later is a fresh event, so parent
+  // counts always see matched +1/-1 pairs.
+  while (!worklist_.empty()) {
+    const auto [idx, became_true] = worklist_.back();
+    worklist_.pop_back();
+    for (const std::uint32_t p : parents_[idx]) {
+      if (became_true) {
+        ++true_children_[p];
+      } else {
+        assert(true_children_[p] > 0);
+        --true_children_[p];
+      }
+      const bool now = recompute(p);
+      if (now != (val_[p] != 0)) {
+        val_[p] = now ? 1 : 0;
+        worklist_.emplace_back(p, now);
+      }
+    }
+  }
+}
+
 bool equivalent(const FormulaStore& store, NodeId a, NodeId b,
                 std::uint32_t num_vars) {
   assert(num_vars <= 26 && "equivalent is exhaustive; keep it small");

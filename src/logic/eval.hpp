@@ -23,4 +23,47 @@ std::uint64_t count_models(const FormulaStore& store, NodeId root,
 bool equivalent(const FormulaStore& store, NodeId a, NodeId b,
                 std::uint32_t num_vars);
 
+/// Memoized evaluation under single-variable flips.
+///
+/// Construction evaluates the DAG once (linear) and records, per gate,
+/// the number of true children; set() then updates only the nodes whose
+/// value actually changes, walking parent lists upward from the flipped
+/// leaf. The minimality shrink pass toggles one event per candidate over
+/// a fixed formula, which this turns from "full DAG re-evaluation with a
+/// hash-map memo per toggle" into a few count adjustments.
+class IncrementalEvaluator {
+ public:
+  /// `assignment[v]` is the truth value of variable v; variables the
+  /// formula mentions must be covered.
+  IncrementalEvaluator(const FormulaStore& store, NodeId root,
+                       std::vector<bool> assignment);
+
+  /// Current value of the root under the current assignment.
+  bool value() const noexcept { return val_[root_index_] != 0; }
+
+  bool get(Var v) const { return assignment_[v]; }
+
+  /// Flips variable `v` to `value`, updating affected nodes only.
+  void set(Var v, bool value);
+
+ private:
+  struct NodeInfo {
+    NodeKind kind;
+    std::uint32_t threshold;  ///< Children that must be true (see ctor).
+    std::uint32_t num_children;
+  };
+
+  bool recompute(std::size_t idx) const;
+
+  std::vector<bool> assignment_;
+  std::vector<NodeInfo> info_;                     // dense, topo order
+  std::vector<std::vector<std::uint32_t>> parents_;  // dense indices
+  std::vector<std::uint8_t> val_;
+  std::vector<std::uint32_t> true_children_;
+  std::vector<std::int32_t> var_index_;  ///< var -> dense node (-1: unused)
+  std::size_t root_index_ = 0;
+  /// Scratch for set(): (node, became_true) flip events.
+  std::vector<std::pair<std::uint32_t, bool>> worklist_;
+};
+
 }  // namespace fta::logic

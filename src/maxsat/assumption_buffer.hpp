@@ -1,0 +1,86 @@
+// Stable assumption buffer for core-guided MaxSAT.
+//
+// OLL assumes one literal per active soft; the naive implementation
+// rebuilds that vector from an ordered map before every SAT call, which on
+// ~1500-soft instances dominates the per-solve floor (ROADMAP "Per-solve
+// floor in OLL"). This buffer keeps the assumption literals in one stable,
+// pre-sorted vector that is handed to the SAT solver directly: additions
+// append, core charging decrements weights and compacts exhausted entries
+// in a single order-preserving pass. Lookup is O(1) via a side map.
+//
+// Determinism: the buffer order is a function of the insertion sequence
+// only (callers seed it weight-descending), so solver behaviour does not
+// depend on hash-map iteration order.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/lit.hpp"
+#include "maxsat/instance.hpp"
+
+namespace fta::maxsat {
+
+class AssumptionBuffer {
+ public:
+  void clear() {
+    lits_.clear();
+    weight_.clear();
+  }
+
+  bool empty() const noexcept { return lits_.empty(); }
+  std::size_t size() const noexcept { return lits_.size(); }
+
+  /// The live assumption literals, in stable insertion order. Valid to
+  /// hand to sat::Solver::solve directly; invalidated by add()/charge().
+  const std::vector<logic::Lit>& assumptions() const noexcept { return lits_; }
+
+  /// Remaining weight carried by `l` (0 when not in the buffer).
+  Weight weight(logic::Lit l) const {
+    const auto it = weight_.find(l);
+    return it == weight_.end() ? 0 : it->second;
+  }
+
+  bool contains(logic::Lit l) const { return weight_.count(l) != 0; }
+
+  /// Adds `w` to the weight of `l`, appending it when new. `w` > 0.
+  void add(logic::Lit l, Weight w) {
+    assert(w > 0);
+    auto [it, inserted] = weight_.try_emplace(l, w);
+    if (inserted) {
+      lits_.push_back(l);
+    } else {
+      it->second += w;
+    }
+  }
+
+  /// Subtracts `w` from every literal in `core_softs` (each must carry at
+  /// least `w`), then compacts exhausted entries out of the buffer in one
+  /// stable pass.
+  void charge(std::span<const logic::Lit> core_softs, Weight w) {
+    bool exhausted = false;
+    for (const logic::Lit l : core_softs) {
+      const auto it = weight_.find(l);
+      assert(it != weight_.end() && it->second >= w);
+      it->second -= w;
+      if (it->second == 0) {
+        weight_.erase(it);
+        exhausted = true;
+      }
+    }
+    if (!exhausted) return;
+    std::size_t kept = 0;
+    for (const logic::Lit l : lits_) {
+      if (weight_.count(l) != 0) lits_[kept++] = l;
+    }
+    lits_.resize(kept);
+  }
+
+ private:
+  std::vector<logic::Lit> lits_;
+  std::unordered_map<logic::Lit, Weight> weight_;
+};
+
+}  // namespace fta::maxsat

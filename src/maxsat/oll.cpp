@@ -1,188 +1,23 @@
 #include "maxsat/oll.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <deque>
-#include <map>
-#include <unordered_map>
+#include <utility>
 
-#include "maxsat/totalizer.hpp"
-#include "util/timer.hpp"
+#include "maxsat/incremental.hpp"
 
 namespace fta::maxsat {
 
-using logic::Lit;
-
 MaxSatResult OllSolver::solve(const WcnfInstance& instance,
                               util::CancelTokenPtr cancel) {
-  util::Timer timer;
-  MaxSatResult res;
+  // One-shot OLL is the incremental engine (maxsat/incremental) solved
+  // once and discarded: a single implementation of the core-guided loop
+  // to maintain, and behavioural parity between the stateless and
+  // persistent-session paths holds by construction. The non-owning
+  // alias is safe because the engine lives only within this call.
+  std::shared_ptr<const WcnfInstance> alias(&instance,
+                                            [](const WcnfInstance*) {});
+  IncrementalOll engine(std::move(alias), opts_);
+  MaxSatResult res = engine.solve({}, std::move(cancel));
   res.solver_name = name();
-
-  sat::Solver sat(opts_.sat);
-  sat.set_cancel_token(cancel);
-  sat.ensure_vars(instance.num_vars());
-  for (const auto& c : instance.hard()) {
-    if (!sat.add_clause(c)) {
-      res.status = MaxSatStatus::Unsatisfiable;
-      res.seconds = timer.seconds();
-      return res;
-    }
-  }
-
-  // Normalise softs to weighted assumption literals: a unit soft (l, w)
-  // is assumed directly; a multi-literal soft gets a relaxer b with hard
-  // clause (lits | b) and assumption ~b.
-  // `active` maps assumption literal -> remaining weight; ordered map
-  // keeps iteration deterministic.
-  std::map<Lit, Weight> active;
-  std::map<Lit, Weight> merged;
-  for (const auto& s : instance.soft()) {
-    Lit assume;
-    if (s.lits.size() == 1) {
-      assume = s.lits[0];
-    } else {
-      const Lit b = Lit::pos(sat.new_var());
-      logic::Clause relaxed = s.lits;
-      relaxed.push_back(b);
-      sat.add_clause(relaxed);
-      assume = ~b;
-    }
-    merged[assume] += s.weight;
-  }
-
-  // Stratification: heavy softs first, lighter strata on demand (each
-  // stratum takes everything above half the heaviest remaining weight).
-  std::vector<std::pair<Lit, Weight>> pending(merged.begin(), merged.end());
-  std::stable_sort(pending.begin(), pending.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.second > b.second;
-                   });
-  auto activate_stratum = [&]() -> bool {
-    if (pending.empty()) return false;
-    const Weight threshold =
-        opts_.stratified ? pending.front().second / 2 : Weight{0};
-    std::size_t taken = 0;
-    while (taken < pending.size() && pending[taken].second > threshold) {
-      active[pending[taken].first] += pending[taken].second;
-      ++taken;
-    }
-    pending.erase(pending.begin(),
-                  pending.begin() + static_cast<std::ptrdiff_t>(taken));
-    return true;
-  };
-  activate_stratum();
-
-  // Totalizer bookkeeping: output assumption literal -> (totalizer index,
-  // current bound j), so cores containing counting literals can extend
-  // the corresponding bound.
-  std::deque<Totalizer> totalizers;
-  struct OutputInfo {
-    std::size_t totalizer;
-    std::uint32_t bound;
-  };
-  std::unordered_map<Lit, OutputInfo> output_info;
-
-  Weight lower_bound = 0;
-  std::vector<Lit> assumptions;
-  std::uint64_t iterations = 0;
-
-  while (true) {
-    if (cancel && cancel->cancelled()) break;
-    if (opts_.max_iterations != 0 && iterations >= opts_.max_iterations) break;
-    ++iterations;
-
-    assumptions.clear();
-    assumptions.reserve(active.size());
-    for (const auto& [lit, w] : active) {
-      assert(w > 0);
-      (void)w;
-      assumptions.push_back(lit);
-    }
-
-    ++res.sat_calls;
-    const sat::SolveResult r = sat.solve(assumptions);
-    if (r == sat::SolveResult::Unknown) break;
-    if (r == sat::SolveResult::Sat) {
-      if (!pending.empty()) {
-        // Satisfiable for the current strata only: admit the next one.
-        activate_stratum();
-        continue;
-      }
-      res.status = MaxSatStatus::Optimal;
-      res.model.assign(sat.model().begin(),
-                       sat.model().begin() + instance.num_vars());
-      res.cost = instance.cost_of(res.model);
-      assert(res.cost == lower_bound && "OLL invariant: model cost == lb");
-      res.seconds = timer.seconds();
-      return res;
-    }
-
-    std::vector<Lit> core = sat.unsat_core();
-    if (core.empty()) {
-      res.status = MaxSatStatus::Unsatisfiable;
-      res.seconds = timer.seconds();
-      return res;
-    }
-    ++res.cores;
-
-    // Core trimming: re-solving under the core alone usually returns a
-    // smaller core at negligible cost (the conflict is already learnt).
-    // Smaller cores mean fewer totalizer inputs and less weight
-    // splitting.
-    for (int round = 0; round < 2 && core.size() > 1; ++round) {
-      ++res.sat_calls;
-      if (sat.solve(core) != sat::SolveResult::Unsat) break;
-      std::vector<Lit> trimmed = sat.unsat_core();
-      if (trimmed.empty() || trimmed.size() >= core.size()) break;
-      core = std::move(trimmed);
-    }
-
-    Weight min_w = active.at(core.front());
-    for (Lit l : core) min_w = std::min(min_w, active.at(l));
-    lower_bound += min_w;
-
-    for (Lit l : core) {
-      auto it = active.find(l);
-      it->second -= min_w;
-      if (it->second == 0) active.erase(it);
-    }
-
-    // New cardinality constraint over this core's violation indicators:
-    // paying for one violation is already accounted; each additional
-    // violated member costs min_w more.
-    if (core.size() > 1) {
-      std::vector<Lit> violated;
-      violated.reserve(core.size());
-      for (Lit l : core) violated.push_back(~l);
-      // Incremental totalizer: only the "at least 2" output is
-      // materialised now; higher bounds are built on demand below.
-      totalizers.emplace_back(sat, std::move(violated), /*initial_bound=*/2);
-      const std::size_t idx = totalizers.size() - 1;
-      const Lit guard = ~totalizers.back().at_least(2);
-      active[guard] += min_w;
-      output_info[guard] = OutputInfo{idx, 2};
-    }
-
-    // Extend bounds for counting literals that appeared in the core.
-    for (Lit l : core) {
-      const auto info_it = output_info.find(l);
-      if (info_it == output_info.end()) continue;
-      const OutputInfo info = info_it->second;
-      Totalizer& tot = totalizers[info.totalizer];
-      const std::uint32_t next = info.bound + 1;
-      if (next <= tot.size()) {
-        tot.ensure_bound(sat, next);
-        const Lit guard = ~tot.at_least(next);
-        active[guard] += min_w;
-        output_info[guard] = OutputInfo{info.totalizer, next};
-      }
-    }
-  }
-
-  // Cancelled or capped.
-  res.status = MaxSatStatus::Unknown;
-  res.seconds = timer.seconds();
   return res;
 }
 

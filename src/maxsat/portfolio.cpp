@@ -16,7 +16,7 @@ PortfolioSolver::PortfolioSolver(std::vector<PortfolioMember> members,
                                  PortfolioOptions opts)
     : members_(std::move(members)), opts_(opts) {}
 
-PortfolioSolver PortfolioSolver::make_default(PortfolioOptions opts) {
+std::vector<PortfolioMember> PortfolioSolver::default_members() {
   std::vector<PortfolioMember> members;
   members.push_back({"oll", [] {
                        OllOptions o;
@@ -39,7 +39,11 @@ PortfolioSolver PortfolioSolver::make_default(PortfolioOptions opts) {
                        o.sat.seed = 0xc0ffee;
                        return std::make_unique<LsuSolver>(o);
                      }});
-  return PortfolioSolver(std::move(members), opts);
+  return members;
+}
+
+PortfolioSolver PortfolioSolver::make_default(PortfolioOptions opts) {
+  return PortfolioSolver(default_members(), opts);
 }
 
 MaxSatResult PortfolioSolver::solve(const WcnfInstance& instance,

@@ -49,6 +49,11 @@ class PortfolioSolver final : public MaxSatSolver {
   /// Fu-Malik (WPM1) member, and an LSU member.
   static PortfolioSolver make_default(PortfolioOptions opts = {});
 
+  /// The default lineup as a member list, for callers composing custom
+  /// portfolios — e.g. the pipeline racing incremental session engines
+  /// against a subset of the stateless members.
+  static std::vector<PortfolioMember> default_members();
+
   MaxSatResult solve(const WcnfInstance& instance,
                      util::CancelTokenPtr cancel = nullptr) override;
 

@@ -150,4 +150,19 @@ void GeneralizedTotalizer::assert_upper_bound(sat::Solver& solver,
   }
 }
 
+void GeneralizedTotalizer::add_order_chain(sat::Solver& solver) const {
+  auto it = root_.begin();
+  if (it == root_.end()) return;
+  Lit prev = it->second;
+  for (++it; it != root_.end(); ++it) {
+    solver.add_clause({~it->second, prev});
+    prev = it->second;
+  }
+}
+
+logic::Lit GeneralizedTotalizer::upper_bound_assumption(Weight bound) const {
+  const auto it = root_.upper_bound(bound);
+  return it == root_.end() ? logic::kNoLit : ~it->second;
+}
+
 }  // namespace fta::maxsat

@@ -96,6 +96,21 @@ class GeneralizedTotalizer {
   /// called repeatedly with decreasing bounds.
   void assert_upper_bound(sat::Solver& solver, Weight bound) const;
 
+  /// Adds the order chain over the root outputs: for consecutive
+  /// attainable sums w < w', clause (o_{w'} -> o_w). Semantically free
+  /// (the count function is monotone, and the outputs are auxiliary), and
+  /// it makes a *retractable* upper bound possible: with the chain in
+  /// place, assuming ~o_w falsifies every output >= w by propagation, so
+  /// a single assumption literal bounds the whole sum — the incremental
+  /// LSU's alternative to the destructive unit clauses above.
+  void add_order_chain(sat::Solver& solver) const;
+
+  /// The literal to *assume false* (returned negated, ready to assume) to
+  /// enforce "weighted sum <= bound" once add_order_chain ran: ~o for the
+  /// smallest attainable sum exceeding `bound`. Returns kNoLit when no
+  /// attainable sum exceeds `bound` (the bound is vacuous).
+  logic::Lit upper_bound_assumption(Weight bound) const;
+
  private:
   std::map<Weight, logic::Lit> root_;
 };

@@ -22,6 +22,8 @@ Solver::Solver(SolverOptions opts)
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::Undef);
+  frozen_.push_back(false);
+  selector_.push_back(false);
   polarity_.push_back(opts_.default_phase);
   level_.push_back(0);
   reason_.push_back(kNoClause);
@@ -488,6 +490,97 @@ void Solver::garbage_collect_if_needed() {
   for (auto& ws : watches_) ws.clear();
   for (ClauseRef cref : problem_clauses_) attach(cref);
   for (ClauseRef cref : learnt_clauses_) attach(cref);
+}
+
+// ------------------------------------------------- persistent sessions --
+
+void Solver::set_frozen(Var v, bool frozen) {
+  ensure_vars(v + 1);
+  assert(!(frozen && selector_[v]) && "selectors must never be frozen");
+  frozen_[v] = frozen;
+}
+
+Lit Solver::new_selector() {
+  const Var v = new_var();
+  selector_[v] = true;
+  // Selectors default to "inactive": if the search ever branches on one,
+  // trying false first keeps the guarded clauses vacuously satisfied.
+  polarity_[v] = false;
+  return Lit::pos(v);
+}
+
+bool Solver::add_retractable_clause(std::span<const Lit> lits, Lit selector) {
+  assert(!selector.negated() && selector.var() < num_vars() &&
+         selector_[selector.var()] && "guard must come from new_selector()");
+  std::vector<Lit> guarded(lits.begin(), lits.end());
+  guarded.push_back(~selector);
+  return add_clause(guarded);
+}
+
+void Solver::retire_selector(Lit selector) {
+  assert(!selector.negated() && selector.var() < num_vars() &&
+         selector_[selector.var()] && "not an active selector");
+  if (!ok_) return;
+  assert(decision_level() == 0);
+  // ~s at level 0: every guarded clause is satisfied forever.
+  if (!add_clause({~selector})) return;
+  // Garbage-collect what the selector guarded. Clauses containing ~s are
+  // permanently satisfied; learnt clauses containing s carry a permanently
+  // false literal and would only rot in the database. Locked clauses
+  // (reasons of level-0 assignments) must stay.
+  const Lit dead_true = ~selector;
+  const Lit dead_false = selector;
+  auto purge = [&](std::vector<ClauseRef>& list, bool learnt_list) {
+    std::size_t kept = 0;
+    for (ClauseRef cref : list) {
+      ClauseView c = arena_.view(cref);
+      bool drop = false;
+      for (std::uint32_t i = 0; i < c.size() && !drop; ++i) {
+        drop = c[i] == dead_true || (learnt_list && c[i] == dead_false);
+      }
+      if (drop && !locked(cref)) {
+        detach(cref);
+        c.mark_deleted();
+        arena_.note_deleted(cref);
+        ++stats_.removed_clauses;
+      } else {
+        list[kept++] = cref;
+      }
+    }
+    list.resize(kept);
+  };
+  purge(problem_clauses_, false);
+  purge(learnt_clauses_, true);
+  garbage_collect_if_needed();
+}
+
+void Solver::clear_learnts() {
+  std::size_t kept = 0;
+  for (ClauseRef cref : learnt_clauses_) {
+    if (locked(cref)) {
+      learnt_clauses_[kept++] = cref;
+      continue;
+    }
+    detach(cref);
+    arena_.view(cref).mark_deleted();
+    arena_.note_deleted(cref);
+    ++stats_.removed_clauses;
+  }
+  learnt_clauses_.resize(kept);
+  learnt_cap_ = opts_.initial_learnt_cap;
+  garbage_collect_if_needed();
+}
+
+std::size_t Solver::memory_bytes() const noexcept {
+  std::size_t bytes = arena_.size() * sizeof(std::uint32_t);
+  for (const auto& ws : watches_) bytes += ws.capacity() * sizeof(Watcher);
+  // Per-variable metadata (assignment, phase, level, reason, activity,
+  // heap slot, analyze scratch, LBD stamp): ~40 bytes each.
+  bytes += static_cast<std::size_t>(num_vars()) * 40;
+  bytes += (problem_clauses_.capacity() + learnt_clauses_.capacity()) *
+           sizeof(ClauseRef);
+  bytes += trail_.capacity() * sizeof(Lit);
+  return bytes;
 }
 
 SolveResult Solver::solve(std::span<const Lit> assumptions) {

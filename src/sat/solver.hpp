@@ -9,6 +9,15 @@
 //
 // The MaxSAT layer drives this solver both iteratively (solution-improving
 // search) and incrementally (core-guided search over assumption literals).
+//
+// Persistent sessions: a Solver instance may be kept alive across many
+// solve() calls with clause additions in between — learnt clauses, saved
+// phases and variable activities all carry over, which is what makes the
+// incremental MaxSAT layer (maxsat/incremental) pay off. Retractable
+// constraints use activation selectors: new_selector() mints a guard
+// variable, add_retractable_clause() attaches clauses that only bind while
+// the selector is assumed true, and retire_selector() permanently
+// deactivates (and garbage-collects) everything a selector guards.
 #pragma once
 
 #include <cstdint>
@@ -89,6 +98,50 @@ class Solver {
   /// Empty when the clause set is UNSAT regardless of assumptions.
   const std::vector<Lit>& unsat_core() const noexcept { return core_; }
 
+  // --- persistent-session API -------------------------------------------
+
+  /// Marks `v` as frozen: a variable whose meaning outlives any single
+  /// solve (soft-clause indicators, basic events). The solver itself never
+  /// eliminates variables, so today this is bookkeeping consumed by the
+  /// incremental MaxSAT session (frozen variables must never be minted as
+  /// activation selectors, and future in-solver simplification must leave
+  /// them untouched).
+  void set_frozen(Var v, bool frozen);
+  bool is_frozen(Var v) const noexcept {
+    return v < frozen_.size() && frozen_[v];
+  }
+
+  /// Mints an activation selector: a fresh variable `s`, returned as the
+  /// positive literal to assume while the clauses guarded by it should
+  /// bind. Selectors are tracked so retire_selector() can assert they are
+  /// never reused.
+  Lit new_selector();
+
+  /// Adds `lits` as a clause that only binds while `selector` (from
+  /// new_selector) is assumed true: the stored clause is (lits | ~s).
+  /// Returns false if the database became trivially UNSAT (only possible
+  /// via propagation of earlier units, not via the guarded clause itself).
+  bool add_retractable_clause(std::span<const Lit> lits, Lit selector);
+  bool add_retractable_clause(std::initializer_list<Lit> lits, Lit selector) {
+    return add_retractable_clause(
+        std::span<const Lit>(lits.begin(), lits.size()), selector);
+  }
+
+  /// Permanently deactivates a selector: asserts ~s at level 0 (all its
+  /// guarded clauses are satisfied forever) and deletes the now-vacuous
+  /// guarded clauses plus any learnt clause mentioning the selector, so a
+  /// long-lived session does not accumulate dead blocking constraints.
+  void retire_selector(Lit selector);
+
+  /// Drops the learnt-clause database (except clauses locked as reasons).
+  /// Problem clauses, assignments, saved phases and activities survive;
+  /// used by long-lived sessions to bound memory.
+  void clear_learnts();
+
+  /// Approximate heap footprint of the solver (arena, watches, per-var
+  /// metadata) — the signal sessions use for their memory cap.
+  std::size_t memory_bytes() const noexcept;
+
   // --- control ---------------------------------------------------------
 
   void set_cancel_token(util::CancelTokenPtr token) { cancel_ = std::move(token); }
@@ -150,6 +203,8 @@ class Solver {
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
 
   std::vector<LBool> assigns_;
+  std::vector<bool> frozen_;         // session-pinned variables
+  std::vector<bool> selector_;       // activation selectors (retractable layer)
   std::vector<bool> polarity_;       // saved phases
   std::vector<std::uint32_t> level_;
   std::vector<ClauseRef> reason_;
