@@ -2,16 +2,17 @@
 """CI perf-regression gate.
 
 Runs the fixed-seed benchmark binaries (bench_engine_batch,
-fig1_fps_mpmcs, ablation_preprocess, ablation_incremental), takes
-per-metric medians over a few runs, writes the combined report
-(BENCH_pr3.json) and fails when a throughput metric regresses more than
---tolerance below the committed bench/baseline.json.
+fig1_fps_mpmcs, ablation_preprocess, ablation_incremental,
+voting_gates), takes per-metric medians over a few runs, writes the
+combined report (BENCH_pr4.json) and fails when a throughput metric
+regresses more than --tolerance below the committed bench/baseline.json.
 
     python3 bench/perf_gate.py --build-dir build            # gate
     python3 bench/perf_gate.py --build-dir build --update   # refresh baseline
 
-Correctness flags (fig1 allOk, the ablations' resultsMatch) are hard
-failures regardless of tolerance.
+Correctness flags (fig1 allOk, the ablations' resultsMatch, the
+voting-gate >= 40% wide-vote clause-reduction bar) are hard failures
+regardless of tolerance.
 """
 
 import argparse
@@ -25,6 +26,7 @@ import tempfile
 ENGINE_BATCH_ARGS = ["6", "6", "150", "4"]
 ABLATION_ARGS = ["16"]
 ABLATION_INCREMENTAL_ARGS = ["8"]
+VOTING_GATES_ARGS = ["1"]
 
 
 def run_bench(binary, args, runs):
@@ -94,6 +96,20 @@ def collect_metrics(build_dir, runs):
     flags["incremental.results_match"] = all(
         d["resultsMatch"] for d in incremental)
 
+    voting = run_bench(os.path.join(build_dir, "voting_gates"),
+                       VOTING_GATES_ARGS, runs)
+    metrics["voting.auto_solves_per_second"] = median_of(
+        voting, lambda d: d["autoSolvesPerSecond"])
+    metrics["voting.totalizer_median_speedup"] = median_of(
+        voting, lambda d: d["totalizerMedianSpeedup"])
+    # Deterministic (fixed seeds, counts not timings): any drop means the
+    # encoding itself regressed.
+    metrics["voting.wide_clause_reduction_median"] = median_of(
+        voting, lambda d: d["wideClauseReductionMedian"])
+    flags["voting.results_match"] = all(d["resultsMatch"] for d in voting)
+    flags["voting.wide_reduction_ok"] = all(
+        d["wideReductionOk"] for d in voting)
+
     return metrics, flags
 
 
@@ -101,7 +117,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--baseline", default="bench/baseline.json")
-    parser.add_argument("--out", default="BENCH_pr3.json")
+    parser.add_argument("--out", default="BENCH_pr4.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
     parser.add_argument("--runs", type=int, default=3,

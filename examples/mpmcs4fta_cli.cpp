@@ -11,6 +11,7 @@
 //     --wcnf PATH     export the Step-4 Weighted Partial MaxSAT instance
 //                     in standard WCNF (for external MaxSAT solvers)
 //     --scale S       weight scaling factor (default 1e6)
+//     --card-lowering MODE  vote-gate encoding: expand | totalizer | auto
 //     --no-preprocess skip the Step 3.5 WCNF simplification
 //     --timeout SEC   per-tree wall-clock cap
 //     --batch DIR     analyse every tree file (*.ft, *.xml, *.opsa) in DIR
@@ -47,6 +48,8 @@ int usage(const char* argv0) {
                "  --json PATH     write JSON result ('-' = stdout)\n"
                "  --dot PATH      write Graphviz with MPMCS highlighted\n"
                "  --scale S       weight scale (default 1e6)\n"
+               "  --card-lowering MODE  vote-gate encoding: expand|totalizer|"
+               "auto\n"
                "  --no-preprocess skip the Step 3.5 WCNF simplification\n"
                "  --no-incremental stateless solving (no SAT sessions)\n"
                "  --timeout SEC   per-tree time limit\n"
@@ -321,6 +324,17 @@ int main(int argc, char** argv) {
       wcnf_path = next();
     } else if (arg == "--scale") {
       opts.weight_scale = std::strtod(next(), nullptr);
+    } else if (arg == "--card-lowering") {
+      const std::string mode = next();
+      if (mode == "expand") {
+        opts.card_lowering = logic::CardinalityLowering::Expand;
+      } else if (mode == "totalizer") {
+        opts.card_lowering = logic::CardinalityLowering::Totalizer;
+      } else if (mode == "auto") {
+        opts.card_lowering = logic::CardinalityLowering::Auto;
+      } else {
+        return usage(argv[0]);
+      }
     } else if (arg == "--no-preprocess") {
       opts.preprocess = false;
     } else if (arg == "--no-incremental") {

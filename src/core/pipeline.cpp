@@ -84,13 +84,16 @@ maxsat::WcnfInstance MpmcsPipeline::instance_for_formula(
     (void)store.var(static_cast<logic::Var>(tree.num_events() - 1));
   }
 
-  // Step 2 (CNF conversion, Tseitin).
+  // Step 2 (CNF conversion, Tseitin; vote gates per card_lowering).
   logic::TseitinOptions topts;
   topts.polarity_aware = opts_.polarity_aware_tseitin;
+  topts.card_lowering = opts_.card_lowering;
+  topts.card_totalizer_threshold = opts_.card_totalizer_threshold;
   auto ts = logic::tseitin(store, fault, /*assert_root=*/true, topts);
 
   maxsat::WcnfInstance instance(ts.cnf.num_vars());
   instance.add_hard_cnf(ts.cnf);
+  instance.set_cards(std::move(ts.cards));
 
   // Step 3 (probabilities into log-space) + Step 4 (soft clauses).
   // Scaled-integer weights; events with p == 1 cost nothing (no soft
@@ -143,41 +146,59 @@ namespace {
 /// Step 3.5 freeze set: every basic-event variable (soft-clause
 /// variables are frozen by the preprocessor automatically; a decomposed
 /// child instance may not carry softs for all events, so the whole event
-/// range is pinned explicitly).
-std::vector<bool> event_freeze_mask(const ft::FaultTree& tree,
-                                    std::uint32_t num_vars) {
-  std::vector<bool> frozen(num_vars, false);
-  for (ft::EventIndex e = 0; e < tree.num_events() && e < num_vars; ++e) {
+/// range is pinned explicitly), plus every variable of a cardinality
+/// block — inputs and counting auxiliaries. Freezing the counting
+/// structure by construction keeps the block layouts valid for reuse by
+/// the incremental MaxSAT engine and prevents resolution from rewriting
+/// totalizer networks into wide resolvents.
+std::vector<bool> freeze_mask(const ft::FaultTree& tree,
+                              const maxsat::WcnfInstance& instance) {
+  std::vector<bool> frozen(instance.num_vars(), false);
+  for (ft::EventIndex e = 0;
+       e < tree.num_events() && e < instance.num_vars(); ++e) {
     frozen[e] = true;
+  }
+  std::vector<logic::Var> aux;
+  for (const logic::CardinalityBlock& blk : instance.cards()) {
+    for (const logic::Lit l : blk.inputs) frozen[l.var()] = true;
+    aux.clear();
+    logic::append_aux_vars(blk.layout, aux);
+    for (const logic::Var v : aux) frozen[v] = true;
   }
   return frozen;
 }
 
-/// Step 3.5 technique profile for a concrete tree. Wide voting gates
-/// (k-of-n with n >= 5) lower to sizeable cardinality networks whose
-/// auxiliary variables resolution must not touch: eliminating them
-/// rewrites the counting structure into wide resolvents and can flip a
-/// milliseconds instance into an intractable one (observed >400x on
-/// corpora dominated by 6..12-input votes). Narrow votes (the ubiquitous
-/// 2-of-3) and the odd wide gate in an otherwise AND/OR tree are
-/// unaffected, so BVE is switched off only when wide votes make up 10%
-/// or more of the gates; the other techniques stay on — they only ever
-/// remove redundant clauses.
+/// Step 3.5 technique profile for a concrete tree. Under the Expand
+/// lowering, wide voting gates (k-of-n with n >= 5) become sizeable
+/// AND/OR counting networks whose auxiliary variables resolution must
+/// not touch: eliminating them rewrites the counting structure into wide
+/// resolvents and can flip a milliseconds instance into an intractable
+/// one (observed >400x on corpora dominated by 6..12-input votes), so
+/// BVE is switched off when such gates make up 10% or more of the gates.
+/// The default Auto lowering subsumes this guard: every wide vote
+/// (n*k >= threshold covers all n >= 5) is encoded as a totalizer whose
+/// variables are frozen by construction, so BVE can stay on and keep
+/// simplifying the rest of the encoding.
 preprocess::PreprocessOptions effective_preprocess_options(
     const ft::FaultTree& tree, const PipelineOptions& opts) {
   preprocess::PreprocessOptions pp = opts.preprocess_opts;
-  if (pp.bve) {
-    std::size_t gates = 0, wide_votes = 0;
-    for (ft::NodeIndex i = 0; i < tree.num_nodes(); ++i) {
-      const ft::Node& n = tree.node(i);
-      if (n.type == ft::NodeType::BasicEvent) continue;
-      ++gates;
-      if (n.type == ft::NodeType::Vote && n.children.size() >= 5) {
-        ++wide_votes;
-      }
+  if (!pp.bve) return pp;
+  std::size_t gates = 0, wide_expanded_votes = 0;
+  for (ft::NodeIndex i = 0; i < tree.num_nodes(); ++i) {
+    const ft::Node& n = tree.node(i);
+    if (n.type == ft::NodeType::BasicEvent) continue;
+    ++gates;
+    if (n.type != ft::NodeType::Vote || n.children.size() < 5) continue;
+    // Classified with the encoder's own policy rule (pre-fold tree
+    // dimensions; a gate that constant-folds away entirely leaves no
+    // counting network for BVE to mangle either way).
+    if (!logic::lowers_to_totalizer(opts.card_lowering,
+                                    opts.card_totalizer_threshold, n.k,
+                                    n.children.size())) {
+      ++wide_expanded_votes;
     }
-    if (wide_votes * 10 >= gates && gates > 0) pp.bve = false;
   }
+  if (wide_expanded_votes * 10 >= gates && gates > 0) pp.bve = false;
   return pp;
 }
 
@@ -192,9 +213,9 @@ MpmcsSolution MpmcsPipeline::solve_instance(
     // Step 3.5: simplify before solving; blocking clauses and
     // decomposition restrictions ride along (events are frozen).
     prepared.pre = std::make_shared<preprocess::PreprocessResult>(
-        preprocess::preprocess(
-            prepared.raw, event_freeze_mask(tree, prepared.raw.num_vars()),
-            effective_preprocess_options(tree, opts_), cancel));
+        preprocess::preprocess(prepared.raw, freeze_mask(tree, prepared.raw),
+                               effective_preprocess_options(tree, opts_),
+                               cancel));
   }
   const preprocess::PreprocessResult* pre = prepared.pre.get();
   return solve_simplified(tree, pre ? pre->simplified : prepared.raw, pre,
@@ -344,9 +365,9 @@ PreparedInstance MpmcsPipeline::prepare(const ft::FaultTree& tree,
   prepared.raw = build_instance(tree);
   if (opts_.preprocess) {
     prepared.pre = std::make_shared<preprocess::PreprocessResult>(
-        preprocess::preprocess(
-            prepared.raw, event_freeze_mask(tree, prepared.raw.num_vars()),
-            effective_preprocess_options(tree, opts_), std::move(cancel)));
+        preprocess::preprocess(prepared.raw, freeze_mask(tree, prepared.raw),
+                               effective_preprocess_options(tree, opts_),
+                               std::move(cancel)));
   }
   // The persistent solving state rides with the artefact: whoever caches
   // this PreparedInstance (engine::TreeCache) caches the session too, and
@@ -469,18 +490,27 @@ MpmcsSolution MpmcsPipeline::solve_decomposed(const ft::FaultTree& tree,
 std::vector<MpmcsSolution> MpmcsPipeline::top_k(
     const ft::FaultTree& tree, std::size_t k, util::CancelTokenPtr cancel,
     maxsat::MaxSatStatus* final_status) const {
+  const PreparedInstance prepared = prepare(tree, cancel);
+  return top_k_prepared(tree, prepared, k, std::move(cancel), final_status);
+}
+
+std::vector<MpmcsSolution> MpmcsPipeline::top_k_prepared(
+    const ft::FaultTree& tree, const PreparedInstance& prepared,
+    std::size_t k, util::CancelTokenPtr cancel,
+    maxsat::MaxSatStatus* final_status) const {
   tree.validate();
   if (final_status) *final_status = maxsat::MaxSatStatus::Optimal;
   std::vector<MpmcsSolution> out;
-  // Steps 1-4 and 3.5 run once; every round then appends its blocking
-  // clause and pays Step 5 only. Sound because blocking clauses mention
-  // only event variables, which are frozen — the reconstructor stays
-  // valid. With an incremental session the blockers are retractable
-  // (activation-literal-guarded) clauses on the live solver, so each
-  // round resumes from the previous round's solver state instead of
-  // solving from scratch; the working-instance copy still accumulates
-  // them as plain hard clauses for the stateless portfolio hedges.
-  const PreparedInstance prepared = prepare(tree, cancel);
+  // Steps 1-4 and 3.5 ran once (possibly in an earlier request — the
+  // engine's structural cache hands the same artefact to every repeat);
+  // every round then appends its blocking clause and pays Step 5 only.
+  // Sound because blocking clauses mention only event variables, which
+  // are frozen — the reconstructor stays valid. With an incremental
+  // session the blockers are retractable (activation-literal-guarded)
+  // clauses on the live solver, so each round resumes from the previous
+  // round's solver state instead of solving from scratch; the
+  // working-instance copy still accumulates them as plain hard clauses
+  // for the stateless portfolio hedges.
   const preprocess::PreprocessResult* pre = prepared.pre.get();
   maxsat::WcnfInstance working = pre ? pre->simplified : prepared.raw;
   maxsat::IncrementalSolveSession::Guard guard;

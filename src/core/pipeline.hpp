@@ -35,6 +35,7 @@
 #include "ft/cut_set.hpp"
 #include "ft/fault_tree.hpp"
 #include "ft/json_writer.hpp"
+#include "logic/tseitin.hpp"
 #include "maxsat/incremental.hpp"
 #include "maxsat/instance.hpp"
 #include "maxsat/solver.hpp"
@@ -65,6 +66,17 @@ struct PipelineOptions {
   bool shrink_to_minimal = true;
   /// Plaisted–Greenbaum polarity-aware Tseitin (fewer clauses).
   bool polarity_aware_tseitin = false;
+  /// Step 2 vote-gate lowering: `Expand` rewrites k-of-n gates to the
+  /// recursive AND/OR network, `Totalizer` encodes them as shared
+  /// counting networks (logic/cardinality), `Auto` (default) picks the
+  /// totalizer once n*k reaches `card_totalizer_threshold`. Totalizer
+  /// blocks report their auxiliaries, so Step 3.5 freezes the counting
+  /// structure by construction and the incremental OLL engine reuses it
+  /// as a pre-built core structure. The CLI exposes --card-lowering.
+  logic::CardinalityLowering card_lowering = logic::CardinalityLowering::Auto;
+  /// Auto threshold on n*k; 10 makes every wide vote (n >= 5)
+  /// cardinality-native.
+  std::uint32_t card_totalizer_threshold = 10;
   /// Step 3.5: simplify the WCNF before solving (src/preprocess). Exact —
   /// every solver sees an equivalent instance and models are mapped back
   /// to the original variable space. The CLI exposes --no-preprocess.
@@ -146,6 +158,15 @@ class MpmcsPipeline {
                                    util::CancelTokenPtr cancel = nullptr,
                                    maxsat::MaxSatStatus* final_status =
                                        nullptr) const;
+
+  /// top_k starting from a previously built artefact (see prepare): the
+  /// engine's structural cache hits this path, so enumeration shares the
+  /// cached instance *and* its warm incremental session instead of
+  /// re-running Steps 1-4 per request.
+  std::vector<MpmcsSolution> top_k_prepared(
+      const ft::FaultTree& tree, const PreparedInstance& prepared,
+      std::size_t k, util::CancelTokenPtr cancel = nullptr,
+      maxsat::MaxSatStatus* final_status = nullptr) const;
 
   /// Steps 1-4 plus (when enabled) the Step 3.5 preprocessing pass, as
   /// one reusable artefact. The engine's structural cache stores these.

@@ -71,6 +71,24 @@ EngineStats AnalysisEngine::stats() const {
   return s;
 }
 
+PreparedTreePtr AnalysisEngine::prepared_for(
+    const core::MpmcsPipeline& pipeline, const AnalysisRequest& request,
+    AnalysisResult& result) {
+  const std::string key = structural_key(request.tree, request.pipeline);
+  PreparedTreePtr prepared = cache_.find(key);
+  if (prepared) {
+    result.cache_hit = true;
+    return prepared;
+  }
+  util::Timer build;
+  auto built = std::make_shared<PreparedTree>();
+  built->prepared = pipeline.prepare(request.tree);
+  built->build_seconds = build.seconds();
+  // If a concurrent miss on the same key inserted first, adopt that
+  // entry (keeping its memoized solutions) and drop ours.
+  return cache_.insert(key, std::move(built));
+}
+
 void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
                                util::CancelTokenPtr token,
                                AnalysisResult& result) {
@@ -82,19 +100,7 @@ void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
   if (!cacheable) {
     result.mpmcs = pipeline.solve(request.tree, std::move(token));
   } else {
-    const std::string key = structural_key(request.tree, request.pipeline);
-    PreparedTreePtr prepared = cache_.find(key);
-    if (prepared) {
-      result.cache_hit = true;
-    } else {
-      util::Timer build;
-      auto built = std::make_shared<PreparedTree>();
-      built->prepared = pipeline.prepare(request.tree);
-      built->build_seconds = build.seconds();
-      // If a concurrent miss on the same key inserted first, adopt that
-      // entry (keeping its memoized solutions) and drop ours.
-      prepared = cache_.insert(key, std::move(built));
-    }
+    PreparedTreePtr prepared = prepared_for(pipeline, request, result);
     // Second tier: a solution memoized under the same structure and an
     // outcome-equivalent solver configuration skips Step 5 entirely.
     const std::string memo_key =
@@ -122,6 +128,27 @@ void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
   result.ok = result.mpmcs.status != maxsat::MaxSatStatus::Unknown;
 }
 
+void AnalysisEngine::run_top_k(const AnalysisRequest& request,
+                               util::CancelTokenPtr token,
+                               AnalysisResult& result) {
+  const core::MpmcsPipeline pipeline(request.pipeline);
+  maxsat::MaxSatStatus final_status = maxsat::MaxSatStatus::Optimal;
+  if (cache_.capacity() == 0) {
+    result.top =
+        pipeline.top_k(request.tree, request.top_k, token, &final_status);
+  } else {
+    // Enumeration shares the cached Step 1-4/3.5 artefact — and, through
+    // it, the warm incremental session — with MPMCS traffic on the same
+    // structure instead of re-preparing per request.
+    PreparedTreePtr prepared = prepared_for(pipeline, request, result);
+    result.top = pipeline.top_k_prepared(request.tree, prepared->prepared,
+                                         request.top_k, token, &final_status);
+  }
+  // Unsatisfiable just means the tree ran out of MCSs; only an Unknown
+  // round (cancellation / budget) is a failed request.
+  result.ok = final_status != maxsat::MaxSatStatus::Unknown;
+}
+
 AnalysisResult AnalysisEngine::execute(AnalysisRequest request,
                                        util::CancelTokenPtr token) {
   util::Timer timer;
@@ -139,16 +166,9 @@ AnalysisResult AnalysisEngine::execute(AnalysisRequest request,
         case AnalysisKind::Mpmcs:
           run_mpmcs(request, token, result);
           break;
-        case AnalysisKind::TopK: {
-          const core::MpmcsPipeline pipeline(request.pipeline);
-          maxsat::MaxSatStatus final_status = maxsat::MaxSatStatus::Optimal;
-          result.top = pipeline.top_k(request.tree, request.top_k, token,
-                                      &final_status);
-          // Unsatisfiable just means the tree ran out of MCSs; only an
-          // Unknown round (cancellation / budget) is a failed request.
-          result.ok = final_status != maxsat::MaxSatStatus::Unknown;
+        case AnalysisKind::TopK:
+          run_top_k(request, token, result);
           break;
-        }
         case AnalysisKind::Importance: {
           bdd::FaultTreeBdd analysis(request.tree);
           const auto mcs = analysis.minimal_cut_sets();

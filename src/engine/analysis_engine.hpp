@@ -128,7 +128,14 @@ class AnalysisEngine {
 
  private:
   AnalysisResult execute(AnalysisRequest request, util::CancelTokenPtr token);
+  /// Cache lookup-or-build of the Step 1-4/3.5 artefact for `request`;
+  /// sets result.cache_hit on a hit.
+  PreparedTreePtr prepared_for(const core::MpmcsPipeline& pipeline,
+                               const AnalysisRequest& request,
+                               AnalysisResult& result);
   void run_mpmcs(const AnalysisRequest& request, util::CancelTokenPtr token,
+                 AnalysisResult& result);
+  void run_top_k(const AnalysisRequest& request, util::CancelTokenPtr token,
                  AnalysisResult& result);
 
   EngineOptions opts_;

@@ -29,6 +29,12 @@ std::string structural_key(const ft::FaultTree& tree,
   key.reserve(tree.num_nodes() * 16 + 48);
   append_f64(key, opts.weight_scale);
   key.push_back(opts.polarity_aware_tseitin ? 'P' : 'p');
+  // Vote-gate lowering shapes the CNF and the cardinality metadata the
+  // session engines rely on: a different mode is a different artefact.
+  key.push_back(static_cast<char>('0' + static_cast<int>(opts.card_lowering)));
+  if (opts.card_lowering == logic::CardinalityLowering::Auto) {
+    append_u32(key, opts.card_totalizer_threshold);
+  }
   // Incremental sessions ride with the artefact; flipping the mode must
   // invalidate the entry (an incremental-off artefact has no session and
   // would silently pin the cached hot path to stateless solving).

@@ -1,0 +1,146 @@
+#include "logic/cardinality.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fta::logic {
+
+TotalizerTree::TotalizerTree(std::span<const Lit> inputs) {
+  assert(!inputs.empty());
+  layout_.num_inputs = static_cast<std::uint32_t>(inputs.size());
+  layout_.nodes.reserve(2 * inputs.size());
+  layout_.root = build(inputs, 0, inputs.size());
+}
+
+TotalizerTree::TotalizerTree(CardinalityLayout layout)
+    : layout_(std::move(layout)) {
+  assert(!layout_.empty() && layout_.root >= 0);
+}
+
+std::int32_t TotalizerTree::build(std::span<const Lit> inputs, std::size_t lo,
+                                  std::size_t hi) {
+  const auto id = static_cast<std::int32_t>(layout_.nodes.size());
+  layout_.nodes.push_back(CardinalityLayout::Node{});
+  if (hi - lo == 1) {
+    CardinalityLayout::Node& leaf = node(id);
+    leaf.size = 1;
+    // The input literal is the only output, in both directions trivially.
+    leaf.emitted_up = 1;
+    leaf.emitted_down = 1;
+    leaf.outputs = {inputs[lo]};
+    return id;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::int32_t left = build(inputs, lo, mid);
+  const std::int32_t right = build(inputs, mid, hi);
+  CardinalityLayout::Node& n = node(id);
+  n.left = left;
+  n.right = right;
+  n.size = node(left).size + node(right).size;
+  return id;
+}
+
+void TotalizerTree::materialize(ClauseSink& sink, std::int32_t id,
+                                std::uint32_t bound) {
+  CardinalityLayout::Node& n = node(id);
+  const std::uint32_t target = std::min(bound, n.size);
+  while (n.outputs.size() < target) {
+    n.outputs.push_back(Lit::pos(sink.new_var()));
+  }
+}
+
+void TotalizerTree::ensure_upward(ClauseSink& sink, std::uint32_t bound) {
+  extend_up(sink, layout_.root, std::min(bound, layout_.num_inputs));
+}
+
+void TotalizerTree::ensure_downward(ClauseSink& sink, std::uint32_t bound) {
+  extend_down(sink, layout_.root, std::min(bound, layout_.num_inputs));
+}
+
+void TotalizerTree::extend_up(ClauseSink& sink, std::int32_t id,
+                              std::uint32_t bound) {
+  const std::uint32_t target = std::min(bound, node(id).size);
+  if (target <= node(id).emitted_up) return;
+  extend_up(sink, node(id).left, bound);
+  extend_up(sink, node(id).right, bound);
+  materialize(sink, id, target);
+
+  CardinalityLayout::Node& n = node(id);
+  const CardinalityLayout::Node& l = node(n.left);
+  const CardinalityLayout::Node& r = node(n.right);
+  // (>= i from left) & (>= j from right) -> (>= i+j here), for sums in
+  // (emitted_up, target] and child counts that are materialised.
+  const auto li_max = static_cast<std::uint32_t>(l.outputs.size());
+  const auto rj_max = static_cast<std::uint32_t>(r.outputs.size());
+  std::vector<Lit> clause;
+  for (std::uint32_t i = 0; i <= li_max; ++i) {
+    for (std::uint32_t j = 0; j <= rj_max; ++j) {
+      const std::uint32_t sum = i + j;
+      if (sum <= n.emitted_up || sum > target) continue;
+      clause.clear();
+      if (i > 0) clause.push_back(~l.outputs[i - 1]);
+      if (j > 0) clause.push_back(~r.outputs[j - 1]);
+      clause.push_back(n.outputs[sum - 1]);
+      sink.add_clause(clause);
+    }
+  }
+  n.emitted_up = target;
+}
+
+void TotalizerTree::extend_down(ClauseSink& sink, std::int32_t id,
+                                std::uint32_t bound) {
+  const std::uint32_t target = std::min(bound, node(id).size);
+  if (target <= node(id).emitted_down) return;
+  extend_down(sink, node(id).left, bound);
+  extend_down(sink, node(id).right, bound);
+  materialize(sink, id, target);
+
+  CardinalityLayout::Node& n = node(id);
+  const CardinalityLayout::Node& l = node(n.left);
+  const CardinalityLayout::Node& r = node(n.right);
+  // (<= i from left) & (<= j from right) -> (<= i+j here), i.e. the
+  // contrapositive clause (l_{i+1} | r_{j+1} | ~o_{i+j+1}), where a
+  // child literal is omitted when the child cannot count higher. Child
+  // outputs up to min(child size, target) are materialised above, which
+  // covers every i+1 <= target the sums below can reach. Counts above
+  // `target` produce only skipped sums, so the ranges are capped there
+  // (O(bound^2) per node instead of O(size^2) on wide gates).
+  std::vector<Lit> clause;
+  const std::uint32_t li_cap = std::min(l.size, target);
+  const std::uint32_t rj_cap = std::min(r.size, target);
+  for (std::uint32_t i = 0; i <= li_cap; ++i) {
+    for (std::uint32_t j = 0; j <= rj_cap; ++j) {
+      const std::uint32_t sum = i + j + 1;
+      if (sum <= n.emitted_down || sum > target) continue;
+      clause.clear();
+      if (i < l.size) clause.push_back(l.outputs[i]);
+      if (j < r.size) clause.push_back(r.outputs[j]);
+      clause.push_back(~n.outputs[sum - 1]);
+      sink.add_clause(clause);
+    }
+  }
+  n.emitted_down = target;
+}
+
+Lit TotalizerTree::at_least(std::uint32_t j) const {
+  const CardinalityLayout::Node& root = node(layout_.root);
+  assert(j >= 1 && j <= root.outputs.size());
+  return root.outputs[j - 1];
+}
+
+void TotalizerTree::add_order_chain(ClauseSink& sink) const {
+  const CardinalityLayout::Node& root = node(layout_.root);
+  for (std::size_t j = 1; j < root.outputs.size(); ++j) {
+    const Lit clause[] = {~root.outputs[j], root.outputs[j - 1]};
+    sink.add_clause(clause);
+  }
+}
+
+void append_aux_vars(const CardinalityLayout& layout, std::vector<Var>& out) {
+  for (const CardinalityLayout::Node& n : layout.nodes) {
+    if (n.left < 0) continue;  // leaf outputs are the caller's inputs
+    for (const Lit o : n.outputs) out.push_back(o.var());
+  }
+}
+
+}  // namespace fta::logic

@@ -1,0 +1,164 @@
+// Cardinality-native CNF encoding: the totalizer counting network shared
+// by the Tseitin transform (k-of-n vote gates) and the MaxSAT engines
+// (OLL core transformation, LSU bounding).
+//
+// A totalizer (Bailleux & Boutobza) arranges the input literals as the
+// leaves of a balanced binary tree; each internal node carries output
+// variables o_1..o_m with o_j meaning "at least j of the inputs below are
+// true". The two clause halves are independent and polarity-directed:
+//
+//   * upward   — (count >= j) -> o_j: assuming ~o_j bounds the count from
+//     above. What core-guided MaxSAT and negative gate occurrences need.
+//   * downward — o_j -> (count >= j): asserting o_j enforces the count
+//     from below. What a positively occurring AtLeast gate needs.
+//
+// Both halves share the same output variables, are materialised lazily up
+// to a requested bound (counting k-of-n costs O(n*k) clauses instead of
+// the O(n^2) full encoding), and can be emitted into any ClauseSink — the
+// plain Cnf container at encoding time, a live SAT solver later.
+//
+// The node structure (CardinalityLayout) is plain data: an encoding layer
+// can build a downward-only network into a Cnf, ship the layout alongside
+// the instance, and a solver can *adopt* it to add the upward half or
+// higher bounds over the very same variables instead of re-encoding the
+// count from scratch (see maxsat::IncrementalOll).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "logic/cnf.hpp"
+#include "logic/lit.hpp"
+
+namespace fta::logic {
+
+/// Destination of emitted clauses and freshly minted variables. Adapters
+/// exist for logic::Cnf (below) and sat::Solver (maxsat/totalizer.hpp —
+/// the logic layer must not depend on the solver).
+class ClauseSink {
+ public:
+  virtual ~ClauseSink() = default;
+  virtual Var new_var() = 0;
+  virtual void add_clause(std::span<const Lit> lits) = 0;
+};
+
+class CnfSink final : public ClauseSink {
+ public:
+  explicit CnfSink(Cnf& cnf) : cnf_(&cnf) {}
+  Var new_var() override { return cnf_->new_var(); }
+  void add_clause(std::span<const Lit> lits) override {
+    cnf_->add_clause(lits);
+  }
+
+ private:
+  Cnf* cnf_;
+};
+
+/// The serialisable structure of a totalizer network: which variables play
+/// which counting role, and how far each clause half has been emitted.
+/// Copying a layout into another TotalizerTree continues the encoding over
+/// the same variables (new clauses only).
+struct CardinalityLayout {
+  struct Node {
+    std::int32_t left = -1;   ///< Child node ids; -1 for leaves.
+    std::int32_t right = -1;
+    std::uint32_t size = 0;   ///< Inputs below this node.
+    std::uint32_t emitted_up = 0;    ///< Upward clauses cover counts <= this.
+    std::uint32_t emitted_down = 0;  ///< Downward clauses cover counts <= this.
+    std::vector<Lit> outputs;  ///< outputs[j-1] = "at least j"; a leaf's
+                               ///< only output is the input literal itself.
+  };
+  std::vector<Node> nodes;
+  std::int32_t root = -1;
+  std::uint32_t num_inputs = 0;
+
+  bool empty() const noexcept { return nodes.empty(); }
+};
+
+/// Appends every auxiliary variable of `layout` (internal-node outputs;
+/// leaf outputs are the caller's input literals, not auxiliaries).
+void append_aux_vars(const CardinalityLayout& layout, std::vector<Var>& out);
+
+/// One lowered AtLeast(k) gate, as reported by the Tseitin transform:
+/// enough metadata for the preprocessor to freeze every counting variable
+/// by construction and for the MaxSAT layer to reuse the network as a
+/// pre-built core structure.
+struct CardinalityBlock {
+  std::uint32_t k = 0;        ///< Threshold: gate true iff >= k inputs true.
+  Lit gate{};                 ///< The gate's Tseitin literal.
+  std::vector<Lit> inputs;    ///< Child literals being counted.
+  /// "count >= k" holds in every model of the encoding (the gate sits on
+  /// an AND-only path from the asserted root) — the precondition for the
+  /// MaxSAT layer's lower-bound pre-transformation.
+  bool forced = false;
+  bool upward = false;        ///< Which halves the encoding emitted
+  bool downward = false;      ///< (up to bound k).
+  CardinalityLayout layout;
+};
+
+/// The counting network. Construction builds the node structure only;
+/// clauses and output variables appear through ensure_upward /
+/// ensure_downward, each monotone in its bound.
+class TotalizerTree {
+ public:
+  /// Fresh network over `inputs` (leaves in the given order).
+  explicit TotalizerTree(std::span<const Lit> inputs);
+
+  /// Adopts a previously built layout: the variables (and the clauses the
+  /// layout's emitted_* bounds account for) already live in the receiving
+  /// sink's variable space; further ensure_* calls emit only the delta.
+  explicit TotalizerTree(CardinalityLayout layout);
+
+  std::uint32_t size() const noexcept { return layout_.num_inputs; }
+
+  /// Root bound covered by the upward half ((count >= j) -> o_j).
+  std::uint32_t upward_bound() const noexcept {
+    return node(layout_.root).emitted_up;
+  }
+  /// Root bound covered by the downward half (o_j -> (count >= j)).
+  std::uint32_t downward_bound() const noexcept {
+    return node(layout_.root).emitted_down;
+  }
+
+  /// Extends the upward half up to `bound` (clamped to size()).
+  void ensure_upward(ClauseSink& sink, std::uint32_t bound);
+  /// Extends the downward half up to `bound` (clamped to size()).
+  void ensure_downward(ClauseSink& sink, std::uint32_t bound);
+
+  /// Root output "at least j" (1-based). Requires j <= the largest bound
+  /// materialised so far in either direction.
+  Lit at_least(std::uint32_t j) const;
+
+  /// Order chain over the materialised root outputs: o_{j+1} -> o_j.
+  /// Semantically free (the count is monotone); makes a single ~o_j
+  /// assumption falsify every higher output by propagation.
+  void add_order_chain(ClauseSink& sink) const;
+
+  /// Appends every auxiliary variable minted so far (see the free
+  /// function over CardinalityLayout above).
+  void append_aux_vars(std::vector<Var>& out) const {
+    logic::append_aux_vars(layout_, out);
+  }
+
+  const CardinalityLayout& layout() const noexcept { return layout_; }
+
+ private:
+  CardinalityLayout::Node& node(std::int32_t id) {
+    return layout_.nodes[static_cast<std::size_t>(id)];
+  }
+  const CardinalityLayout::Node& node(std::int32_t id) const {
+    return layout_.nodes[static_cast<std::size_t>(id)];
+  }
+
+  std::int32_t build(std::span<const Lit> inputs, std::size_t lo,
+                     std::size_t hi);
+  /// Mints output variables of `id` up to min(size, bound).
+  void materialize(ClauseSink& sink, std::int32_t id, std::uint32_t bound);
+  void extend_up(ClauseSink& sink, std::int32_t id, std::uint32_t bound);
+  void extend_down(ClauseSink& sink, std::int32_t id, std::uint32_t bound);
+
+  CardinalityLayout layout_;
+};
+
+}  // namespace fta::logic

@@ -224,13 +224,21 @@ NodeId FormulaStore::dualize(NodeId root) {
 }
 
 NodeId FormulaStore::lower_at_least(NodeId root) {
+  return lower_at_least(root,
+                        [](std::uint32_t, std::size_t) { return true; });
+}
+
+NodeId FormulaStore::lower_at_least(
+    NodeId root,
+    const std::function<bool(std::uint32_t, std::size_t)>& should_lower) {
   std::unordered_map<NodeId, NodeId> memo;
   // Memoized suffix recursion shared across all AtLeast nodes:
   // atleast(k, xs[i..]) keyed on (children-vector identity, i, k).
   // Implemented per-node; sharing within a node is what matters for size.
   return rewrite(
       *this, root,
-      [this](NodeId id, const std::vector<NodeId>& kids) -> NodeId {
+      [this, &should_lower](NodeId id, const std::vector<NodeId>& kids)
+          -> NodeId {
         const FormulaNode& n = nodes_[id];
         switch (n.kind) {
           case NodeKind::False:
@@ -246,6 +254,7 @@ NodeId FormulaStore::lower_at_least(NodeId root) {
           case NodeKind::AtLeast: {
             const std::uint32_t total_k = n.payload;
             const auto cnt = kids.size();
+            if (!should_lower(total_k, cnt)) return at_least(total_k, kids);
             // table[i][j] = atleast(j, kids[i..]) built right-to-left.
             // j ranges 0..total_k; table stored densely.
             std::vector<std::vector<NodeId>> table(

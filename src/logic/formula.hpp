@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -97,6 +98,13 @@ class FormulaStore {
   /// atleast(k, x2..xn), memoized so the result is the O(n·k)
   /// sequential-counter DAG. Other nodes are preserved.
   NodeId lower_at_least(NodeId root);
+
+  /// As above, but only expands AtLeast nodes for which `should_lower(k,
+  /// n)` returns true; the rest survive (over rewritten children) for a
+  /// cardinality-native encoder downstream (see logic/tseitin).
+  NodeId lower_at_least(
+      NodeId root,
+      const std::function<bool(std::uint32_t k, std::size_t n)>& should_lower);
 
   /// Substitutes variables: any Var v with replacement[v] != kNoNode becomes
   /// that node. Useful for composing trees and for conditioning.

@@ -3,10 +3,37 @@
 #include <cassert>
 #include <functional>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace fta::logic {
 
+const char* cardinality_lowering_name(CardinalityLowering mode) noexcept {
+  switch (mode) {
+    case CardinalityLowering::Expand: return "expand";
+    case CardinalityLowering::Totalizer: return "totalizer";
+    case CardinalityLowering::Auto: return "auto";
+  }
+  return "?";
+}
+
+bool lowers_to_totalizer(CardinalityLowering mode, std::uint32_t threshold,
+                         std::uint32_t k, std::size_t n) noexcept {
+  switch (mode) {
+    case CardinalityLowering::Expand: return false;
+    case CardinalityLowering::Totalizer: return true;
+    case CardinalityLowering::Auto:
+      return static_cast<std::uint64_t>(k) * n >= threshold;
+  }
+  return false;
+}
+
 namespace {
+
+bool use_totalizer(const TseitinOptions& opts, std::uint32_t k,
+                   std::size_t n) {
+  return lowers_to_totalizer(opts.card_lowering,
+                             opts.card_totalizer_threshold, k, n);
+}
 
 /// Reachable nodes in topological (children-first) order, iteratively.
 std::vector<NodeId> topo_order(const FormulaStore& store, NodeId root) {
@@ -60,9 +87,11 @@ std::unordered_map<NodeId, Polarity> polarities(const FormulaStore& store,
 
 TseitinResult tseitin(FormulaStore& store, NodeId root, bool assert_root,
                       TseitinOptions opts) {
-  // Voting gates are lowered to shared AND/OR structure first so that only
-  // Var/Not/And/Or (plus a constant root) remain.
-  root = store.lower_at_least(root);
+  // Voting gates below the totalizer policy are expanded to shared AND/OR
+  // structure; the rest stay AtLeast nodes and get counting networks.
+  root = store.lower_at_least(root, [&opts](std::uint32_t k, std::size_t n) {
+    return !use_totalizer(opts, k, n);
+  });
 
   TseitinResult res;
   res.num_input_vars = store.num_vars();
@@ -85,16 +114,46 @@ TseitinResult tseitin(FormulaStore& store, NodeId root, bool assert_root,
   }
 
   const auto order = topo_order(store, root);
-  const auto pol = opts.polarity_aware
+  bool has_card = false;
+  for (NodeId id : order) {
+    if (store.node(id).kind == NodeKind::AtLeast) {
+      has_card = true;
+      break;
+    }
+  }
+  // Cardinality gates are polarity-directed regardless of the AND/OR
+  // polarity option: their counting clauses are auxiliary definitions.
+  const auto pol = (opts.polarity_aware || has_card)
                        ? polarities(store, root)
                        : std::unordered_map<NodeId, Polarity>{};
 
-  auto needs = [&](NodeId id) -> Polarity {
-    if (!opts.polarity_aware) return Polarity{true, true};
+  auto polarity_of = [&](NodeId id) -> Polarity {
     auto it = pol.find(id);
     assert(it != pol.end());
     return it->second;
   };
+  auto needs = [&](NodeId id) -> Polarity {
+    if (!opts.polarity_aware) return Polarity{true, true};
+    return polarity_of(id);
+  };
+
+  // Nodes that hold in *every* model of the asserted encoding: the root
+  // and anything on an AND-only path below it. A forced AtLeast gate
+  // means its count bound is unconditional — the precondition for the
+  // MaxSAT layer's pre-built-core reuse (CardinalityBlock::forced).
+  std::unordered_set<NodeId> forced;
+  if (assert_root && has_card) {
+    std::vector<NodeId> stack{root};
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (!forced.insert(id).second) continue;
+      const FormulaNode& fn = store.node(id);
+      if (fn.kind == NodeKind::And) {
+        for (NodeId c : fn.children) stack.push_back(c);
+      }
+    }
+  }
 
   for (NodeId id : order) {
     const FormulaNode& n = store.node(id);
@@ -137,8 +196,38 @@ TseitinResult tseitin(FormulaStore& store, NodeId root, bool assert_root,
         // Constants are folded by the store constructors; they can only be
         // the root, which is handled above.
         throw std::logic_error("tseitin: unexpected constant inner node");
-      case NodeKind::AtLeast:
-        throw std::logic_error("tseitin: AtLeast not lowered");
+      case NodeKind::AtLeast: {
+        // Cardinality-native lowering: one totalizer counting network,
+        // polarity-directed. Positive occurrences need the gate to
+        // *enforce* the count (downward half + g -> o_k); negative ones
+        // need it to *detect* the count (upward half + o_k -> g).
+        const Lit g = Lit::pos(res.cnf.new_var());
+        res.node_lit.emplace(id, g);
+        const Polarity p = polarity_of(id);
+        CardinalityBlock blk;
+        blk.k = n.payload;
+        blk.gate = g;
+        blk.inputs.reserve(n.children.size());
+        for (NodeId c : n.children) {
+          blk.inputs.push_back(res.node_lit.at(c));
+        }
+        blk.forced = forced.count(id) != 0;
+        TotalizerTree tree(blk.inputs);
+        CnfSink sink(res.cnf);
+        if (p.pos) {
+          tree.ensure_downward(sink, blk.k);
+          res.cnf.add_binary(~g, tree.at_least(blk.k));
+          blk.downward = true;
+        }
+        if (p.neg) {
+          tree.ensure_upward(sink, blk.k);
+          res.cnf.add_binary(g, ~tree.at_least(blk.k));
+          blk.upward = true;
+        }
+        blk.layout = tree.layout();
+        res.cards.push_back(std::move(blk));
+        break;
+      }
     }
   }
 

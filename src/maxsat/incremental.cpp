@@ -41,6 +41,7 @@ IncrementalOll::IncrementalOll(std::shared_ptr<const WcnfInstance> instance,
     }
     merged[assume] += s.weight;
   }
+  apply_card_blocks(merged);
   base_.pending.assign(merged.begin(), merged.end());
   std::sort(base_.pending.begin(), base_.pending.end(),
             [](const auto& a, const auto& b) {
@@ -48,6 +49,55 @@ IncrementalOll::IncrementalOll(std::shared_ptr<const WcnfInstance> instance,
                                           : a.first < b.first;
             });
   activate_stratum(base_);
+}
+
+void IncrementalOll::apply_card_blocks(
+    std::unordered_map<Lit, Weight>& merged) {
+  for (const logic::CardinalityBlock& blk : inst_->cards()) {
+    if (!blk.forced) continue;
+    const auto n = static_cast<std::uint32_t>(blk.inputs.size());
+    if (blk.k == 0 || blk.k >= n) continue;
+    // Every counted input must be a distinct live soft assumption: the
+    // cost decomposition below charges each exactly once.
+    std::vector<Lit> sorted(blk.inputs);
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      continue;
+    }
+    Weight w_min = 0;
+    bool eligible = true;
+    for (const Lit in : blk.inputs) {
+      const auto it = merged.find(~in);
+      if (it == merged.end() || it->second == 0) {
+        eligible = false;
+        break;
+      }
+      w_min = (w_min == 0) ? it->second : std::min(w_min, it->second);
+    }
+    if (!eligible) continue;
+    // "count >= k" holds in every model (blk.forced survives Step 3.5 —
+    // block variables are frozen there), so the block's soft cost
+    // decomposes into k*w_min mandatory, plus w_min per count beyond k,
+    // plus each input's residual weight. That is the state OLL reaches
+    // after discovering and transforming the block's cores — minus the
+    // SAT calls, and counting over the instance encoding's own output
+    // variables instead of a re-encoded totalizer.
+    for (const Lit in : blk.inputs) {
+      const auto it = merged.find(~in);
+      it->second -= w_min;
+      if (it->second == 0) merged.erase(it);
+    }
+    base_.lower_bound += static_cast<Weight>(blk.k) * w_min;
+    // Adopt the network: the layout's variables already live in the
+    // solver's instance range; only the upward half still missing up to
+    // k+1 is emitted, making ~o_{k+1} the block's first guard.
+    totalizers_.emplace_back(sat_, blk.layout, blk.k + 1);
+    const std::size_t idx = totalizers_.size() - 1;
+    const Lit guard = ~totalizers_[idx].at_least(blk.k + 1);
+    totalizer_cache_.emplace(std::move(sorted), idx);
+    output_info_.emplace(guard, OutputInfo{idx, blk.k + 1});
+    merged[guard] += w_min;
+  }
 }
 
 bool IncrementalOll::activate_stratum(State& st) {

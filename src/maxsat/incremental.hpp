@@ -92,6 +92,13 @@ class IncrementalOll {
   MaxSatResult run(State& st, std::span<const logic::Lit> context,
                    const util::CancelTokenPtr& cancel);
   bool activate_stratum(State& st);
+  /// Installs the instance's forced cardinality blocks (totalizer-lowered
+  /// vote gates whose count bound holds unconditionally) as pre-built
+  /// core structures: the mandatory k*w_min cost is charged upfront and
+  /// the lowering's counting outputs become the block's soft guards, so
+  /// the cores OLL would discover one SAT call at a time are already
+  /// transformed — over the very variables the instance encoding uses.
+  void apply_card_blocks(std::unordered_map<logic::Lit, Weight>& merged);
   /// Totalizer over `violated` (sorted), reusing a structurally identical
   /// one from an earlier round/solve when possible.
   Totalizer& core_totalizer(const std::vector<logic::Lit>& violated);

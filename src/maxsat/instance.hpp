@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "logic/cardinality.hpp"
 #include "logic/cnf.hpp"
 
 namespace fta::maxsat {
@@ -54,11 +55,25 @@ class WcnfInstance {
   /// True iff `model` satisfies every hard clause.
   bool satisfies_hard(const std::vector<bool>& model) const;
 
+  /// Structural metadata from the cardinality-native Tseitin lowering:
+  /// one block per totalizer-encoded vote gate. Purely advisory — the
+  /// hard clauses are self-contained — but it lets the preprocessor
+  /// freeze counting auxiliaries by construction and the incremental
+  /// MaxSAT engine reuse the networks as pre-built core structures.
+  /// Not serialised by the WCNF writer.
+  const std::vector<logic::CardinalityBlock>& cards() const noexcept {
+    return cards_;
+  }
+  void set_cards(std::vector<logic::CardinalityBlock> cards) {
+    cards_ = std::move(cards);
+  }
+
  private:
   std::uint32_t num_vars_ = 0;
   std::vector<logic::Clause> hard_;
   std::vector<SoftClause> soft_;
   Weight total_soft_weight_ = 0;
+  std::vector<logic::CardinalityBlock> cards_;
 };
 
 /// Writes the classic WCNF format: `p wcnf <vars> <clauses> <top>`, hard

@@ -6,80 +6,16 @@ namespace fta::maxsat {
 
 using logic::Lit;
 
-Totalizer::Totalizer(sat::Solver& solver, std::vector<Lit> inputs,
-                     std::uint32_t initial_bound) {
-  assert(!inputs.empty());
-  num_inputs_ = static_cast<std::uint32_t>(inputs.size());
-  nodes_.reserve(2 * inputs.size());
-  root_ = build(solver, inputs, 0, inputs.size());
+Totalizer::Totalizer(sat::Solver& solver, const std::vector<Lit>& inputs,
+                     std::uint32_t initial_bound)
+    : tree_(inputs) {
   ensure_bound(solver, std::max(1u, initial_bound));
 }
 
-std::int32_t Totalizer::build(sat::Solver& solver,
-                              const std::vector<Lit>& inputs, std::size_t lo,
-                              std::size_t hi) {
-  const auto id = static_cast<std::int32_t>(nodes_.size());
-  nodes_.push_back(Node{});
-  if (hi - lo == 1) {
-    Node& leaf = nodes_[static_cast<std::size_t>(id)];
-    leaf.size = 1;
-    leaf.emitted = 1;  // the input literal itself is the only output
-    leaf.outputs = {inputs[lo]};
-    return id;
-  }
-  const std::size_t mid = lo + (hi - lo) / 2;
-  const std::int32_t left = build(solver, inputs, lo, mid);
-  const std::int32_t right = build(solver, inputs, mid, hi);
-  Node& n = nodes_[static_cast<std::size_t>(id)];
-  n.left = left;
-  n.right = right;
-  n.size = nodes_[static_cast<std::size_t>(left)].size +
-           nodes_[static_cast<std::size_t>(right)].size;
-  return id;
-}
-
-void Totalizer::ensure_bound(sat::Solver& solver, std::uint32_t bound) {
-  bound = std::min(bound, num_inputs_);
-  if (bound <= bound_) return;
-  extend(solver, root_, bound);
-  bound_ = bound;
-}
-
-void Totalizer::extend(sat::Solver& solver, std::int32_t id,
-                       std::uint32_t bound) {
-  Node& n = nodes_[static_cast<std::size_t>(id)];
-  const std::uint32_t target = std::min(bound, n.size);
-  if (target <= n.emitted) return;
-  extend(solver, n.left, bound);
-  extend(solver, n.right, bound);
-
-  // Fresh output variables for counts (emitted, target].
-  while (n.outputs.size() < target) {
-    n.outputs.push_back(Lit::pos(solver.new_var()));
-  }
-  const Node& l = nodes_[static_cast<std::size_t>(n.left)];
-  const Node& r = nodes_[static_cast<std::size_t>(n.right)];
-  // (>= i from left) & (>= j from right) -> (>= i+j here), emitted only
-  // for sums in (n.emitted, target] and child counts that exist.
-  const auto li_max = static_cast<std::uint32_t>(l.outputs.size());
-  const auto rj_max = static_cast<std::uint32_t>(r.outputs.size());
-  for (std::uint32_t i = 0; i <= li_max; ++i) {
-    for (std::uint32_t j = 0; j <= rj_max; ++j) {
-      const std::uint32_t sum = i + j;
-      if (sum <= n.emitted || sum > target) continue;
-      std::vector<Lit> clause;
-      if (i > 0) clause.push_back(~l.outputs[i - 1]);
-      if (j > 0) clause.push_back(~r.outputs[j - 1]);
-      clause.push_back(n.outputs[sum - 1]);
-      solver.add_clause(clause);
-    }
-  }
-  n.emitted = target;
-}
-
-Lit Totalizer::at_least(std::uint32_t j) const {
-  assert(j >= 1 && j <= bound_);
-  return nodes_[static_cast<std::size_t>(root_)].outputs.at(j - 1);
+Totalizer::Totalizer(sat::Solver& solver, logic::CardinalityLayout layout,
+                     std::uint32_t initial_bound)
+    : tree_(std::move(layout)) {
+  ensure_bound(solver, std::max(1u, initial_bound));
 }
 
 std::optional<GeneralizedTotalizer> GeneralizedTotalizer::build(

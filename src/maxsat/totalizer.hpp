@@ -1,4 +1,9 @@
-// Cardinality and pseudo-Boolean counting encodings.
+// Cardinality and pseudo-Boolean counting encodings over a live solver.
+//
+// The clause-emitting core lives in logic/cardinality (TotalizerTree),
+// shared with the Tseitin transform's cardinality-native vote-gate
+// lowering. This layer adapts it to sat::Solver and keeps the MaxSAT
+// engines' interfaces:
 //
 // Totalizer (Bailleux & Boutobza): given input literals l_1..l_n, creates
 // output variables o_1..o_n such that the clauses entail
@@ -17,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "logic/cardinality.hpp"
 #include "logic/lit.hpp"
 #include "sat/solver.hpp"
 #include "util/cancel.hpp"
@@ -24,6 +30,20 @@
 namespace fta::maxsat {
 
 using Weight = std::uint64_t;
+
+/// ClauseSink over a live SAT solver (the logic layer cannot depend on
+/// sat/, so the adapter lives here with its consumers).
+class SolverClauseSink final : public logic::ClauseSink {
+ public:
+  explicit SolverClauseSink(sat::Solver& solver) : solver_(&solver) {}
+  logic::Var new_var() override { return solver_->new_var(); }
+  void add_clause(std::span<const logic::Lit> lits) override {
+    solver_->add_clause(lits);
+  }
+
+ private:
+  sat::Solver* solver_;
+};
 
 /// Unweighted incremental totalizer (the ITotalizer of RC2/open-wbo).
 ///
@@ -37,40 +57,37 @@ class Totalizer {
  public:
   /// Builds the counting tree and materialises outputs up to
   /// `initial_bound` (clamped to [1, n]).
-  Totalizer(sat::Solver& solver, std::vector<logic::Lit> inputs,
+  Totalizer(sat::Solver& solver, const std::vector<logic::Lit>& inputs,
             std::uint32_t initial_bound);
 
-  std::size_t size() const noexcept { return num_inputs_; }
+  /// Adopts a network whose variables (and downward clauses) already live
+  /// in the instance the solver loaded — the Tseitin cardinality lowering
+  /// ships these as CardinalityBlock::layout. Only the upward half still
+  /// missing up to `initial_bound` is emitted; output variables are
+  /// shared, so the count is never encoded twice.
+  Totalizer(sat::Solver& solver, logic::CardinalityLayout layout,
+            std::uint32_t initial_bound);
+
+  std::size_t size() const noexcept { return tree_.size(); }
 
   /// Outputs materialised so far (at_least(j) valid for j <= this).
-  std::uint32_t materialized_bound() const noexcept { return bound_; }
+  std::uint32_t materialized_bound() const noexcept {
+    return tree_.upward_bound();
+  }
 
   /// Extends the materialised outputs/clauses up to `bound` (clamped to
   /// size()). Monotone; no-op when already covered.
-  void ensure_bound(sat::Solver& solver, std::uint32_t bound);
+  void ensure_bound(sat::Solver& solver, std::uint32_t bound) {
+    SolverClauseSink sink(solver);
+    tree_.ensure_upward(sink, bound);
+  }
 
   /// Literal implied true when at least `j` inputs are true (1-based;
   /// requires j <= materialized_bound()).
-  logic::Lit at_least(std::uint32_t j) const;
+  logic::Lit at_least(std::uint32_t j) const { return tree_.at_least(j); }
 
  private:
-  struct Node {
-    std::int32_t left = -1;    // child node ids; -1 for leaves
-    std::int32_t right = -1;
-    std::uint32_t size = 0;    // inputs below this node
-    std::uint32_t emitted = 0; // bound covered by emitted clauses
-    std::vector<logic::Lit> outputs;  // outputs[j-1] = "at least j"
-  };
-
-  std::int32_t build(sat::Solver& solver,
-                     const std::vector<logic::Lit>& inputs, std::size_t lo,
-                     std::size_t hi);
-  void extend(sat::Solver& solver, std::int32_t id, std::uint32_t bound);
-
-  std::vector<Node> nodes_;
-  std::int32_t root_ = -1;
-  std::uint32_t num_inputs_ = 0;
-  std::uint32_t bound_ = 0;
+  logic::TotalizerTree tree_;
 };
 
 /// Weighted totalizer. Output map: attainable sum -> literal implied true

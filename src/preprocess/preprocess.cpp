@@ -649,6 +649,10 @@ class Simplifier {
     result.stats = stats_;
     maxsat::WcnfInstance out(num_vars_);
     if (!unsat_) {
+      // Cardinality metadata survives verbatim: the pipeline freezes
+      // every block variable, so no pass can eliminate or substitute
+      // them and the layouts keep describing live variables.
+      out.set_cards(instance_.cards());
       for (const ClauseInfo& ci : clauses_) {
         if (ci.dead) continue;
         result.stats.simplified_literals += ci.lits.size();

@@ -1,0 +1,406 @@
+// The cardinality-native encoding layer (logic/cardinality + the Tseitin
+// AtLeast lowering modes) end-to-end:
+//
+//   * totalizer CNF semantics against exhaustive enumeration, in both
+//     polarities and under mixed occurrence,
+//   * expand vs totalizer vs auto lowering agreement on 100 generated
+//     trees (vote-heavy and ladder corpora), preprocessing on and off,
+//     cross-checked against the BDD baseline,
+//   * top-k sequence equality across lowering modes,
+//   * the wide-vote acceptance bar: >= 40% hard-clause reduction on
+//     k-of-n (k >= 5, n >= 10) corpora with identical optima — the
+//     regression guard replacing the old wide-vote BVE pipeline gate,
+//   * forced-block reuse: OLL solves a root vote without re-discovering
+//     the counting cores the encoding already describes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bdd/fta_bdd.hpp"
+#include "core/pipeline.hpp"
+#include "ft/builder.hpp"
+#include "ft/cut_set.hpp"
+#include "gen/generator.hpp"
+#include "logic/cardinality.hpp"
+#include "logic/eval.hpp"
+#include "logic/formula.hpp"
+#include "logic/tseitin.hpp"
+#include "maxsat/oll.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace fta {
+namespace {
+
+using logic::CardinalityLowering;
+using logic::Lit;
+using logic::NodeId;
+
+/// SAT-checks `enc` against the formula semantics for every assignment of
+/// the `num_vars` input variables (the encoding's root is asserted).
+void check_projection(const logic::FormulaStore& store, NodeId root,
+                      const logic::TseitinResult& enc,
+                      std::uint32_t num_vars) {
+  sat::Solver solver;
+  solver.ensure_vars(enc.cnf.num_vars());
+  ASSERT_TRUE(solver.add_cnf(enc.cnf));
+  std::vector<bool> assignment(num_vars, false);
+  std::vector<Lit> assumptions(num_vars);
+  for (std::uint64_t mask = 0; mask < (1ULL << num_vars); ++mask) {
+    for (std::uint32_t v = 0; v < num_vars; ++v) {
+      assignment[v] = (mask >> v) & 1;
+      assumptions[v] = Lit::make(v, /*negated=*/!assignment[v]);
+    }
+    const bool expected = logic::eval(store, root, assignment);
+    const sat::SolveResult got = solver.solve(assumptions);
+    ASSERT_NE(got, sat::SolveResult::Unknown);
+    EXPECT_EQ(got == sat::SolveResult::Sat, expected)
+        << "mask=" << mask << " num_vars=" << num_vars;
+  }
+}
+
+TEST(CardinalityEncoding, TotalizerMatchesAtLeastSemantics) {
+  logic::TseitinOptions topts;
+  topts.card_lowering = CardinalityLowering::Totalizer;
+  for (std::uint32_t n : {3u, 5u, 8u}) {
+    for (std::uint32_t k = 2; k + 1 < n + 1; ++k) {
+      logic::FormulaStore store;
+      std::vector<NodeId> xs;
+      for (logic::Var v = 0; v < n; ++v) xs.push_back(store.var(v));
+      const NodeId atl = store.at_least(k, xs);
+      if (store.node(atl).kind != logic::NodeKind::AtLeast) continue;
+      // Positive occurrence (downward half).
+      auto pos = logic::tseitin(store, atl, /*assert_root=*/true, topts);
+      EXPECT_EQ(pos.cards.size(), 1u);
+      EXPECT_TRUE(pos.cards[0].downward);
+      EXPECT_TRUE(pos.cards[0].forced);
+      check_projection(store, atl, pos, n);
+      // Negative occurrence (upward half).
+      const NodeId neg_root = store.lnot(atl);
+      auto neg = logic::tseitin(store, neg_root, /*assert_root=*/true, topts);
+      ASSERT_EQ(neg.cards.size(), 1u);
+      EXPECT_TRUE(neg.cards[0].upward);
+      EXPECT_FALSE(neg.cards[0].forced);
+      check_projection(store, neg_root, neg, n);
+    }
+  }
+}
+
+TEST(CardinalityEncoding, MixedPolarityEmitsBothHalves) {
+  // f = (atl & a) | (~atl & b): the vote occurs in both polarities, so
+  // the encoding must keep the gate literal equivalent to the count.
+  logic::FormulaStore store;
+  const std::uint32_t n = 5, k = 3;
+  std::vector<NodeId> xs;
+  for (logic::Var v = 0; v < n; ++v) xs.push_back(store.var(v));
+  const NodeId atl = store.at_least(k, xs);
+  const NodeId a = store.var(n), b = store.var(n + 1);
+  const NodeId root = store.lor({store.land({atl, a}),
+                                 store.land({store.lnot(atl), b})});
+  logic::TseitinOptions topts;
+  topts.card_lowering = CardinalityLowering::Totalizer;
+  auto enc = logic::tseitin(store, root, /*assert_root=*/true, topts);
+  ASSERT_EQ(enc.cards.size(), 1u);
+  EXPECT_TRUE(enc.cards[0].upward);
+  EXPECT_TRUE(enc.cards[0].downward);
+  EXPECT_FALSE(enc.cards[0].forced);
+  check_projection(store, root, enc, n + 2);
+}
+
+TEST(CardinalityEncoding, ForcedDetectionFollowsAndPaths) {
+  // TOP = AND(vote, y): the vote sits on an AND-only path from the
+  // asserted root, so its count bound holds in every model.
+  logic::FormulaStore store;
+  std::vector<NodeId> xs;
+  for (logic::Var v = 0; v < 6; ++v) xs.push_back(store.var(v));
+  const NodeId atl = store.at_least(3, xs);
+  const NodeId root = store.land({atl, store.var(6)});
+  logic::TseitinOptions topts;
+  topts.card_lowering = CardinalityLowering::Totalizer;
+  auto enc = logic::tseitin(store, root, /*assert_root=*/true, topts);
+  ASSERT_EQ(enc.cards.size(), 1u);
+  EXPECT_TRUE(enc.cards[0].forced);
+
+  // Under an OR the bound is conditional: not forced.
+  const NodeId or_root = store.lor({atl, store.var(6)});
+  auto enc2 = logic::tseitin(store, or_root, /*assert_root=*/true, topts);
+  ASSERT_EQ(enc2.cards.size(), 1u);
+  EXPECT_FALSE(enc2.cards[0].forced);
+}
+
+// ---------------------------------------------------------------------------
+
+ft::FaultTree root_vote_tree(std::uint32_t n, std::uint32_t k,
+                             std::uint64_t seed, bool uniform = false) {
+  util::Rng rng(seed);
+  ft::FaultTreeBuilder b;
+  std::vector<ft::NodeIndex> events;
+  events.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double p = uniform ? 0.05 : rng.uniform(0.01, 0.3);
+    events.push_back(b.event("e" + std::to_string(i), p));
+  }
+  b.top(b.vote("TOP", k, std::move(events)));
+  return std::move(b).build();
+}
+
+core::PipelineOptions options_for(CardinalityLowering mode, bool preprocess,
+                                  core::SolverChoice solver) {
+  core::PipelineOptions popts;
+  popts.solver = solver;
+  popts.card_lowering = mode;
+  popts.preprocess = preprocess;
+  return popts;
+}
+
+gen::GeneratorOptions sweep_options(std::uint64_t seed) {
+  util::Rng rng(seed * 7919 + 31);
+  gen::GeneratorOptions opts;
+  opts.num_events = static_cast<std::uint32_t>(10 + rng.below(20));
+  opts.and_fraction = rng.uniform(0.2, 0.6);
+  opts.vote_fraction = rng.uniform(0.3, 0.8);  // vote-heavy by design
+  opts.sharing = rng.uniform(0.0, 0.3);
+  opts.min_children = 3;
+  opts.max_children = static_cast<std::uint32_t>(4 + rng.below(2));
+  return opts;
+}
+
+/// One generated tree per seed; every third seed swaps in a ladder or a
+/// wide root vote so the sweep always covers the named corpora. Wide root
+/// votes get uniform probabilities: with distinct -log p weights the
+/// *expanded* encoding drives core-guided search into the very core
+/// explosion this layer removes (minutes per solve), which would turn the
+/// comparison sweep into a timeout; the distinct-weight wide case is
+/// covered totalizer-vs-BDD in WideVoteClauseReductionMeetsBar below.
+ft::FaultTree sweep_tree(std::uint64_t seed) {
+  if (seed % 3 == 1) {
+    return gen::ladder_tree(static_cast<std::uint32_t>(3 + seed % 7), seed);
+  }
+  if (seed % 3 == 2) {
+    const auto n = static_cast<std::uint32_t>(10 + seed % 6);
+    const auto k = static_cast<std::uint32_t>(5 + seed % (n - 6));
+    return root_vote_tree(n, k, seed, /*uniform=*/true);
+  }
+  return gen::random_tree(sweep_options(seed), seed);
+}
+
+class LoweringSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LoweringSweep, ModesAgreeWithAndWithoutPreprocessing) {
+  const std::uint64_t seed = GetParam();
+  const ft::FaultTree tree = sweep_tree(seed);
+
+  std::optional<maxsat::Weight> cost;
+  std::optional<double> probability;
+  for (const CardinalityLowering mode :
+       {CardinalityLowering::Expand, CardinalityLowering::Totalizer,
+        CardinalityLowering::Auto}) {
+    for (const bool preprocess : {true, false}) {
+      // Portfolio, as shipped: its LSU member keeps the *expanded* wide
+      // votes tractable where single-engine OLL hits the historical core
+      // explosion this layer removes.
+      const core::MpmcsPipeline pipeline(
+          options_for(mode, preprocess, core::SolverChoice::Portfolio));
+      const core::MpmcsSolution sol = pipeline.solve(tree);
+      ASSERT_EQ(sol.status, maxsat::MaxSatStatus::Optimal)
+          << "seed=" << seed << " mode=" << static_cast<int>(mode)
+          << " preprocess=" << preprocess;
+      EXPECT_TRUE(ft::is_minimal_cut_set(tree, sol.cut));
+      if (!cost) {
+        cost = sol.scaled_cost;
+        probability = sol.probability;
+      } else {
+        EXPECT_EQ(*cost, sol.scaled_cost)
+            << "seed=" << seed << " mode=" << static_cast<int>(mode)
+            << " preprocess=" << preprocess;
+        // Distinct optimal cuts may tie in scaled-integer cost while
+        // their exact probabilities differ by the weight-scaling
+        // rounding; compare at that resolution, not bit-exactly.
+        EXPECT_NEAR(*probability, sol.probability,
+                    1e-5 * (*probability) + 1e-15);
+      }
+    }
+  }
+
+  // Exact baseline: the BDD's maximum-probability MCS.
+  bdd::FaultTreeBdd analysis(tree);
+  const auto best = analysis.mpmcs();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(*probability, best->second, 1e-5 * best->second + 1e-15)
+      << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoweringSweep,
+                         ::testing::Range<std::uint64_t>(0, 100));
+
+class LoweringTopK : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LoweringTopK, SequencesAgreeAcrossModes) {
+  const std::uint64_t seed = GetParam();
+  const ft::FaultTree tree = sweep_tree(seed);
+  std::optional<std::vector<maxsat::Weight>> reference;
+  for (const CardinalityLowering mode :
+       {CardinalityLowering::Expand, CardinalityLowering::Totalizer,
+        CardinalityLowering::Auto}) {
+    const core::MpmcsPipeline pipeline(options_for(
+        mode, /*preprocess=*/true, core::SolverChoice::Portfolio));
+    maxsat::MaxSatStatus final_status = maxsat::MaxSatStatus::Optimal;
+    const auto top = pipeline.top_k(tree, 5, nullptr, &final_status);
+    ASSERT_NE(final_status, maxsat::MaxSatStatus::Unknown);
+    std::vector<maxsat::Weight> costs;
+    costs.reserve(top.size());
+    for (const auto& sol : top) {
+      EXPECT_TRUE(ft::is_minimal_cut_set(tree, sol.cut)) << "seed=" << seed;
+      costs.push_back(sol.scaled_cost);
+    }
+    // Descending probability == ascending scaled cost.
+    EXPECT_TRUE(std::is_sorted(costs.begin(), costs.end())) << "seed=" << seed;
+    if (!reference) {
+      reference = std::move(costs);
+    } else {
+      EXPECT_EQ(*reference, costs)
+          << "seed=" << seed << " mode=" << static_cast<int>(mode);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoweringTopK,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+// ---------------------------------------------------------------------------
+
+TEST(CardinalityPipeline, WideVoteClauseReductionMeetsBar) {
+  // The acceptance corpus: k-of-n votes with k >= 5, n >= 10, distinct
+  // -log p weights. Totalizer lowering must cut the hard-clause count by
+  // >= 40% vs the AND/OR expansion and still reach the BDD-exact
+  // optimum. The expanded encoding is compared by *size* only: with
+  // distinct weights it drives core-guided search into the historical
+  // core explosion (minutes per solve) — the regression this layer
+  // removes, covered solver-side by ForcedBlockSkipsCoreDiscovery.
+  for (const auto& [n, k] : std::vector<std::pair<std::uint32_t,
+                                                  std::uint32_t>>{
+           {10, 5}, {12, 7}, {16, 5}, {15, 8}}) {
+    const ft::FaultTree tree = root_vote_tree(n, k, 1234 + n * 31 + k);
+    const core::MpmcsPipeline expand_pipeline(options_for(
+        CardinalityLowering::Expand, false, core::SolverChoice::Oll));
+    const core::MpmcsPipeline totalizer_pipeline(options_for(
+        CardinalityLowering::Totalizer, false, core::SolverChoice::Oll));
+    const std::size_t expand_clauses =
+        expand_pipeline.build_instance(tree).hard().size();
+    const std::size_t totalizer_clauses =
+        totalizer_pipeline.build_instance(tree).hard().size();
+    EXPECT_LE(totalizer_clauses, (expand_clauses * 6) / 10)
+        << n << "-choose-" << k << ": " << totalizer_clauses << " vs "
+        << expand_clauses;
+
+    const core::MpmcsSolution sol = totalizer_pipeline.solve(tree);
+    ASSERT_EQ(sol.status, maxsat::MaxSatStatus::Optimal)
+        << n << "-choose-" << k;
+    EXPECT_TRUE(ft::is_minimal_cut_set(tree, sol.cut));
+    bdd::FaultTreeBdd analysis(tree);
+    const auto best = analysis.mpmcs();
+    ASSERT_TRUE(best.has_value());
+    EXPECT_NEAR(sol.probability, best->second, 1e-5 * best->second + 1e-15)
+        << n << "-choose-" << k;
+  }
+}
+
+TEST(CardinalityPipeline, CardMetadataSurvivesPreprocessing) {
+  const ft::FaultTree tree = root_vote_tree(14, 6, 99);
+  const core::MpmcsPipeline pipeline(options_for(
+      CardinalityLowering::Totalizer, true, core::SolverChoice::Oll));
+  const core::PreparedInstance prepared = pipeline.prepare(tree);
+  ASSERT_TRUE(prepared.pre != nullptr);
+  ASSERT_EQ(prepared.raw.cards().size(), 1u);
+  ASSERT_EQ(prepared.pre->simplified.cards().size(), 1u);
+  // Frozen by construction: every block variable still denotes the same
+  // count in the simplified space, so the layout stays adoptable.
+  const logic::CardinalityBlock& blk = prepared.pre->simplified.cards()[0];
+  EXPECT_TRUE(blk.forced);
+  std::vector<logic::Var> aux;
+  logic::append_aux_vars(blk.layout, aux);
+  EXPECT_FALSE(aux.empty());
+  for (const logic::Var v : aux) {
+    EXPECT_LT(v, prepared.pre->simplified.num_vars());
+  }
+  // And preprocessing still simplified the instance around the network.
+  EXPECT_EQ(prepared.pre->stats.simplified_clauses,
+            prepared.pre->simplified.hard().size());
+}
+
+TEST(CardinalityPipeline, ForcedBlockSkipsCoreDiscovery) {
+  // Uniform weights on a root k-of-n vote: the pre-installed block guard
+  // makes the very first SAT call optimal. The expanded encoding has to
+  // discover the counting cores one SAT call at a time.
+  const ft::FaultTree tree = root_vote_tree(12, 6, 7, /*uniform=*/true);
+  const core::MpmcsPipeline expand_pipeline(options_for(
+      CardinalityLowering::Expand, false, core::SolverChoice::Oll));
+  const core::MpmcsPipeline totalizer_pipeline(options_for(
+      CardinalityLowering::Totalizer, false, core::SolverChoice::Oll));
+
+  maxsat::OllSolver oll;
+  const maxsat::MaxSatResult direct =
+      oll.solve(totalizer_pipeline.build_instance(tree));
+  ASSERT_EQ(direct.status, maxsat::MaxSatStatus::Optimal);
+  EXPECT_LE(direct.sat_calls, 2u);
+
+  const maxsat::MaxSatResult expanded =
+      oll.solve(expand_pipeline.build_instance(tree));
+  ASSERT_EQ(expanded.status, maxsat::MaxSatStatus::Optimal);
+  EXPECT_EQ(direct.cost, expanded.cost);
+  EXPECT_GT(expanded.sat_calls, direct.sat_calls);
+}
+
+TEST(CardinalityPipeline, ZeroAndForbiddenWeightsStayExact) {
+  // p == 1 events carry no soft clause and p == 0 events carry the
+  // "forbidden" weight; the block pre-transformation must step aside
+  // (not every input is a live soft) without affecting correctness.
+  ft::FaultTreeBuilder b;
+  std::vector<ft::NodeIndex> events;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const double p = i == 0 ? 1.0 : (i == 1 ? 0.0 : 0.1);
+    events.push_back(b.event("e" + std::to_string(i), p));
+  }
+  b.top(b.vote("TOP", 5, std::move(events)));
+  const ft::FaultTree tree = std::move(b).build();
+  std::optional<double> probability;
+  for (const CardinalityLowering mode :
+       {CardinalityLowering::Expand, CardinalityLowering::Totalizer}) {
+    const core::MpmcsPipeline pipeline(
+        options_for(mode, true, core::SolverChoice::Oll));
+    const core::MpmcsSolution sol = pipeline.solve(tree);
+    ASSERT_EQ(sol.status, maxsat::MaxSatStatus::Optimal);
+    EXPECT_TRUE(ft::is_minimal_cut_set(tree, sol.cut));
+    if (!probability) {
+      probability = sol.probability;
+    } else {
+      EXPECT_NEAR(*probability, sol.probability, 1e-12);
+    }
+  }
+}
+
+TEST(CardinalityPipeline, SessionReSolvesAndPortfolioAgree) {
+  // The warm-session path (solve_prepared twice) and the portfolio race
+  // must see the same optimum as the stateless single-engine path.
+  const ft::FaultTree tree = sweep_tree(42);
+  const core::MpmcsPipeline pipeline(options_for(
+      CardinalityLowering::Auto, true, core::SolverChoice::Portfolio));
+  const core::PreparedInstance prepared = pipeline.prepare(tree);
+  const core::MpmcsSolution first = pipeline.solve_prepared(tree, prepared);
+  const core::MpmcsSolution second = pipeline.solve_prepared(tree, prepared);
+  ASSERT_EQ(first.status, maxsat::MaxSatStatus::Optimal);
+  ASSERT_EQ(second.status, maxsat::MaxSatStatus::Optimal);
+  EXPECT_EQ(first.scaled_cost, second.scaled_cost);
+
+  const core::MpmcsPipeline oll_pipeline(
+      options_for(CardinalityLowering::Expand, true, core::SolverChoice::Oll));
+  const core::MpmcsSolution reference = oll_pipeline.solve(tree);
+  ASSERT_EQ(reference.status, maxsat::MaxSatStatus::Optimal);
+  EXPECT_EQ(reference.scaled_cost, first.scaled_cost);
+}
+
+}  // namespace
+}  // namespace fta

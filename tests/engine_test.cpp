@@ -184,6 +184,53 @@ TEST(AnalysisEngine, CacheHitsOnStructurallyIdenticalTrees) {
   EXPECT_NEAR(result.mpmcs.probability, 0.02, 1e-12);
 }
 
+TEST(AnalysisEngine, TopKSharesTheCachedPreparedArtefact) {
+  // Top-k requests route through the same structural-cache artefact as
+  // MPMCS traffic (ROADMAP "session-aware engine memoization"): after an
+  // MPMCS solve on a structure, a TopK request on the same structure is
+  // a cache hit — and its first entry agrees with the memoized MPMCS.
+  EngineOptions eopts;
+  eopts.num_threads = 1;
+  AnalysisEngine engine(eopts);
+
+  AnalysisRequest warm;
+  warm.id = "warm";
+  warm.tree = ft::fire_protection_system();
+  warm.pipeline = deterministic_options();
+  const AnalysisResult first = engine.submit(std::move(warm)).get();
+  ASSERT_TRUE(first.ok) << first.error;
+
+  AnalysisRequest topk;
+  topk.id = "topk";
+  topk.tree = ft::fire_protection_system();
+  topk.kind = AnalysisKind::TopK;
+  topk.top_k = 3;
+  topk.pipeline = deterministic_options();
+  const AnalysisResult enumerated = engine.submit(std::move(topk)).get();
+  ASSERT_TRUE(enumerated.ok) << enumerated.error;
+  EXPECT_TRUE(enumerated.cache_hit);
+  ASSERT_EQ(enumerated.top.size(), 3u);
+  EXPECT_NEAR(enumerated.top[0].probability, first.mpmcs.probability, 1e-12);
+
+  // And a TopK miss populates the cache for later MPMCS traffic too.
+  AnalysisRequest cold;
+  cold.id = "cold-topk";
+  cold.tree = generated_tree(7, 25);
+  cold.kind = AnalysisKind::TopK;
+  cold.pipeline = deterministic_options();
+  const AnalysisResult cold_topk = engine.submit(std::move(cold)).get();
+  ASSERT_TRUE(cold_topk.ok) << cold_topk.error;
+  EXPECT_FALSE(cold_topk.cache_hit);
+
+  AnalysisRequest reuse;
+  reuse.id = "reuse";
+  reuse.tree = generated_tree(7, 25);
+  reuse.pipeline = deterministic_options();
+  const AnalysisResult reused = engine.submit(std::move(reuse)).get();
+  ASSERT_TRUE(reused.ok) << reused.error;
+  EXPECT_TRUE(reused.cache_hit);
+}
+
 TEST(AnalysisEngine, MemoizationReusesSolutionsPerSolverConfig) {
   EngineOptions eopts;
   eopts.num_threads = 1;
