@@ -80,13 +80,6 @@ std::vector<Member> build_corpus() {
   return corpus;
 }
 
-double median(std::vector<double> v) {
-  std::sort(v.begin(), v.end());
-  const std::size_t n = v.size();
-  return n == 0 ? 0.0
-                : (n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,9 +199,9 @@ int main(int argc, char** argv) {
   const double requests = static_cast<double>(corpus.size() * repeats);
   const double tps_off = requests / (warm_total_off / 1e3);
   const double tps_on = requests / (warm_total_on / 1e3);
-  const double warm_median = median(warm_speedups);
-  const double topk_median = median(topk_speedups);
-  const double cold_median = median(cold_speedups);
+  const double warm_median = bench::median(warm_speedups);
+  const double topk_median = bench::median(topk_speedups);
+  const double cold_median = bench::median(cold_speedups);
 
   std::printf("\nwarm throughput : %.1f -> %.1f solves/s\n", tps_off, tps_on);
   std::printf("median speedup  : warm %.2fx  top-k %.2fx  cold %.2fx\n",

@@ -71,6 +71,15 @@ inline std::string fmt(double v, const char* format = "%.3g") {
   return buf;
 }
 
+/// Midpoint median of a sample set (average of the two central values
+/// for even sizes; 0 when empty).
+inline double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n == 0 ? 0.0
+                : (n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
 /// Median wall-clock seconds over `repeats` runs of `fn`.
 inline double time_median(int repeats, const std::function<void()>& fn) {
   std::vector<double> samples;

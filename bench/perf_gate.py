@@ -3,9 +3,10 @@
 
 Runs the fixed-seed benchmark binaries (bench_engine_batch,
 fig1_fps_mpmcs, ablation_preprocess, ablation_incremental,
-voting_gates), takes per-metric medians over a few runs, writes the
-combined report (BENCH_pr4.json) and fails when a throughput metric
-regresses more than --tolerance below the committed bench/baseline.json.
+voting_gates, ablation_stratified), takes per-metric medians over a few
+runs, writes the combined report (BENCH_pr5.json) and fails when a
+throughput metric regresses more than --tolerance below the committed
+bench/baseline.json.
 
     python3 bench/perf_gate.py --build-dir build            # gate
     python3 bench/perf_gate.py --build-dir build --update   # refresh baseline
@@ -27,6 +28,7 @@ ENGINE_BATCH_ARGS = ["6", "6", "150", "4"]
 ABLATION_ARGS = ["16"]
 ABLATION_INCREMENTAL_ARGS = ["8"]
 VOTING_GATES_ARGS = ["1"]
+ABLATION_STRATIFIED_ARGS = ["4"]
 
 
 def run_bench(binary, args, runs):
@@ -110,6 +112,22 @@ def collect_metrics(build_dir, runs):
     flags["voting.wide_reduction_ok"] = all(
         d["wideReductionOk"] for d in voting)
 
+    stratified = run_bench(os.path.join(build_dir, "ablation_stratified"),
+                           ABLATION_STRATIFIED_ARGS, runs)
+    metrics["stratified.ladder_median_speedup"] = median_of(
+        stratified, lambda d: d["ladderMedianSpeedup"])
+    metrics["stratified.ladder_solves_per_second"] = median_of(
+        stratified, lambda d: d["stratLadderSolvesPerSecond"])
+    # hedgedMedianSpeedup stays report-only: racing 8 portfolio threads
+    # against single-thread OLL is hardware-dependent (a 1-core container
+    # inverts it), so it would gate on the machine, not the code.
+    flags["stratified.results_match"] = all(
+        d["resultsMatch"] for d in stratified)
+    # The PR 5 acceptance bar: stratified must beat the monolithic PR 4
+    # behaviour >= 5x (median, end-to-end) on the ladder corpus.
+    flags["stratified.ladder_speedup_ok"] = all(
+        d["ladderSpeedupOk"] for d in stratified)
+
     return metrics, flags
 
 
@@ -117,7 +135,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--baseline", default="bench/baseline.json")
-    parser.add_argument("--out", default="BENCH_pr4.json")
+    parser.add_argument("--out", default="BENCH_pr5.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
     parser.add_argument("--runs", type=int, default=3,

@@ -5,6 +5,8 @@
 //   usage: mpmcs4fta_cli [options] <tree.ft>
 //          mpmcs4fta_cli [options] --batch <dir>
 //     --solver NAME   portfolio (default) | oll | fu-malik | lsu | brute
+//                     | stratified (module decomposition; falls back to
+//                     the portfolio on non-decomposable trees)
 //     --top K         also report the K most probable MCSs
 //     --json PATH     write the JSON result document ('-' for stdout)
 //     --dot PATH      write Graphviz with the MPMCS highlighted
@@ -13,6 +15,8 @@
 //     --scale S       weight scaling factor (default 1e6)
 //     --card-lowering MODE  vote-gate encoding: expand | totalizer | auto
 //     --no-preprocess skip the Step 3.5 WCNF simplification
+//     --no-hedge      don't race the raw instance against the
+//                     preprocessed one in portfolio solves
 //     --timeout SEC   per-tree wall-clock cap
 //     --batch DIR     analyse every tree file (*.ft, *.xml, *.opsa) in DIR
 //                     concurrently and emit one JSON summary
@@ -43,7 +47,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [options] <tree.ft>\n"
                "       %s [options] --batch <dir>\n"
-               "  --solver NAME   portfolio|oll|fu-malik|lsu|brute\n"
+               "  --solver NAME   portfolio|oll|fu-malik|lsu|brute|"
+               "stratified\n"
                "  --top K         report the K most probable MCSs\n"
                "  --json PATH     write JSON result ('-' = stdout)\n"
                "  --dot PATH      write Graphviz with MPMCS highlighted\n"
@@ -52,6 +57,8 @@ int usage(const char* argv0) {
                "auto\n"
                "  --no-preprocess skip the Step 3.5 WCNF simplification\n"
                "  --no-incremental stateless solving (no SAT sessions)\n"
+               "  --no-hedge      don't race the raw instance against the\n"
+               "                  preprocessed one in portfolio solves\n"
                "  --timeout SEC   per-tree time limit\n"
                "  --batch DIR     analyse every tree file in DIR\n"
                "  --jobs N        batch worker threads\n"
@@ -241,11 +248,18 @@ int run_batch(const std::string& dir, std::size_t jobs,
       }
       json += std::string("\"cacheHit\": ") +
               (r.cache_hit ? "true" : "false") + ", ";
+      json += std::string("\"memoized\": ") +
+              (r.memoized ? "true" : "false") + ", ";
       json += "\"seconds\": " + util::format_double(r.seconds) + ", ";
+      // Solver-member attribution: which portfolio member produced the
+      // winning model and from which artefact lineage (raw / pre /
+      // strata). Memoized repeats replay the stored solution, so the
+      // attribution is stable across identical requests.
       const auto solution_json = [&](const core::MpmcsSolution& sol) {
         return "{\"probability\": " + util::format_double(sol.probability) +
                ", \"logCost\": " + util::format_double(sol.log_cost) +
                ", \"solver\": \"" + util::json_escape(sol.solver_name) +
+               "\", \"lineage\": \"" + util::json_escape(sol.lineage) +
                "\", \"mpmcs\": " + cut_to_json_array(event_names[i], sol.cut) +
                "}";
       };
@@ -313,6 +327,8 @@ int main(int argc, char** argv) {
       else if (name == "fu-malik") opts.solver = core::SolverChoice::FuMalik;
       else if (name == "lsu") opts.solver = core::SolverChoice::Lsu;
       else if (name == "brute") opts.solver = core::SolverChoice::BruteForce;
+      else if (name == "stratified")
+        opts.solver = core::SolverChoice::Stratified;
       else return usage(argv[0]);
     } else if (arg == "--top") {
       top_k = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
@@ -339,6 +355,8 @@ int main(int argc, char** argv) {
       opts.preprocess = false;
     } else if (arg == "--no-incremental") {
       opts.incremental = false;
+    } else if (arg == "--no-hedge") {
+      opts.hedge_raw = false;
     } else if (arg == "--timeout") {
       opts.timeout_seconds = std::strtod(next(), nullptr);
     } else if (arg == "--batch") {
@@ -395,8 +413,8 @@ int main(int argc, char** argv) {
                 tree.stats().events, tree.stats().gates);
     std::printf("MPMCS     : %s\n", sol.cut.to_string(tree).c_str());
     std::printf("P(MPMCS)  : %g\n", sol.probability);
-    std::printf("solver    : %s  (%.2f ms)\n", sol.solver_name.c_str(),
-                sol.solve_seconds * 1e3);
+    std::printf("solver    : %s  [%s]  (%.2f ms)\n", sol.solver_name.c_str(),
+                sol.lineage.c_str(), sol.solve_seconds * 1e3);
     if (top_k > 0) {
       std::printf("top %zu MCSs:\n", top_k);
       for (const auto& s : pipeline.top_k(tree, top_k)) {

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -10,6 +11,7 @@
 #include "maxsat/lsu.hpp"
 #include "maxsat/oll.hpp"
 #include "maxsat/portfolio.hpp"
+#include "maxsat/stratified.hpp"
 #include "util/timer.hpp"
 
 namespace fta::core {
@@ -23,6 +25,7 @@ const char* solver_choice_name(SolverChoice c) noexcept {
     case SolverChoice::FuMalik: return "fu-malik";
     case SolverChoice::Lsu: return "lsu";
     case SolverChoice::BruteForce: return "brute-force";
+    case SolverChoice::Stratified: return "stratified";
   }
   return "?";
 }
@@ -123,7 +126,10 @@ maxsat::WcnfInstance MpmcsPipeline::instance_for_formula(
 
 maxsat::MaxSatSolverPtr MpmcsPipeline::make_solver() const {
   switch (opts_.solver) {
-    case SolverChoice::Portfolio: {
+    // Stratified falls back to the portfolio whenever the tree does not
+    // decompose (or a session/hedge path is unavailable).
+    case SolverChoice::Portfolio:
+    case SolverChoice::Stratified: {
       maxsat::PortfolioOptions po;
       po.timeout_seconds = opts_.timeout_seconds;
       return std::make_unique<maxsat::PortfolioSolver>(
@@ -202,6 +208,27 @@ preprocess::PreprocessOptions effective_preprocess_options(
   return pp;
 }
 
+/// The raw-lineage hedge members: stateless solvers racing the untouched
+/// Step 1-4 instance against everyone else's simplified one. Distinct
+/// seeds keep them diversified from their pre-lineage twins.
+void append_raw_members(std::vector<maxsat::PortfolioMember>& members,
+                        const maxsat::WcnfInstance* raw) {
+  members.push_back({"oll-raw",
+                     [] {
+                       maxsat::OllOptions o;
+                       o.sat.seed = 0xb0a710ad;
+                       return std::make_unique<maxsat::OllSolver>(o);
+                     },
+                     raw});
+  members.push_back({"lsu-raw",
+                     [] {
+                       maxsat::LsuOptions o;
+                       o.sat.seed = 0x9a9a5eed;
+                       return std::make_unique<maxsat::LsuSolver>(o);
+                     },
+                     raw});
+}
+
 }  // namespace
 
 MpmcsSolution MpmcsPipeline::solve_instance(
@@ -218,19 +245,25 @@ MpmcsSolution MpmcsPipeline::solve_instance(
                                cancel));
   }
   const preprocess::PreprocessResult* pre = prepared.pre.get();
+  const maxsat::WcnfInstance* raw =
+      pre != nullptr && opts_.hedging_effective() ? &prepared.raw : nullptr;
   return solve_simplified(tree, pre ? pre->simplified : prepared.raw, pre,
-                          candidates, std::move(cancel));
+                          candidates, std::move(cancel), nullptr, nullptr,
+                          raw);
 }
 
 maxsat::MaxSatResult MpmcsPipeline::solve_with_session(
     maxsat::IncrementalSolveSession::Guard& session,
-    const maxsat::WcnfInstance& working, util::CancelTokenPtr cancel) const {
+    const maxsat::WcnfInstance& working,
+    const maxsat::WcnfInstance* raw_working,
+    util::CancelTokenPtr cancel) const {
   switch (opts_.solver) {
     case SolverChoice::Oll:
       return session.solve_oll(std::move(cancel));
     case SolverChoice::Lsu:
       return session.solve_lsu(std::move(cancel));
-    case SolverChoice::Portfolio: {
+    case SolverChoice::Portfolio:
+    case SolverChoice::Stratified: {
       // Incremental members run on the persistent session; stateless
       // hedges race on the working instance (which carries any top-k
       // blockers as plain hard clauses) exactly as before. A stateless
@@ -259,6 +292,9 @@ maxsat::MaxSatResult MpmcsPipeline::solve_with_session(
         if (member.label == "oll" || member.label == "lsu") continue;
         members.push_back(std::move(member));
       }
+      // Preprocessing-aware hedging: the raw Step 1-4 artefact races the
+      // simplified one the members above are solving.
+      if (raw_working != nullptr) append_raw_members(members, raw_working);
       maxsat::PortfolioOptions po;
       po.timeout_seconds = opts_.timeout_seconds;
       maxsat::PortfolioSolver portfolio(std::move(members), po);
@@ -275,7 +311,8 @@ MpmcsSolution MpmcsPipeline::solve_simplified(
     const preprocess::PreprocessResult* pre,
     const std::vector<bool>& candidates, util::CancelTokenPtr cancel,
     maxsat::IncrementalSolveSession::Guard* session,
-    const ft::ShrinkContext* shrink) const {
+    const ft::ShrinkContext* shrink,
+    const maxsat::WcnfInstance* raw_working) const {
   util::Timer total;
   MpmcsSolution sol;
   sol.cnf_vars = to_solve.num_vars();
@@ -289,6 +326,7 @@ MpmcsSolution MpmcsPipeline::solve_simplified(
       // Refuted at level 0: no model regardless of softs.
       sol.status = maxsat::MaxSatStatus::Unsatisfiable;
       sol.solver_name = "preprocess";
+      sol.lineage = "pre";
       sol.total_seconds = total.seconds();
       return sol;
     }
@@ -299,8 +337,20 @@ MpmcsSolution MpmcsPipeline::solve_simplified(
   util::Timer solving;
   maxsat::MaxSatResult r;
   if (session != nullptr && *session) {
-    r = solve_with_session(*session, to_solve, std::move(cancel));
+    r = solve_with_session(*session, to_solve, raw_working, std::move(cancel));
     if (r.solver_name.empty()) r.solver_name = "incremental";
+  } else if (raw_working != nullptr &&
+             (opts_.solver == SolverChoice::Portfolio ||
+              opts_.solver == SolverChoice::Stratified)) {
+    // Stateless hedged race: default members on the simplified instance
+    // plus the raw-lineage members on the untouched one.
+    auto members = maxsat::PortfolioSolver::default_members();
+    append_raw_members(members, raw_working);
+    maxsat::PortfolioOptions po;
+    po.timeout_seconds = opts_.timeout_seconds;
+    maxsat::PortfolioSolver portfolio(std::move(members), po);
+    r = portfolio.solve(to_solve, std::move(cancel));
+    if (r.solver_name.empty()) r.solver_name = portfolio.name();
   } else {
     auto solver = make_solver();
     r = solver->solve(to_solve, std::move(cancel));
@@ -309,18 +359,25 @@ MpmcsSolution MpmcsPipeline::solve_simplified(
   sol.solve_seconds = solving.seconds();
   sol.status = r.status;
   sol.solver_name = r.solver_name;
-  sol.scaled_cost = r.cost + (pre ? pre->cost_offset : 0);
+  // A raw-lineage win already pays the UP-forced soft weights inside its
+  // own cost; only pre-lineage models add the Step 3.5 offset.
+  sol.scaled_cost =
+      r.cost + (pre && !r.solved_alternate ? pre->cost_offset : 0);
+  sol.lineage = pre == nullptr || r.solved_alternate ? "raw" : "pre";
 
   if (r.status == maxsat::MaxSatStatus::Optimal) {
     // Map the model back to the original variable space (fixed,
     // substituted and eliminated variables get their forced values),
     // then read the occurring events off it: they form the cut.
     std::vector<bool> model = r.model;
-    if (pre) {
+    if (pre && !r.solved_alternate) {
       // Preprocessing never renumbers, so the simplified instance spans
       // the original variable range already.
       model.resize(to_solve.num_vars(), false);
       pre->reconstructor.extend(model);
+    }
+    if (model.size() < tree.num_events()) {
+      model.resize(tree.num_events(), false);
     }
     std::vector<ft::EventIndex> events;
     for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
@@ -347,6 +404,24 @@ MpmcsSolution MpmcsPipeline::solve(const ft::FaultTree& tree,
                                    util::CancelTokenPtr cancel) const {
   util::Timer total;
   tree.validate();
+  if (opts_.solver == SolverChoice::Stratified) {
+    // The stratified strategy needs the decomposition plan (and its
+    // per-stratum artefacts); one-shot solves go through prepare too,
+    // handing over the plan so it is not computed twice.
+    // Non-decomposable trees fall through to the ordinary one-shot path
+    // below instead — prepare() would build a session and shrink context
+    // only to discard them with the temporary artefact. (AND/vote plans
+    // still pay for the monolithic artefacts here: the same prepare()
+    // serves cached top-k traffic, which enumerates through them.)
+    maxsat::StratifiedPlan plan = maxsat::plan_strata(tree);
+    if (plan.applicable) {
+      const PreparedInstance prepared =
+          prepare_with_plan(tree, std::move(plan), cancel);
+      MpmcsSolution sol = solve_prepared(tree, prepared, std::move(cancel));
+      sol.total_seconds = total.seconds();
+      return sol;
+    }
+  }
   if (opts_.decompose_top_or &&
       tree.node(tree.top()).type == ft::NodeType::Or) {
     MpmcsSolution sol = solve_decomposed(tree, std::move(cancel));
@@ -361,13 +436,35 @@ MpmcsSolution MpmcsPipeline::solve(const ft::FaultTree& tree,
 
 PreparedInstance MpmcsPipeline::prepare(const ft::FaultTree& tree,
                                         util::CancelTokenPtr cancel) const {
+  maxsat::StratifiedPlan plan;
+  if (opts_.solver == SolverChoice::Stratified) {
+    plan = maxsat::plan_strata(tree);
+  }
+  return prepare_with_plan(tree, std::move(plan), std::move(cancel));
+}
+
+PreparedInstance MpmcsPipeline::prepare_with_plan(
+    const ft::FaultTree& tree, maxsat::StratifiedPlan plan,
+    util::CancelTokenPtr cancel) const {
   PreparedInstance prepared;
   prepared.raw = build_instance(tree);
-  if (opts_.preprocess) {
+  // Stratified decomposition plan, detected up front (by prepare() or by
+  // a one-shot solve): when it applies with an OR combine, every solve
+  // and top-k on this artefact routes through the per-stratum
+  // sub-artefacts, so the whole-tree Step 3.5 pass, session and shrink
+  // context below would be dead weight (AND and vote combines keep them:
+  // their top-k enumerates unions through the monolithic loop). The
+  // engine's structural key separates stratified artefacts, so no other
+  // solver choice ever sees this entry.
+  const bool strata_only =
+      plan.applicable && plan.combine == ft::NodeType::Or;
+  if (opts_.preprocess && !strata_only) {
+    // `cancel` stays live: the stratified sub-preparation below also
+    // polls it.
     prepared.pre = std::make_shared<preprocess::PreprocessResult>(
         preprocess::preprocess(prepared.raw, freeze_mask(tree, prepared.raw),
                                effective_preprocess_options(tree, opts_),
-                               std::move(cancel)));
+                               cancel));
   }
   // The persistent solving state rides with the artefact: whoever caches
   // this PreparedInstance (engine::TreeCache) caches the session too, and
@@ -378,7 +475,8 @@ PreparedInstance MpmcsPipeline::prepare(const ft::FaultTree& tree,
   // does not encode the solver choice, so a cache entry built under
   // (say) brute-force traffic must still serve later portfolio requests
   // incrementally.
-  if (opts_.incremental && !(prepared.pre && prepared.pre->unsat)) {
+  if (opts_.incremental && !strata_only &&
+      !(prepared.pre && prepared.pre->unsat)) {
     std::shared_ptr<const maxsat::WcnfInstance> instance;
     if (prepared.pre) {
       // Aliasing share: the session keeps the whole preprocess artefact
@@ -393,9 +491,24 @@ PreparedInstance MpmcsPipeline::prepare(const ft::FaultTree& tree,
     prepared.session = std::make_shared<maxsat::IncrementalSolveSession>(
         std::move(instance), inc);
   }
-  // Unconditional for the same cache-sharing reason: a later request
-  // with the shrink pass enabled must find the context ready.
-  prepared.shrink = std::make_shared<const ft::ShrinkContext>(tree);
+  // Unconditional (modulo strata_only) for the same cache-sharing reason:
+  // a later request with the shrink pass enabled must find the context
+  // ready.
+  if (!strata_only) {
+    prepared.shrink = std::make_shared<const ft::ShrinkContext>(tree);
+  }
+  // One recursively-prepared sub-artefact (instance + Step 3.5 + session)
+  // per module stratum; the modules are where the solving state lives.
+  if (plan.applicable) {
+    for (maxsat::StratifiedStratum& s : plan.strata) {
+      if (!s.trivial) {
+        s.prepared = std::make_shared<const PreparedInstance>(
+            prepare(s.module.tree, cancel));
+      }
+    }
+    prepared.strata =
+        std::make_shared<const maxsat::StratifiedPlan>(std::move(plan));
+  }
   return prepared;
 }
 
@@ -403,7 +516,16 @@ MpmcsSolution MpmcsPipeline::solve_prepared(const ft::FaultTree& tree,
                                             const PreparedInstance& prepared,
                                             util::CancelTokenPtr cancel) const {
   util::Timer total;
+  if (opts_.solver == SolverChoice::Stratified && prepared.strata &&
+      prepared.strata->applicable) {
+    MpmcsSolution sol =
+        solve_stratified(tree, *prepared.strata, std::move(cancel));
+    sol.total_seconds = total.seconds();
+    return sol;
+  }
   const preprocess::PreprocessResult* pre = prepared.pre.get();
+  const maxsat::WcnfInstance* raw =
+      pre != nullptr && opts_.hedging_effective() ? &prepared.raw : nullptr;
   // Concurrent solves of the same cached structure race for the session;
   // losers simply take the stateless path.
   maxsat::IncrementalSolveSession::Guard guard;
@@ -411,7 +533,7 @@ MpmcsSolution MpmcsPipeline::solve_prepared(const ft::FaultTree& tree,
   MpmcsSolution sol =
       solve_simplified(tree, pre ? pre->simplified : prepared.raw, pre, {},
                        std::move(cancel), guard ? &guard : nullptr,
-                       prepared.shrink.get());
+                       prepared.shrink.get(), raw);
   sol.total_seconds = total.seconds();
   return sol;
 }
@@ -487,6 +609,193 @@ MpmcsSolution MpmcsPipeline::solve_decomposed(const ft::FaultTree& tree,
   return best;
 }
 
+MpmcsSolution MpmcsPipeline::solve_stratified(
+    const ft::FaultTree& tree, const maxsat::StratifiedPlan& plan,
+    util::CancelTokenPtr cancel) const {
+  util::Timer total;
+  MpmcsSolution sol;
+  sol.solver_name = "stratified";
+  sol.lineage = "strata";
+  // One sub-solve per stratum (trivial single-event strata are closed
+  // form), each on its own prepared sub-artefact and incremental session.
+  std::vector<maxsat::StratumOutcome> outcomes(plan.strata.size());
+  for (std::size_t i = 0; i < plan.strata.size(); ++i) {
+    const maxsat::StratifiedStratum& s = plan.strata[i];
+    maxsat::StratumOutcome& o = outcomes[i];
+    if (s.trivial) {
+      o.status = maxsat::MaxSatStatus::Optimal;
+      o.cut = ft::CutSet({s.event});
+      o.cost =
+          maxsat::scaled_cut_cost(tree, o.cut.events(), opts_.weight_scale);
+      continue;
+    }
+    const MpmcsSolution sub =
+        solve_prepared(s.module.tree, *s.prepared, cancel);
+    sol.solve_seconds += sub.solve_seconds;
+    sol.cnf_vars = std::max(sol.cnf_vars, sub.cnf_vars);
+    sol.cnf_clauses += sub.cnf_clauses;
+    sol.preprocess_seconds += sub.preprocess_seconds;
+    sol.preprocess_removed_vars += sub.preprocess_removed_vars;
+    o.status = sub.status;
+    if (sub.status == maxsat::MaxSatStatus::Optimal) {
+      std::vector<ft::EventIndex> mapped;
+      mapped.reserve(sub.cut.size());
+      for (const ft::EventIndex e : sub.cut.events()) {
+        mapped.push_back(s.module.event_map[e]);
+      }
+      o.cut = ft::CutSet(std::move(mapped));
+      o.cost =
+          maxsat::scaled_cut_cost(tree, o.cut.events(), opts_.weight_scale);
+    }
+  }
+
+  const maxsat::Recombined rec = maxsat::recombine(plan, outcomes);
+  sol.status = rec.status;
+  if (rec.status == maxsat::MaxSatStatus::Optimal) {
+    // Step 6 exactly as the monolithic path: probability recomputed from
+    // the tree over the recombined cut; unavoidable p == 0 members carry
+    // the monolithic instance's per-event forbidden weight.
+    sol.cut = rec.cut;
+    sol.probability = sol.cut.probability(tree);
+    sol.log_cost = sol.cut.log_cost(tree);
+    sol.scaled_cost = rec.cost.ordinary;
+    if (rec.cost.impossible > 0) {
+      sol.scaled_cost +=
+          rec.cost.impossible *
+          maxsat::forbidden_weight(tree, plan, opts_.weight_scale);
+    }
+  }
+  sol.total_seconds = total.seconds();
+  return sol;
+}
+
+std::vector<MpmcsSolution> MpmcsPipeline::top_k_stratified(
+    const ft::FaultTree& tree, const maxsat::StratifiedPlan& plan,
+    std::size_t k, util::CancelTokenPtr cancel,
+    maxsat::MaxSatStatus* final_status) const {
+  // Lazy k-way merge over per-stratum streams: each stratum starts at its
+  // own optimum and is only deepened when the merge consumes its head, so
+  // the total work is (#strata top-1 solves + at most k deepenings of
+  // tiny sub-instances) instead of #strata * k eager enumerations. Sound
+  // because the global k best contain at most j cuts of any one stratum,
+  // and those are within the stratum's own j best.
+  struct Stream {
+    const maxsat::StratifiedStratum* stratum = nullptr;
+    std::vector<MpmcsSolution> found;  ///< Mapped to original indices.
+    std::vector<maxsat::ScaledCutCost> costs;  ///< Parallel to `found`.
+    std::vector<ft::CutSet> emitted;  ///< Cuts this merge already output.
+    std::size_t head = 0;  ///< Index into `found` of the current head.
+    bool exhausted = false;
+    bool unknown = false;
+  };
+  std::vector<Stream> streams(plan.strata.size());
+
+  const auto deepen = [&](Stream& st, std::size_t depth) {
+    if (st.exhausted || st.unknown || st.found.size() >= depth) return;
+    const maxsat::StratifiedStratum& s = *st.stratum;
+    if (s.trivial) {
+      MpmcsSolution sol;
+      sol.status = maxsat::MaxSatStatus::Optimal;
+      sol.cut = ft::CutSet({s.event});
+      st.found.push_back(std::move(sol));
+      st.exhausted = true;  // a single event has a single (unit) cut
+      return;
+    }
+    // Re-enumerates the stratum's first `depth` cuts; the sub-artefact's
+    // warm session makes the replayed rounds cheap.
+    maxsat::MaxSatStatus sub_status = maxsat::MaxSatStatus::Optimal;
+    const std::vector<MpmcsSolution> subs =
+        top_k_prepared(s.module.tree, *s.prepared, depth, cancel, &sub_status);
+    st.unknown = sub_status == maxsat::MaxSatStatus::Unknown;
+    st.exhausted = !st.unknown && subs.size() < depth;
+    st.found.clear();
+    st.costs.clear();
+    st.found.reserve(subs.size());
+    for (const MpmcsSolution& sub : subs) {
+      MpmcsSolution sol = sub;
+      std::vector<ft::EventIndex> mapped;
+      mapped.reserve(sub.cut.size());
+      for (const ft::EventIndex ev : sub.cut.events()) {
+        mapped.push_back(s.module.event_map[ev]);
+      }
+      sol.cut = ft::CutSet(std::move(mapped));
+      st.found.push_back(std::move(sol));
+    }
+  };
+
+  for (std::size_t i = 0; i < plan.strata.size(); ++i) {
+    streams[i].stratum = &plan.strata[i];
+    deepen(streams[i], 1);
+  }
+  const auto is_emitted = [](const Stream& st, const ft::CutSet& cut) {
+    return std::find(st.emitted.begin(), st.emitted.end(), cut) !=
+           st.emitted.end();
+  };
+  // Positions `head` at the cheapest not-yet-emitted entry (found is in
+  // enumeration = cost order). A nondeterministic sub-solver may reorder
+  // equal-cost ties between deepenings, so already-emitted cuts are
+  // skipped by identity, never by index; when the whole enumeration was
+  // consumed, one deepening to emitted+1 distinct cuts is guaranteed to
+  // surface a fresh one (or prove the family exhausted). Returns false
+  // when the stream has nothing more to offer.
+  const auto advance = [&](Stream& st) -> bool {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (st.head = 0; st.head < st.found.size(); ++st.head) {
+        if (!is_emitted(st, st.found[st.head].cut)) return true;
+      }
+      if (st.exhausted || st.unknown) return false;
+      deepen(st, st.emitted.size() + 1);
+    }
+    return false;
+  };
+  const auto head_cost = [&](Stream& st) {
+    while (st.costs.size() <= st.head) {
+      st.costs.push_back(maxsat::scaled_cut_cost(
+          tree, st.found[st.costs.size()].cut.events(), opts_.weight_scale));
+    }
+    return st.costs[st.head];
+  };
+
+  std::vector<MpmcsSolution> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    // Merge by the monolithic enumeration order (non-decreasing scaled
+    // cost); the linear scan is over at most #strata heads. Ties resolve
+    // to the earlier stratum, deterministically.
+    Stream* best = nullptr;
+    for (Stream& st : streams) {
+      if (!advance(st)) continue;
+      if (best == nullptr || head_cost(st) < head_cost(*best)) best = &st;
+    }
+    if (best == nullptr) break;  // every stream exhausted (or undecided)
+    MpmcsSolution sol = best->found[best->head];
+    const maxsat::ScaledCutCost cost = head_cost(*best);
+    sol.solver_name = "stratified";
+    sol.lineage = "strata";
+    sol.scaled_cost = cost.ordinary;
+    if (cost.impossible > 0) {
+      sol.scaled_cost += cost.impossible * maxsat::forbidden_weight(
+                                               tree, plan, opts_.weight_scale);
+    }
+    sol.probability = sol.cut.probability(tree);
+    sol.log_cost = sol.cut.log_cost(tree);
+    best->emitted.push_back(sol.cut);
+    out.push_back(std::move(sol));
+  }
+  // An undecided stream poisons exactness even with k results in hand:
+  // its undiscovered cuts could outrank any of ours (mirrors the
+  // monolithic loop, which reports Unknown for a failed round).
+  const bool any_unknown =
+      std::any_of(streams.begin(), streams.end(),
+                  [](const Stream& st) { return st.unknown; });
+  if (final_status) {
+    *final_status = any_unknown    ? maxsat::MaxSatStatus::Unknown
+                    : out.size() == k ? maxsat::MaxSatStatus::Optimal
+                                      : maxsat::MaxSatStatus::Unsatisfiable;
+  }
+  return out;
+}
+
 std::vector<MpmcsSolution> MpmcsPipeline::top_k(
     const ft::FaultTree& tree, std::size_t k, util::CancelTokenPtr cancel,
     maxsat::MaxSatStatus* final_status) const {
@@ -500,6 +809,17 @@ std::vector<MpmcsSolution> MpmcsPipeline::top_k_prepared(
     maxsat::MaxSatStatus* final_status) const {
   tree.validate();
   if (final_status) *final_status = maxsat::MaxSatStatus::Optimal;
+  if (opts_.solver == SolverChoice::Stratified && prepared.strata &&
+      prepared.strata->applicable &&
+      prepared.strata->combine == ft::NodeType::Or) {
+    // OR plans: the tree's MCS family is the disjoint union of the
+    // stratum families, so per-stratum streams merge exactly. AND/vote
+    // plans enumerate unions of stratum cuts — those fall through to the
+    // monolithic superset-blocking loop below (with the stratified
+    // session racing as usual).
+    return top_k_stratified(tree, *prepared.strata, k, std::move(cancel),
+                            final_status);
+  }
   std::vector<MpmcsSolution> out;
   // Steps 1-4 and 3.5 ran once (possibly in an earlier request — the
   // engine's structural cache hands the same artefact to every repeat);
@@ -513,6 +833,11 @@ std::vector<MpmcsSolution> MpmcsPipeline::top_k_prepared(
   // for the stateless portfolio hedges.
   const preprocess::PreprocessResult* pre = prepared.pre.get();
   maxsat::WcnfInstance working = pre ? pre->simplified : prepared.raw;
+  // The raw-lineage hedge twin accumulates the same blocking clauses
+  // (they mention only event variables, valid in both spaces).
+  const bool hedged = pre != nullptr && opts_.hedging_effective();
+  maxsat::WcnfInstance working_raw;
+  if (hedged) working_raw = prepared.raw;
   maxsat::IncrementalSolveSession::Guard guard;
   if (prepared.session) guard = prepared.session->try_acquire();
   // The context opens lazily at the first blocker: round 1 is
@@ -522,7 +847,8 @@ std::vector<MpmcsSolution> MpmcsPipeline::top_k_prepared(
   for (std::size_t i = 0; i < k; ++i) {
     MpmcsSolution sol =
         solve_simplified(tree, working, pre, {}, cancel,
-                         guard ? &guard : nullptr, prepared.shrink.get());
+                         guard ? &guard : nullptr, prepared.shrink.get(),
+                         hedged ? &working_raw : nullptr);
     if (sol.status != maxsat::MaxSatStatus::Optimal) {
       if (final_status) *final_status = sol.status;
       break;
@@ -550,6 +876,7 @@ std::vector<MpmcsSolution> MpmcsPipeline::top_k_prepared(
       }
       guard.add_blocking_clause(block);
     }
+    if (hedged) working_raw.add_hard(block);
     working.add_hard(std::move(block));
   }
   if (guard && context_open) guard.end_context();

@@ -42,6 +42,10 @@
 #include "preprocess/preprocess.hpp"
 #include "util/cancel.hpp"
 
+namespace fta::maxsat {
+struct StratifiedPlan;  // maxsat/stratified.hpp (holds PreparedInstances)
+}  // namespace fta::maxsat
+
 namespace fta::core {
 
 enum class SolverChoice {
@@ -50,6 +54,15 @@ enum class SolverChoice {
   FuMalik,
   Lsu,
   BruteForce,  ///< Exhaustive; tiny trees only (tests, sanity checks).
+  /// Structure-aware stratified solving (maxsat/stratified): when the top
+  /// gate's children are independent modules, each module is solved on
+  /// its own prepared sub-instance (with its own incremental session) and
+  /// the per-stratum optima recombine exactly; trees that do not
+  /// decompose fall back to the hedged portfolio. The remedy for
+  /// repeated-subsystem ("ladder") topologies, where monolithic
+  /// core-guided search explodes on equal-weight cores spanning every
+  /// subsystem.
+  Stratified,
 };
 
 const char* solver_choice_name(SolverChoice c) noexcept;
@@ -95,6 +108,16 @@ struct PipelineOptions {
   /// and lazily rebuilt (their state is a cache, not required for
   /// correctness).
   std::size_t incremental_memory_cap_bytes = std::size_t{256} << 20;
+  /// Preprocessing-aware portfolio hedging: portfolio races additionally
+  /// solve the *raw* Step 1-4 instance alongside the Step 3.5 simplified
+  /// one (both already live in the PreparedInstance, so hedging costs no
+  /// extra preparation). Preprocessing occasionally flips an instance
+  /// into a harder one; with hedging the first exact answer from either
+  /// artefact wins. The two extra racing threads cost ~20-25% portfolio
+  /// throughput on a single core (they are near-free once cores are
+  /// idle); --no-hedge is the escape hatch. Ignored when preprocessing
+  /// is off or the configured solver is not a portfolio.
+  bool hedge_raw = true;
   /// Extension beyond the paper: when the top gate is an OR, solve one
   /// MaxSAT instance per child and take the probability argmax — sound
   /// because MCS(f1 | f2) ⊆ minimize(MCS(f1) ∪ MCS(f2)) and dropping
@@ -102,6 +125,16 @@ struct PipelineOptions {
   /// independent subsystems" topologies where core-guided search is at
   /// its weakest (see bench/ablation_decomposition).
   bool decompose_top_or = false;
+
+  /// Hedging only bites where a portfolio race exists to put the raw
+  /// members in AND preprocessing produces a distinct artefact to race
+  /// against. The single source of truth for that predicate — the
+  /// pipeline's solve paths and the engine's memo keys must agree on it.
+  bool hedging_effective() const noexcept {
+    return hedge_raw && preprocess &&
+           (solver == SolverChoice::Portfolio ||
+            solver == SolverChoice::Stratified);
+  }
 };
 
 struct MpmcsSolution {
@@ -118,6 +151,11 @@ struct MpmcsSolution {
   double preprocess_seconds = 0.0;  ///< Step 3.5 cost (0 when disabled).
   /// Variables removed by Step 3.5 (fixed + substituted + eliminated).
   std::size_t preprocess_removed_vars = 0;
+  /// Which artefact of the PreparedInstance produced the winning model:
+  /// "raw" (the Step 1-4 instance — preprocessing off, or a raw hedge
+  /// member won the race), "pre" (the Step 3.5 simplified instance), or
+  /// "strata" (recombined from per-module sub-solves).
+  std::string lineage;
 };
 
 /// The Step 1-4 artefacts plus the optional Step 3.5 simplification —
@@ -135,6 +173,12 @@ struct PreparedInstance {
   /// Reusable minimality-shrink context (the tree formula, built once);
   /// null when the shrink pass is disabled.
   std::shared_ptr<const ft::ShrinkContext> shrink;
+  /// Stratified-decomposition plan with one recursively-prepared
+  /// sub-artefact per module stratum (maxsat/stratified). Only built when
+  /// PipelineOptions::solver is Stratified (the engine's structural key
+  /// separates those artefacts); null or !applicable means the tree does
+  /// not decompose and Stratified falls back to the hedged portfolio.
+  std::shared_ptr<const maxsat::StratifiedPlan> strata;
 };
 
 class MpmcsPipeline {
@@ -235,23 +279,49 @@ class MpmcsPipeline {
   /// points at an acquired session guard, Step 5 runs the incremental
   /// engines on it (racing the stateless hedges under the portfolio
   /// choice); `shrink` (when non-null) replaces the per-call
-  /// shrink_to_minimal formula rebuild.
+  /// shrink_to_minimal formula rebuild. `raw_working` (when non-null)
+  /// enables preprocessing-aware hedging: portfolio races add members
+  /// solving that raw-lineage twin of `to_solve`, and a raw win skips
+  /// model reconstruction and the Step 3.5 cost offset.
   MpmcsSolution solve_simplified(
       const ft::FaultTree& tree, const maxsat::WcnfInstance& to_solve,
       const preprocess::PreprocessResult* pre,
       const std::vector<bool>& candidates, util::CancelTokenPtr cancel,
       maxsat::IncrementalSolveSession::Guard* session = nullptr,
-      const ft::ShrinkContext* shrink = nullptr) const;
+      const ft::ShrinkContext* shrink = nullptr,
+      const maxsat::WcnfInstance* raw_working = nullptr) const;
   /// Step 5 through an acquired incremental session (direct engine call
-  /// for the Oll/Lsu choices, a session-augmented race for Portfolio).
+  /// for the Oll/Lsu choices, a session-augmented race for the
+  /// Portfolio/Stratified choices, with raw hedge members when
+  /// `raw_working` is set).
   maxsat::MaxSatResult solve_with_session(
       maxsat::IncrementalSolveSession::Guard& session,
-      const maxsat::WcnfInstance& working, util::CancelTokenPtr cancel) const;
+      const maxsat::WcnfInstance& working,
+      const maxsat::WcnfInstance* raw_working,
+      util::CancelTokenPtr cancel) const;
+  /// The stratified strategy: per-stratum sub-solves (each on its own
+  /// prepared artefact) recombined exactly; see maxsat/stratified.
+  MpmcsSolution solve_stratified(const ft::FaultTree& tree,
+                                 const maxsat::StratifiedPlan& plan,
+                                 util::CancelTokenPtr cancel) const;
+  /// Stratified top-k for OR-combined plans: the global family is the
+  /// disjoint union of the stratum families, so per-stratum top-k streams
+  /// merge by scaled cost.
+  std::vector<MpmcsSolution> top_k_stratified(
+      const ft::FaultTree& tree, const maxsat::StratifiedPlan& plan,
+      std::size_t k, util::CancelTokenPtr cancel,
+      maxsat::MaxSatStatus* final_status) const;
   maxsat::WcnfInstance instance_for_formula(
       const ft::FaultTree& tree, logic::FormulaStore& store,
       logic::NodeId fault, std::vector<bool>* events_used = nullptr) const;
   MpmcsSolution solve_decomposed(const ft::FaultTree& tree,
                                  util::CancelTokenPtr cancel) const;
+  /// prepare() with the stratified plan already computed (one-shot
+  /// stratified solves detect applicability first and must not pay
+  /// plan_strata twice).
+  PreparedInstance prepare_with_plan(const ft::FaultTree& tree,
+                                     maxsat::StratifiedPlan plan,
+                                     util::CancelTokenPtr cancel) const;
   maxsat::MaxSatSolverPtr make_solver() const;
 
   PipelineOptions opts_;

@@ -103,9 +103,16 @@ void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
     PreparedTreePtr prepared = prepared_for(pipeline, request, result);
     // Second tier: a solution memoized under the same structure and an
     // outcome-equivalent solver configuration skips Step 5 entirely.
+    // Hedging widens the race (a raw-lineage member may win a tie with a
+    // different-but-equal-cost cut), so it keys the memo too — but only
+    // where it is effective (portfolio-shaped solvers); keying the raw
+    // flag for single-solver choices would split identical outcomes.
+    // Stratified keeps the bit even when its plan applies: per-stratum
+    // sub-solves fall back to hedged races on non-decomposable subtrees.
     const std::string memo_key =
         std::string(core::solver_choice_name(request.pipeline.solver)) +
-        (request.pipeline.shrink_to_minimal ? "|s" : "|-");
+        (request.pipeline.shrink_to_minimal ? "|s" : "|-") +
+        (request.pipeline.hedging_effective() ? "|h" : "|-");
     if (opts_.memoize_results) {
       std::lock_guard<std::mutex> lock(prepared->memo_mutex);
       const auto it = prepared->solutions.find(memo_key);

@@ -39,6 +39,12 @@ std::string structural_key(const ft::FaultTree& tree,
   // invalidate the entry (an incremental-off artefact has no session and
   // would silently pin the cached hot path to stateless solving).
   key.push_back(opts.incremental ? 'I' : 'i');
+  // The stratified choice attaches the decomposition plan and its
+  // per-module sub-artefacts to the PreparedInstance; an artefact built
+  // under any other solver lacks them (and vice versa pays for them), so
+  // the two shapes must not share a cache entry. The solver choice is
+  // otherwise deliberately NOT part of the key.
+  key.push_back(opts.solver == core::SolverChoice::Stratified ? 'T' : 't');
   // Step 3.5 configuration: a differently-preprocessed instance is a
   // different artefact (the reconstructor travels with it).
   key.push_back(opts.preprocess ? 'Z' : 'z');

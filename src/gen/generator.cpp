@@ -101,27 +101,55 @@ FaultTree chain_tree(std::uint32_t depth, std::uint64_t seed) {
   return tree;
 }
 
-FaultTree ladder_tree(std::uint32_t subsystems, std::uint64_t seed) {
-  if (subsystems < 1) throw std::invalid_argument("subsystems >= 1");
+FaultTree ladder_tree(const LadderOptions& opts, std::uint64_t seed) {
+  if (opts.subsystems < 1) throw std::invalid_argument("subsystems >= 1");
+  if (opts.members < 1) throw std::invalid_argument("members >= 1");
+  const std::uint32_t k = std::clamp(opts.k, 1u, opts.members);
   util::Rng rng(seed);
   FaultTree tree;
   std::vector<NodeIndex> tops;
-  tops.reserve(subsystems);
-  for (std::uint32_t s = 0; s < subsystems; ++s) {
+  tops.reserve(opts.subsystems);
+  for (std::uint32_t s = 0; s < opts.subsystems; ++s) {
+    const std::string prefix = "s" + std::to_string(s);
     std::vector<NodeIndex> members;
-    for (int m = 0; m < 3; ++m) {
-      members.push_back(tree.add_basic_event(
-          "s" + std::to_string(s) + "_e" + std::to_string(m),
-          log_uniform(rng, 1e-3, 0.1)));
+    for (std::uint32_t m = 0; m < opts.members; ++m) {
+      const std::string name = prefix + "_e" + std::to_string(m);
+      if (opts.nested) {
+        // Structured member: OR of two basic events, so each subsystem
+        // is a genuinely non-trivial module.
+        const NodeIndex a = tree.add_basic_event(
+            name + "a", log_uniform(rng, opts.min_prob, opts.max_prob));
+        const NodeIndex b = tree.add_basic_event(
+            name + "b", log_uniform(rng, opts.min_prob, opts.max_prob));
+        members.push_back(tree.add_gate(name, NodeType::Or, {a, b}));
+      } else {
+        members.push_back(tree.add_basic_event(
+            name, log_uniform(rng, opts.min_prob, opts.max_prob)));
+      }
     }
-    tops.push_back(tree.add_vote_gate("s" + std::to_string(s) + "_2oo3", 2,
-                                      std::move(members)));
+    tops.push_back(tree.add_vote_gate(
+        prefix + "_" + std::to_string(k) + "oo" +
+            std::to_string(opts.members),
+        k, std::move(members)));
   }
-  tree.set_top(subsystems == 1
-                   ? tops.front()
-                   : tree.add_gate("TOP", NodeType::Or, std::move(tops)));
+  NodeIndex top;
+  if (opts.subsystems == 1) {
+    top = tops.front();
+  } else if (opts.combine == NodeType::Vote) {
+    const auto ck = std::clamp(opts.combine_k, 1u, opts.subsystems);
+    top = tree.add_vote_gate("TOP", ck, std::move(tops));
+  } else {
+    top = tree.add_gate("TOP", opts.combine, std::move(tops));
+  }
+  tree.set_top(top);
   tree.validate();
   return tree;
+}
+
+FaultTree ladder_tree(std::uint32_t subsystems, std::uint64_t seed) {
+  LadderOptions opts;
+  opts.subsystems = subsystems;
+  return ladder_tree(opts, seed);
 }
 
 }  // namespace fta::gen

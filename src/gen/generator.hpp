@@ -40,6 +40,34 @@ ft::FaultTree random_tree(const GeneratorOptions& opts, std::uint64_t seed);
 /// for naive expansion, trivial for MaxSAT; `depth` basic events.
 ft::FaultTree chain_tree(std::uint32_t depth, std::uint64_t seed);
 
+/// Repeated-subsystem ("ladder") shape controls. The default is the
+/// classic reliability ladder: independent 2-of-3 subsystems under an OR
+/// top. The knobs cover the broader repeated-redundancy family that
+/// dominates the hard tail of the MaxSAT Evaluation 2020 fault-tree
+/// benchmarks: wider/deeper subsystems and AND / k-of-n top combinators.
+struct LadderOptions {
+  std::uint32_t subsystems = 4;
+  /// Members per subsystem (n of the subsystem's k-of-n vote).
+  std::uint32_t members = 3;
+  /// Subsystem vote threshold; clamped into [1, members].
+  std::uint32_t k = 2;
+  /// Top gate over the subsystems: Or, And, or Vote (with combine_k).
+  ft::NodeType combine = ft::NodeType::Or;
+  /// Top threshold when combine == Vote.
+  std::uint32_t combine_k = 2;
+  /// Give each member internal structure (an OR of two basic events)
+  /// instead of a single event: modules become non-trivial sub-solves.
+  bool nested = false;
+  /// Member-event probabilities, drawn log-uniformly.
+  double min_prob = 1e-3;
+  double max_prob = 0.1;
+};
+
+/// Generates a ladder per `opts`. Deterministic in (opts, seed); with the
+/// default options this is byte-identical to the legacy two-argument
+/// overload below.
+ft::FaultTree ladder_tree(const LadderOptions& opts, std::uint64_t seed);
+
 /// A redundant "ladder": k independent two-out-of-three subsystems under
 /// an OR top — a classic reliability-engineering shape with many same-size
 /// MCSs (3 per subsystem).

@@ -63,10 +63,13 @@ MaxSatResult PortfolioSolver::solve(const WcnfInstance& instance,
   std::vector<std::thread> threads;
   threads.reserve(members_.size());
   for (const auto& member : members_) {
-    threads.emplace_back([&, label = member.label, make = member.make] {
+    threads.emplace_back([&, label = member.label, make = member.make,
+                          alternate = member.instance] {
       MaxSatSolverPtr solver = make();
-      MaxSatResult r = solver->solve(instance, shared_token);
+      MaxSatResult r =
+          solver->solve(alternate ? *alternate : instance, shared_token);
       r.solver_name = label;
+      r.solved_alternate = alternate != nullptr;
       {
         std::lock_guard<std::mutex> lock(mutex);
         ++finished;
@@ -74,7 +77,16 @@ MaxSatResult PortfolioSolver::solve(const WcnfInstance& instance,
           winner = std::move(r);
           shared_token->cancel();
         } else if (r.status == MaxSatStatus::Unknown && r.has_model()) {
-          if (!incumbent || r.cost < incumbent->cost) incumbent = std::move(r);
+          // Costs are only comparable within one model space: a raw
+          // member's cost includes the UP-forced soft weights that a
+          // simplified-instance cost excludes (the caller re-adds them as
+          // an offset the portfolio does not know). Across spaces, first
+          // incumbent wins.
+          if (!incumbent ||
+              (r.solved_alternate == incumbent->solved_alternate &&
+               r.cost < incumbent->cost)) {
+            incumbent = std::move(r);
+          }
         }
       }
       cv.notify_all();
@@ -116,8 +128,10 @@ std::vector<MaxSatResult> PortfolioSolver::solve_all_members(
   results.reserve(members_.size());
   for (const auto& member : members_) {
     MaxSatSolverPtr solver = member.make();
-    MaxSatResult r = solver->solve(instance);
+    MaxSatResult r =
+        solver->solve(member.instance ? *member.instance : instance);
     r.solver_name = member.label;
+    r.solved_alternate = member.instance != nullptr;
     results.push_back(std::move(r));
   }
   return results;

@@ -32,6 +32,14 @@ using SolverFactory = std::function<MaxSatSolverPtr()>;
 struct PortfolioMember {
   std::string label;
   SolverFactory make;
+  /// Preprocessing-aware hedging: when set, this member races on the
+  /// attached instance instead of the one handed to solve() — the
+  /// pipeline attaches the *raw* Step 1-4 artefact so raw and simplified
+  /// forms of the same PreparedInstance race simultaneously and the first
+  /// exact answer wins (the winner's MaxSatResult::solved_alternate tells
+  /// the caller which model space it lives in). The pointee must outlive
+  /// the solve() call.
+  const WcnfInstance* instance = nullptr;
 };
 
 struct PortfolioOptions {

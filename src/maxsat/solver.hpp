@@ -30,6 +30,11 @@ struct MaxSatResult {
   std::uint64_t sat_calls = 0;
   std::uint64_t cores = 0;     ///< Unsat cores extracted (core-guided only).
   double seconds = 0.0;
+  /// Portfolio hedging: the winning member solved its member-attached
+  /// instance (the pipeline's *raw* Step 1-4 artefact) instead of the
+  /// instance handed to solve(). The model then lives in the original
+  /// variable space already — no Step 3.5 reconstruction, no cost offset.
+  bool solved_alternate = false;
 
   bool has_model() const noexcept { return !model.empty(); }
 };

@@ -1,0 +1,155 @@
+#include "maxsat/stratified.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fta::maxsat {
+
+StratifiedPlan plan_strata(const ft::FaultTree& tree) {
+  StratifiedPlan plan;
+  const ft::Node& top = tree.node(tree.top());
+  if (top.type == ft::NodeType::BasicEvent) return plan;
+
+  // Duplicate children: harmless for AND/OR (idempotent), semantics-
+  // changing for votes (VOT(2; a, a, b) fires on a alone).
+  std::vector<ft::NodeIndex> children;
+  for (const ft::NodeIndex c : top.children) {
+    if (std::find(children.begin(), children.end(), c) != children.end()) {
+      if (top.type == ft::NodeType::Vote) return plan;
+      continue;
+    }
+    children.push_back(c);
+  }
+
+  std::vector<bool> module_gate(tree.num_nodes(), false);
+  for (const analysis::ModuleInfo& m : analysis::find_modules(tree)) {
+    module_gate[m.gate] = true;
+  }
+
+  std::vector<bool> claimed(tree.num_events(), false);
+  for (const ft::NodeIndex c : children) {
+    StratifiedStratum stratum;
+    stratum.gate = c;
+    const ft::Node& n = tree.node(c);
+    if (n.type == ft::NodeType::BasicEvent) {
+      stratum.trivial = true;
+      stratum.event = n.event_index;
+      if (claimed[n.event_index]) return plan;  // shared with a sibling
+      claimed[n.event_index] = true;
+    } else {
+      if (!module_gate[c]) return plan;
+      stratum.module = analysis::extract_module(tree, c);
+      for (const ft::EventIndex e : stratum.module.event_map) {
+        if (claimed[e]) return plan;  // siblings overlap (nested modules)
+        claimed[e] = true;
+      }
+    }
+    plan.strata.push_back(std::move(stratum));
+  }
+  if (plan.strata.empty()) return plan;
+
+  plan.combine = top.type;
+  switch (top.type) {
+    case ft::NodeType::Or:
+      plan.k = 1;
+      break;
+    case ft::NodeType::And:
+      plan.k = static_cast<std::uint32_t>(plan.strata.size());
+      break;
+    case ft::NodeType::Vote:
+      plan.k = top.k;
+      if (plan.k > plan.strata.size()) return plan;  // degenerate model
+      break;
+    case ft::NodeType::BasicEvent:
+      return plan;
+  }
+  plan.applicable = true;
+  return plan;
+}
+
+ScaledCutCost scaled_cut_cost(const ft::FaultTree& tree,
+                              std::span<const ft::EventIndex> events,
+                              double weight_scale) {
+  ScaledCutCost cost;
+  for (const ft::EventIndex e : events) {
+    const double p = tree.event_probability(e);
+    if (p <= 0.0) {
+      ++cost.impossible;
+    } else {
+      cost.ordinary += static_cast<Weight>(
+          std::llround(-std::log(p) * weight_scale));
+    }
+  }
+  return cost;
+}
+
+Weight forbidden_weight(const ft::FaultTree& tree,
+                        const StratifiedPlan& plan, double weight_scale) {
+  Weight total = 0;
+  const auto add = [&](ft::EventIndex e) {
+    const double p = tree.event_probability(e);
+    if (p > 0.0) {
+      total += static_cast<Weight>(std::llround(-std::log(p) * weight_scale));
+    }
+  };
+  for (const StratifiedStratum& s : plan.strata) {
+    if (s.trivial) {
+      add(s.event);
+    } else {
+      for (const ft::EventIndex e : s.module.event_map) add(e);
+    }
+  }
+  return total + 1;
+}
+
+Recombined recombine(const StratifiedPlan& plan,
+                     std::span<const StratumOutcome> outcomes) {
+  Recombined out;
+  std::vector<std::size_t> live;  // Optimal strata, candidates to fire.
+  std::size_t unknown = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    switch (outcomes[i].status) {
+      case MaxSatStatus::Optimal:
+        live.push_back(i);
+        break;
+      case MaxSatStatus::Unsatisfiable:
+        break;
+      case MaxSatStatus::Unknown:
+        ++unknown;
+        break;
+    }
+  }
+
+  // Fewer than k strata can possibly fire: unsatisfiable regardless of
+  // how the undecided ones resolve (they only help if they CAN fire).
+  if (live.size() + unknown < plan.k) {
+    out.status = MaxSatStatus::Unsatisfiable;
+    return out;
+  }
+  // An undecided stratum could either beat a chosen one (OR/vote) or kill
+  // the conjunction (AND): no exact claim survives it.
+  if (unknown > 0) {
+    out.status = MaxSatStatus::Unknown;
+    return out;
+  }
+
+  // Choose the k cheapest strata (all of them for AND, the argmin for
+  // OR). stable: ties resolve to the earlier stratum, deterministically.
+  std::stable_sort(live.begin(), live.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return outcomes[a].cost < outcomes[b].cost;
+                   });
+  live.resize(plan.k);
+  std::vector<ft::EventIndex> events;
+  for (const std::size_t i : live) {
+    const StratumOutcome& o = outcomes[i];
+    events.insert(events.end(), o.cut.events().begin(), o.cut.events().end());
+    out.cost = out.cost + o.cost;
+  }
+  out.cut = ft::CutSet(std::move(events));
+  out.status = MaxSatStatus::Optimal;
+  return out;
+}
+
+}  // namespace fta::maxsat

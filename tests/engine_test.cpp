@@ -280,6 +280,112 @@ TEST(AnalysisEngine, MemoizationReusesSolutionsPerSolverConfig) {
   EXPECT_EQ(no_memo.stats().memo_hits, 0u);
 }
 
+TEST(AnalysisEngine, SolverAttributionStableUnderMemoization) {
+  // The batch CLI surfaces per-tree attribution (winning member + raw/pre
+  // lineage); memoized repeats must replay the stored attribution instead
+  // of re-racing and possibly re-rolling the winner.
+  EngineOptions eopts;
+  eopts.num_threads = 1;
+  eopts.memoize_results = true;
+  AnalysisEngine engine(eopts);
+
+  const auto make_request = [] {
+    AnalysisRequest req;
+    req.id = "attr";
+    req.tree = generated_tree(21);
+    req.pipeline.solver = core::SolverChoice::Portfolio;  // hedged default
+    return req;
+  };
+  const AnalysisResult first = engine.submit(make_request()).get();
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.memoized);
+  EXPECT_FALSE(first.mpmcs.solver_name.empty());
+  EXPECT_TRUE(first.mpmcs.lineage == "raw" || first.mpmcs.lineage == "pre")
+      << first.mpmcs.lineage;
+
+  const AnalysisResult repeat = engine.submit(make_request()).get();
+  ASSERT_TRUE(repeat.ok) << repeat.error;
+  EXPECT_TRUE(repeat.memoized);
+  EXPECT_EQ(repeat.mpmcs.solver_name, first.mpmcs.solver_name);
+  EXPECT_EQ(repeat.mpmcs.lineage, first.mpmcs.lineage);
+
+  // Hedging widens the race, so it keys the memo tier: flipping it off
+  // must re-solve (artefact tier still hits), not replay the hedged memo.
+  auto unhedged = make_request();
+  unhedged.pipeline.hedge_raw = false;
+  const AnalysisResult other = engine.submit(std::move(unhedged)).get();
+  ASSERT_TRUE(other.ok) << other.error;
+  EXPECT_FALSE(other.memoized);
+  EXPECT_TRUE(other.cache_hit);
+  EXPECT_DOUBLE_EQ(other.mpmcs.probability, first.mpmcs.probability);
+}
+
+TEST(AnalysisEngine, HedgedRaceReusesOnePreparedArtefact) {
+  // Raw-vs-pre hedging must not duplicate preparation work: the raw
+  // artefact raced by the hedge members is the PreparedInstance's own,
+  // so a structurally repeated request still hits the artefact cache
+  // exactly like an unhedged one.
+  EngineOptions eopts;
+  eopts.num_threads = 1;
+  eopts.memoize_results = false;  // force both requests through Step 5
+  AnalysisEngine engine(eopts);
+
+  const auto make_request = [] {
+    AnalysisRequest req;
+    req.id = "hedge";
+    req.tree = generated_tree(22);
+    req.pipeline.solver = core::SolverChoice::Portfolio;
+    return req;
+  };
+  const AnalysisResult cold = engine.submit(make_request()).get();
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  const AnalysisResult warm = engine.submit(make_request()).get();
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_FALSE(warm.memoized);
+  EXPECT_DOUBLE_EQ(warm.mpmcs.probability, cold.mpmcs.probability);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);  // prepared once, hedged twice
+  EXPECT_GE(stats.cache_hits, 1u);
+}
+
+TEST(AnalysisEngine, StratifiedChoiceGetsItsOwnArtefactAndLineage) {
+  // The stratified plan rides on the PreparedInstance, so the structural
+  // key must separate stratified artefacts from monolithic ones...
+  const auto ladder = gen::ladder_tree(6, 19);
+  core::PipelineOptions strat;
+  strat.solver = core::SolverChoice::Stratified;
+  EXPECT_NE(structural_key(ladder, strat),
+            structural_key(ladder, deterministic_options()));
+
+  // ...and engine traffic through the stratified choice recombines module
+  // optima (lineage "strata") that agree with the monolithic answer.
+  EngineOptions eopts;
+  eopts.num_threads = 1;
+  AnalysisEngine engine(eopts);
+  AnalysisRequest mono;
+  mono.id = "mono";
+  mono.tree = ladder;
+  mono.pipeline = deterministic_options();
+  AnalysisRequest strat_req;
+  strat_req.id = "strat";
+  strat_req.tree = ladder;
+  strat_req.pipeline = strat;
+  auto results = engine.run_batch([&] {
+    std::vector<AnalysisRequest> reqs;
+    reqs.push_back(std::move(mono));
+    reqs.push_back(std::move(strat_req));
+    return reqs;
+  }());
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  ASSERT_TRUE(results[1].ok) << results[1].error;
+  EXPECT_EQ(results[1].mpmcs.solver_name, "stratified");
+  EXPECT_EQ(results[1].mpmcs.lineage, "strata");
+  EXPECT_DOUBLE_EQ(results[1].mpmcs.probability, results[0].mpmcs.probability);
+  EXPECT_EQ(results[1].mpmcs.cut, results[0].mpmcs.cut);
+}
+
 TEST(AnalysisEngine, ExpiredTimeoutCancelsRequest) {
   EngineOptions eopts;
   eopts.num_threads = 1;

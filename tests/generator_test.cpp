@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analysis/modules.hpp"
 #include "ft/parser.hpp"
 #include "gen/generator.hpp"
 
@@ -119,6 +120,56 @@ TEST(Generator, LadderSingleSubsystem) {
   const auto tree = ladder_tree(1, 1);
   EXPECT_EQ(tree.num_events(), 3u);
   EXPECT_EQ(tree.node(tree.top()).type, ft::NodeType::Vote);
+}
+
+TEST(Generator, LadderOptionsDefaultsMatchLegacyOverload) {
+  LadderOptions opts;
+  opts.subsystems = 6;
+  EXPECT_EQ(ft::to_text(ladder_tree(opts, 17)),
+            ft::to_text(ladder_tree(6, 17)));
+}
+
+TEST(Generator, LadderKnobsShapeTheSubsystems) {
+  LadderOptions opts;
+  opts.subsystems = 4;
+  opts.members = 5;
+  opts.k = 3;
+  const auto tree = ladder_tree(opts, 2);
+  EXPECT_EQ(tree.num_events(), 20u);
+  EXPECT_EQ(tree.stats().vote_gates, 4u);
+  const auto sub = tree.find("s0_3oo5");
+  ASSERT_NE(sub, ft::kNoIndex);
+  EXPECT_EQ(tree.node(sub).k, 3u);
+  EXPECT_EQ(tree.node(sub).children.size(), 5u);
+}
+
+TEST(Generator, LadderCombineGateVariants) {
+  LadderOptions opts;
+  opts.subsystems = 3;
+  opts.combine = ft::NodeType::And;
+  const auto anded = ladder_tree(opts, 3);
+  EXPECT_EQ(anded.node(anded.top()).type, ft::NodeType::And);
+  opts.combine = ft::NodeType::Vote;
+  opts.combine_k = 2;
+  const auto voted = ladder_tree(opts, 3);
+  EXPECT_EQ(voted.node(voted.top()).type, ft::NodeType::Vote);
+  EXPECT_EQ(voted.node(voted.top()).k, 2u);
+}
+
+TEST(Generator, NestedLadderMembersAreStructuredModules) {
+  LadderOptions opts;
+  opts.subsystems = 2;
+  opts.nested = true;
+  const auto tree = ladder_tree(opts, 11);
+  EXPECT_EQ(tree.num_events(), 12u);  // 2 subsystems x 3 members x 2 events
+  EXPECT_EQ(tree.stats().or_gates, 7u);  // 6 member pairs + the top
+  // Every subsystem gate is a genuine module of the tree.
+  for (const auto& m : analysis::find_modules(tree)) {
+    EXPECT_NO_THROW(tree.node(m.gate));
+  }
+  const auto sub = tree.find("s1_2oo3");
+  ASSERT_NE(sub, ft::kNoIndex);
+  EXPECT_TRUE(analysis::is_module(tree, sub));
 }
 
 TEST(Generator, GeneratedTreesParseBack) {

@@ -148,5 +148,197 @@ TEST_P(TreeSweep, TopKProbabilitiesMatchBddFamily) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TreeSweep,
                          ::testing::Range<std::uint64_t>(2000, 2030));
 
+// ---------------------------------------------------------------------------
+// Seeded differential fuzzer: every solver member against independent
+// oracles on a ladder/repeated-subsystem + random-DAG corpus.
+//
+// Members: the monolithic single-solver choices (oll, lsu, fu-malik), the
+// stratified module strategy, the portfolio without hedging (the PR 4
+// lineup), the raw-vs-pre hedged portfolio, and a preprocessing-off
+// monolithic member (pure raw lineage). Oracles: an exhaustive 2^n subset
+// enumeration over the tree formula (independent of the whole MaxSAT
+// stack) and the BDD engine. Optima must be identical across members and
+// equal to the brute-force oracle bit for bit; top-k probability (cost)
+// sequences must match the BDD family.
+
+struct FuzzMember {
+  const char* label;
+  core::PipelineOptions opts;
+};
+
+std::vector<FuzzMember> fuzz_members() {
+  using core::SolverChoice;
+  const auto with = [](SolverChoice c, bool hedge, bool pre) {
+    core::PipelineOptions o;
+    o.solver = c;
+    o.hedge_raw = hedge;
+    o.preprocess = pre;
+    return o;
+  };
+  return {
+      {"oll", with(SolverChoice::Oll, false, true)},
+      {"lsu", with(SolverChoice::Lsu, false, true)},
+      {"fu-malik", with(SolverChoice::FuMalik, false, true)},
+      {"stratified", with(SolverChoice::Stratified, true, true)},
+      {"portfolio", with(SolverChoice::Portfolio, false, true)},
+      {"hedged", with(SolverChoice::Portfolio, true, true)},
+      {"oll-raw", with(SolverChoice::Oll, false, false)},
+  };
+}
+
+/// Shape corpus: random DAGs interleaved with the repeated-subsystem
+/// family the stratified strategy targets. Event counts stay <= 12 so the
+/// exhaustive oracle enumerates 4096 subsets at most. Vote-combined
+/// module ladders get their own sweep below: expanded monolithic OLL
+/// fragments weights catastrophically there (ROADMAP), so the agreement
+/// corpus for *every* member sticks to shapes they all decide quickly.
+ft::FaultTree fuzz_tree(std::uint64_t seed) {
+  util::Rng rng(seed * 7919 + 31);
+  switch (seed % 4) {
+    case 0: {
+      gen::GeneratorOptions o;
+      o.num_events = static_cast<std::uint32_t>(8 + rng.below(5));
+      o.and_fraction = rng.uniform(0.2, 0.6);
+      o.vote_fraction = rng.uniform(0.0, 0.35);
+      o.sharing = rng.uniform(0.0, 0.3);
+      return gen::random_tree(o, seed);
+    }
+    case 1: {  // the classic 2-of-3 OR ladder
+      gen::LadderOptions o;
+      o.subsystems = static_cast<std::uint32_t>(2 + rng.below(3));
+      return gen::ladder_tree(o, seed);
+    }
+    case 2: {  // wider subsystems, AND/OR tops, varied thresholds
+      gen::LadderOptions o;
+      o.subsystems = static_cast<std::uint32_t>(2 + rng.below(2));
+      o.members = static_cast<std::uint32_t>(3 + rng.below(2));
+      o.k = static_cast<std::uint32_t>(2 + rng.below(o.members - 1));
+      o.combine = rng.chance(0.5) ? ft::NodeType::And : ft::NodeType::Or;
+      return gen::ladder_tree(o, seed);
+    }
+    default: {  // structured members: modules become real sub-solves
+      gen::LadderOptions o;
+      o.subsystems = 2;
+      o.nested = true;
+      o.combine = rng.chance(0.5) ? ft::NodeType::And : ft::NodeType::Or;
+      return gen::ladder_tree(o, seed);
+    }
+  }
+}
+
+/// Exhaustive MPMCS oracle: max joint probability over every event subset
+/// that fires the top gate. Supersets only multiply in factors <= 1, so
+/// this equals the maximum over minimal cut sets; the product is taken in
+/// ascending event order, exactly like CutSet::probability.
+double brute_mpmcs_probability(const ft::FaultTree& tree) {
+  logic::FormulaStore store;
+  const logic::NodeId root = tree.to_formula(store);
+  const auto n = static_cast<std::uint32_t>(tree.num_events());
+  std::vector<bool> assignment(n, false);
+  double best = -1.0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    double p = 1.0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      assignment[v] = (mask >> v) & 1;
+      if (assignment[v]) p *= tree.event_probability(v);
+    }
+    if (p > best && logic::eval(store, root, assignment)) best = p;
+  }
+  return best;
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialFuzz, MembersAgreeWithOraclesOnOptimum) {
+  const auto tree = fuzz_tree(GetParam());
+  const double brute = brute_mpmcs_probability(tree);
+  ASSERT_GT(brute, 0.0);
+  bdd::FaultTreeBdd exact(tree);
+  const auto bdd_best = exact.mpmcs();
+  ASSERT_TRUE(bdd_best.has_value());
+
+  for (const FuzzMember& m : fuzz_members()) {
+    const auto sol = core::MpmcsPipeline(m.opts).solve(tree);
+    ASSERT_EQ(sol.status, maxsat::MaxSatStatus::Optimal) << m.label;
+    EXPECT_TRUE(ft::is_minimal_cut_set(tree, sol.cut)) << m.label;
+    // Identical optima: the brute-force oracle multiplies the same
+    // factors in the same order, so this is exact, not approximate.
+    EXPECT_DOUBLE_EQ(sol.probability, brute) << m.label;
+    EXPECT_NEAR(sol.probability, bdd_best->second,
+                1e-9 * bdd_best->second + 1e-300)
+        << m.label;
+  }
+}
+
+TEST_P(DifferentialFuzz, TopKCostSequencesIdenticalAcrossMembers) {
+  const auto tree = fuzz_tree(GetParam());
+  bdd::FaultTreeBdd exact(tree);
+  auto family = exact.minimal_cut_sets(4000);
+  ASSERT_FALSE(family.empty());
+  if (family.size() >= 4000) return;  // truncated: no exact reference
+  std::vector<double> probs;
+  probs.reserve(family.size());
+  for (const auto& cs : family) probs.push_back(cs.probability(tree));
+  std::sort(probs.rbegin(), probs.rend());
+  const std::size_t k = std::min<std::size_t>(4, probs.size());
+
+  for (const FuzzMember& m : fuzz_members()) {
+    maxsat::MaxSatStatus final_status = maxsat::MaxSatStatus::Optimal;
+    const auto ranked =
+        core::MpmcsPipeline(m.opts).top_k(tree, k, nullptr, &final_status);
+    ASSERT_EQ(ranked.size(), k) << m.label;
+    // Unsatisfiable with k results means the family was exhausted at
+    // exactly k (e.g. the blocking clause of a fully-forced cut came back
+    // empty); only Unknown marks a failed round.
+    EXPECT_NE(final_status, maxsat::MaxSatStatus::Unknown) << m.label;
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(ranked[i].probability, probs[i], 1e-9 * probs[i] + 1e-300)
+          << m.label << " rank " << i;
+      EXPECT_TRUE(ft::is_minimal_cut_set(tree, ranked[i].cut))
+          << m.label << " rank " << i;
+    }
+  }
+}
+
+TEST_P(DifferentialFuzz, VoteCombinedLaddersMatchLsuReference) {
+  // k-of-n tops over module subsystems: the repeated-redundancy shape
+  // where monolithic core-guided OLL fragments its weights into
+  // thousands of cores (a 12-event instance stops terminating in
+  // practice, with the totalizer lowering delaying but not preventing
+  // the blow-up on some weight draws; see ROADMAP). The monolithic
+  // reference is therefore solution-improving LSU, whose upper-bound
+  // search is immune to core fragmentation; stratified must agree with
+  // it, brute force and the BDD bit for bit.
+  util::Rng rng(GetParam() * 131 + 7);
+  gen::LadderOptions lo;
+  lo.subsystems = static_cast<std::uint32_t>(3 + rng.below(2));
+  lo.combine = ft::NodeType::Vote;
+  lo.combine_k = static_cast<std::uint32_t>(2 + rng.below(lo.subsystems - 1));
+  const auto tree = gen::ladder_tree(lo, GetParam());
+
+  const double brute = brute_mpmcs_probability(tree);
+  ASSERT_GT(brute, 0.0);
+  bdd::FaultTreeBdd exact(tree);
+  const auto bdd_best = exact.mpmcs();
+  ASSERT_TRUE(bdd_best.has_value());
+
+  core::PipelineOptions mono;
+  mono.solver = core::SolverChoice::Lsu;
+  core::PipelineOptions strat;
+  strat.solver = core::SolverChoice::Stratified;
+  const auto a = core::MpmcsPipeline(mono).solve(tree);
+  const auto b = core::MpmcsPipeline(strat).solve(tree);
+  ASSERT_EQ(a.status, maxsat::MaxSatStatus::Optimal);
+  ASSERT_EQ(b.status, maxsat::MaxSatStatus::Optimal);
+  EXPECT_DOUBLE_EQ(a.probability, brute);
+  EXPECT_DOUBLE_EQ(b.probability, brute);
+  EXPECT_NEAR(b.probability, bdd_best->second,
+              1e-9 * bdd_best->second + 1e-300);
+  EXPECT_TRUE(ft::is_minimal_cut_set(tree, b.cut));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range<std::uint64_t>(5000, 5100));
+
 }  // namespace
 }  // namespace fta
