@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI load-smoke gate for the analysis service.
+
+Runs the self-hosting load generator (bench/loadgen) for a short mixed
+warm/cold burst and fails the build when serving quality regresses:
+
+  * any server error (5xx), malformed response, transport error, or
+    unexpected 4xx — loadgen itself exits non-zero on these;
+  * p99 latency above the checked-in baseline allowance
+    (bench/loadgen_baseline.json, `p99Seconds` x --p99-slack);
+  * achieved throughput below `minAchievedFraction` of the offered rate
+    (the generator is open-loop: falling behind means the service, not
+    the script, is too slow).
+
+Stdlib only; no third-party dependencies.
+
+usage: load_smoke.py --loadgen build/loadgen [--baseline bench/loadgen_baseline.json]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--loadgen", required=True,
+                        help="path to the built bench/loadgen binary")
+    parser.add_argument("--baseline",
+                        default=str(pathlib.Path(__file__).parent /
+                                    "loadgen_baseline.json"),
+                        help="baseline JSON with p99Seconds allowance")
+    parser.add_argument("--rps", type=int, default=None,
+                        help="override the baseline's offered rate")
+    parser.add_argument("--seconds", type=int, default=None,
+                        help="override the baseline's duration")
+    parser.add_argument("--p99-slack", type=float, default=1.2,
+                        help="allowed p99 multiple of the baseline "
+                             "allowance (default 1.2 = +20%%)")
+    parser.add_argument("--report", default=None,
+                        help="keep the loadgen JSON report at this path")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    rps = args.rps if args.rps is not None else int(baseline["offeredRps"])
+    seconds = (args.seconds if args.seconds is not None
+               else int(baseline["seconds"]))
+
+    report_path = args.report
+    if report_path is None:
+        report_path = tempfile.NamedTemporaryFile(
+            suffix=".json", delete=False).name
+
+    cmd = [args.loadgen, "--rps", str(rps), "--seconds", str(seconds),
+           "--json", report_path]
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd)
+
+    try:
+        with open(report_path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: no readable loadgen report ({e})")
+        return 1
+
+    failures = []
+    if proc.returncode != 0:
+        failures.append(f"loadgen exited {proc.returncode} "
+                        "(server/transport/malformed failures above)")
+
+    for key in ("serverErrors", "malformed", "transportErrors",
+                "clientErrors"):
+        if report.get(key, 0) != 0:
+            failures.append(f"{key} = {report[key]} (want 0)")
+
+    p99 = float(report.get("p99Seconds", 0.0))
+    allowance = float(baseline["p99Seconds"]) * args.p99_slack
+    if p99 > allowance:
+        failures.append(f"p99 {p99 * 1e3:.3f} ms exceeds the baseline "
+                        f"allowance {allowance * 1e3:.3f} ms")
+
+    achieved = float(report.get("achievedRps", 0.0))
+    floor = rps * float(baseline.get("minAchievedFraction", 0.9))
+    if achieved < floor:
+        failures.append(f"achieved {achieved:.0f} rps below the "
+                        f"{floor:.0f} rps floor for an offered {rps}")
+
+    print(f"load-smoke: {achieved:.0f}/{rps} rps, "
+          f"p99 {p99 * 1e3:.3f} ms (allowance {allowance * 1e3:.3f} ms), "
+          f"ok={report.get('ok', 0)} of sent={report.get('sent', 0)}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,360 @@
+// loadgen: closed/open-loop load generator for the analysis service.
+//
+// Drives mixed warm/cold traffic at a target request rate against a
+// running `mpmcs4fta_cli serve` instance — or a service it self-hosts in
+// process when no --port is given — and reports throughput, latency
+// quantiles (p50/p95/p99) and the rejection/malformed funnel as JSON.
+// bench/load_smoke.py runs it in CI and gates on 5xx count, malformed
+// responses and p99 regression against bench/loadgen_baseline.json.
+//
+//   usage: loadgen [--port P] [--host H] [--rps N] [--seconds S]
+//                  [--connections C] [--warm-fraction F] [--topk-fraction F]
+//                  [--json PATH]
+//
+// Workload mix:
+//   * warm  — one fixed ladder tree repeated verbatim: exercises the
+//     memo/coalescing fast path (the dominant production shape:
+//     monitoring re-checking one plant model).
+//   * perturbed — the warm tree with one probability nudged per request:
+//     structural-cache hit for the artefact, fresh solve per request.
+//   * cold  — a fresh randomly generated tree per request: full pipeline.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ft/parser.hpp"
+#include "gen/generator.hpp"
+#include "service/http_client.hpp"
+#include "service/http_server.hpp"
+#include "service/solve_service.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fta;
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = self-host an in-process service.
+  double rps = 2000.0;     ///< Offered load across all connections.
+  double seconds = 10.0;
+  std::size_t connections = 4;
+  double warm_fraction = 0.8;
+  double perturbed_fraction = 0.15;  ///< Remainder is cold.
+  double topk_fraction = 0.2;        ///< Of warm requests, sent to /v1/topk.
+  std::string json_path;
+};
+
+struct WorkerResult {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;     ///< Structured 429/503/504.
+  std::uint64_t client_error = 0; ///< 4xx — a loadgen bug, gate-fatal.
+  std::uint64_t server_error = 0; ///< 5xx other than 503/504 shedding.
+  std::uint64_t transport = 0;    ///< Connect/send/recv failures.
+  std::uint64_t malformed = 0;    ///< Responses that fail JSON validation.
+  std::vector<double> latencies;  ///< Seconds, successful requests only.
+};
+
+std::string make_body(const std::string& tree_text, const char* tenant,
+                      std::size_t top_k) {
+  std::string body = "{\"tenant\": \"";
+  body += tenant;
+  body += "\", \"tree\": \"" + util::json_escape(tree_text) + "\"";
+  if (top_k > 0) body += ", \"k\": " + std::to_string(top_k);
+  body += "}";
+  return body;
+}
+
+/// Every response must be a JSON object with an "ok" member, and 2xx
+/// responses must carry the solution payload — anything else counts as
+/// malformed (the smoke gate's hard failure).
+bool response_well_formed(int status, const std::string& body, bool topk) {
+  try {
+    const util::JsonValue doc = util::JsonValue::parse(body);
+    if (!doc.is_object()) return false;
+    const util::JsonValue* ok = doc.find("ok");
+    if (ok == nullptr || !ok->is_bool()) return false;
+    if (status == 200) {
+      if (!ok->as_bool()) return false;
+      const util::JsonValue* payload = doc.find(topk ? "top" : "solution");
+      if (payload == nullptr) return false;
+    } else {
+      if (ok->as_bool()) return false;
+      const util::JsonValue* code = doc.find("code");
+      if (code == nullptr || !code->is_string()) return false;
+    }
+    return true;
+  } catch (const util::JsonError&) {
+    return false;
+  }
+}
+
+void run_worker(const LoadgenOptions& opts, std::uint16_t port,
+                std::size_t worker_index, const std::string& warm_text,
+                const std::vector<std::string>& cold_bodies,
+                std::atomic<std::uint64_t>& tick, std::uint64_t total_ticks,
+                std::atomic<std::uint64_t>& cold_cursor, WorkerResult& out) {
+  service::HttpClient client(opts.host, port);
+  util::Rng rng(0x10adull * (worker_index + 1) + 7);
+  const auto start = std::chrono::steady_clock::now();
+
+  // Open-loop pacing over a shared tick counter: workers claim the next
+  // global send slot and sleep until its scheduled time, so the offered
+  // rate stays at --rps regardless of per-request latency (late slots
+  // fire immediately — that is what overload looks like).
+  for (;;) {
+    const std::uint64_t slot = tick.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= total_ticks) break;
+    const auto due =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(slot / opts.rps));
+    std::this_thread::sleep_until(due);
+
+    // Pick the request shape for this slot.
+    const double shape = rng.uniform();
+    std::string body;
+    bool topk = false;
+    const char* tenant = "loadgen";
+    if (shape < opts.warm_fraction) {
+      topk = rng.uniform() < opts.topk_fraction;
+      body = make_body(warm_text, tenant, topk ? 3 : 0);
+    } else if (shape < opts.warm_fraction + opts.perturbed_fraction) {
+      // Same structure, one nudged probability: a different structural
+      // key (probability bits are part of it), so a handful of lukewarm
+      // variants that miss the warm tree's memo. Event names stay
+      // identical. The nudge appends a digit to the first "prob=0.xyz"
+      // literal, keeping it in (0, 1).
+      body = make_body(warm_text, tenant, 0);
+      const std::string needle = "prob=0.";
+      const std::size_t at = body.find(needle);
+      if (at != std::string::npos) {
+        body.insert(at + needle.size(), std::to_string(1 + rng.below(9)));
+      }
+    } else {
+      // Pre-generated unique trees, each sent once: a genuinely cold
+      // full-pipeline solve per request (generation and serialisation
+      // cost was paid before the measured window).
+      const std::uint64_t c =
+          cold_cursor.fetch_add(1, std::memory_order_relaxed);
+      body = cold_bodies[c % cold_bodies.size()];
+    }
+
+    util::Timer timer;
+    const auto response =
+        client.post(topk ? "/v1/topk" : "/v1/solve", body, 30.0);
+    const double latency = timer.seconds();
+    ++out.sent;
+    if (!response) {
+      ++out.transport;
+      continue;
+    }
+    if (!response_well_formed(response->status, response->body, topk)) {
+      ++out.malformed;
+      continue;
+    }
+    if (response->status == 200) {
+      ++out.ok;
+      out.latencies.push_back(latency);
+    } else if (response->status == 429 || response->status == 503 ||
+               response->status == 504) {
+      ++out.rejected;
+    } else if (response->status >= 500) {
+      ++out.server_error;
+    } else {
+      ++out.client_error;
+    }
+  }
+}
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--host H] [--rps N] [--seconds S]\n"
+               "          [--connections C] [--warm-fraction F]\n"
+               "          [--topk-fraction F] [--json PATH]\n"
+               "With no --port a service is hosted in-process.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      opts.port =
+          static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--host") {
+      opts.host = next();
+    } else if (arg == "--rps") {
+      opts.rps = std::strtod(next(), nullptr);
+    } else if (arg == "--seconds") {
+      opts.seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--connections") {
+      opts.connections =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--warm-fraction") {
+      opts.warm_fraction = std::strtod(next(), nullptr);
+    } else if (arg == "--topk-fraction") {
+      opts.topk_fraction = std::strtod(next(), nullptr);
+    } else if (arg == "--json") {
+      opts.json_path = next();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opts.rps <= 0.0 || opts.seconds <= 0.0 || opts.connections == 0) {
+    return usage(argv[0]);
+  }
+
+  // Self-host when no target port was given: the common CI path, and the
+  // honest single-box throughput number (client and server share it).
+  std::unique_ptr<service::SolveService> svc;
+  std::unique_ptr<service::HttpServer> server;
+  std::uint16_t port = opts.port;
+  if (port == 0) {
+    svc = std::make_unique<service::SolveService>();
+    service::HttpServerOptions hopts;
+    server = std::make_unique<service::HttpServer>(
+        hopts, [&svc](const service::HttpRequest& request) {
+          return svc->handle(request);
+        });
+    port = server->port();
+  }
+
+  // The warm tree: a small ladder every request repeats verbatim.
+  const ft::FaultTree warm_tree = gen::ladder_tree(3, 42);
+  const std::string warm_text = ft::to_text(warm_tree);
+
+  const auto total_ticks =
+      static_cast<std::uint64_t>(opts.rps * opts.seconds);
+  // Unique cold bodies for the whole run, built outside the measured
+  // window (capped so pathological rps*seconds cannot exhaust memory;
+  // past the cap cold bodies repeat, which only makes them warmer).
+  const double cold_fraction =
+      std::max(0.0, 1.0 - opts.warm_fraction - opts.perturbed_fraction);
+  const auto cold_count = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(total_ticks * cold_fraction) + 1, 200000);
+  std::vector<std::string> cold_bodies;
+  cold_bodies.reserve(cold_count);
+  util::Rng cold_rng(0xc01dull);
+  for (std::uint64_t c = 0; c < cold_count; ++c) {
+    gen::GeneratorOptions g;
+    g.num_events = 10;
+    g.vote_fraction = 0.2;
+    const ft::FaultTree t = gen::random_tree(g, cold_rng.next());
+    cold_bodies.push_back(make_body(ft::to_text(t), "loadgen-cold", 0));
+  }
+
+  std::atomic<std::uint64_t> tick{0};
+  std::atomic<std::uint64_t> cold_cursor{0};
+  std::vector<WorkerResult> results(opts.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(opts.connections);
+  util::Timer wall;
+  for (std::size_t w = 0; w < opts.connections; ++w) {
+    workers.emplace_back([&, w] {
+      run_worker(opts, port, w, warm_text, cold_bodies, tick, total_ticks,
+                 cold_cursor, results[w]);
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double elapsed = wall.seconds();
+
+  WorkerResult total;
+  for (const auto& r : results) {
+    total.sent += r.sent;
+    total.ok += r.ok;
+    total.rejected += r.rejected;
+    total.client_error += r.client_error;
+    total.server_error += r.server_error;
+    total.transport += r.transport;
+    total.malformed += r.malformed;
+    total.latencies.insert(total.latencies.end(), r.latencies.begin(),
+                           r.latencies.end());
+  }
+  std::sort(total.latencies.begin(), total.latencies.end());
+  const double p50 = quantile(total.latencies, 0.50);
+  const double p95 = quantile(total.latencies, 0.95);
+  const double p99 = quantile(total.latencies, 0.99);
+  const double achieved = elapsed > 0.0 ? total.sent / elapsed : 0.0;
+
+  std::printf("sent      : %llu in %.2f s (offered %g rps, achieved %.0f)\n",
+              static_cast<unsigned long long>(total.sent), elapsed, opts.rps,
+              achieved);
+  std::printf("ok        : %llu  (rejected %llu, 4xx %llu, 5xx %llu, "
+              "transport %llu, malformed %llu)\n",
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.rejected),
+              static_cast<unsigned long long>(total.client_error),
+              static_cast<unsigned long long>(total.server_error),
+              static_cast<unsigned long long>(total.transport),
+              static_cast<unsigned long long>(total.malformed));
+  std::printf("latency   : p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+              p50 * 1e3, p95 * 1e3, p99 * 1e3);
+
+  if (!opts.json_path.empty()) {
+    std::string json = "{\n";
+    json += "  \"offeredRps\": " + util::format_double(opts.rps) + ",\n";
+    json += "  \"achievedRps\": " + util::format_double(achieved) + ",\n";
+    json += "  \"seconds\": " + util::format_double(elapsed) + ",\n";
+    json += "  \"sent\": " + std::to_string(total.sent) + ",\n";
+    json += "  \"ok\": " + std::to_string(total.ok) + ",\n";
+    json += "  \"rejected\": " + std::to_string(total.rejected) + ",\n";
+    json += "  \"clientErrors\": " + std::to_string(total.client_error) +
+            ",\n";
+    json += "  \"serverErrors\": " + std::to_string(total.server_error) +
+            ",\n";
+    json += "  \"transportErrors\": " + std::to_string(total.transport) +
+            ",\n";
+    json += "  \"malformed\": " + std::to_string(total.malformed) + ",\n";
+    json += "  \"p50Seconds\": " + util::format_double(p50) + ",\n";
+    json += "  \"p95Seconds\": " + util::format_double(p95) + ",\n";
+    json += "  \"p99Seconds\": " + util::format_double(p99) + "\n}\n";
+    if (opts.json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(opts.json_path);
+      out << json;
+    }
+  }
+
+  if (server) {
+    if (svc) svc->begin_shutdown();
+    server->shutdown();
+  }
+  // Transport failures, raw 5xx and 4xx (a loadgen generator bug) are
+  // failures of the serving contract; structured shedding (429/503/504)
+  // is not.
+  return total.malformed == 0 && total.server_error == 0 &&
+                 total.transport == 0 && total.client_error == 0
+             ? 0
+             : 1;
+}

@@ -22,15 +22,27 @@
 //                     concurrently and emit one JSON summary
 //     --jobs N        batch worker threads (default: hardware concurrency)
 //     --quiet         suppress the human-readable summary
+//
+//   usage: mpmcs4fta_cli serve [options]
+//     Long-running analysis service (src/service): POST /v1/solve and
+//     /v1/topk with the batch JSON schema, GET /v1/healthz and /v1/statsz.
+//     --port P        listen port (default 8080; 0 = ephemeral)
+//     --bind ADDR     bind address (default 127.0.0.1)
+//     plus --jobs and every pipeline option above as service defaults.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -38,6 +50,8 @@
 #include "ft/dot_writer.hpp"
 #include "ft/openpsa.hpp"
 #include "ft/parser.hpp"
+#include "service/http_server.hpp"
+#include "service/solve_service.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 
@@ -62,8 +76,11 @@ int usage(const char* argv0) {
                "  --timeout SEC   per-tree time limit\n"
                "  --batch DIR     analyse every tree file in DIR\n"
                "  --jobs N        batch worker threads\n"
-               "  --quiet         no human-readable summary\n",
-               argv0, argv0);
+               "  --quiet         no human-readable summary\n"
+               "serve mode: %s serve [--port P] [--bind ADDR] [options]\n"
+               "  long-running HTTP service: POST /v1/solve, POST /v1/topk,\n"
+               "  GET /v1/healthz, GET /v1/statsz\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -296,6 +313,56 @@ int run_batch(const std::string& dir, std::size_t jobs,
   return failed == 0 && cancelled == 0 ? 0 : 1;
 }
 
+std::atomic<bool> g_stop_requested{false};
+
+void handle_stop_signal(int) { g_stop_requested.store(true); }
+
+/// Runs `serve` mode until SIGINT/SIGTERM, then drains gracefully.
+int run_serve(const std::string& bind_address, std::uint16_t port,
+              std::size_t jobs, const fta::core::PipelineOptions& opts,
+              bool quiet) {
+  using namespace fta;
+  service::ServiceOptions sopts;
+  sopts.engine_threads = jobs;
+  sopts.pipeline = opts;
+  service::SolveService svc(sopts);
+
+  service::HttpServerOptions hopts;
+  hopts.bind_address = bind_address;
+  hopts.port = port;
+  std::unique_ptr<service::HttpServer> server;
+  try {
+    server = std::make_unique<service::HttpServer>(
+        hopts, [&svc](const service::HttpRequest& request) {
+          return svc.handle(request);
+        });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot start server: %s\n", e.what());
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  if (!quiet) {
+    std::printf("serving   : http://%s:%u (threads %zu)\n",
+                bind_address.c_str(), server->port(),
+                svc.engine().num_threads());
+    std::fflush(stdout);
+  }
+  while (!g_stop_requested.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Drain order matters: refuse new solves first, then let the HTTP layer
+  // finish in-flight exchanges before sockets close.
+  svc.begin_shutdown();
+  server->shutdown();
+  if (!quiet) {
+    std::printf("final stats:\n%s", svc.statsz_json().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -310,6 +377,9 @@ int main(int argc, char** argv) {
   std::size_t top_k = 0;
   std::size_t jobs = 0;
   bool quiet = false;
+  bool serve_mode = false;
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 8080;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -365,6 +435,12 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--bind") {
+      bind_address = next();
+    } else if (arg == "serve" && tree_path.empty()) {
+      serve_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -372,6 +448,10 @@ int main(int argc, char** argv) {
     } else {
       tree_path = arg;
     }
+  }
+  if (serve_mode) {
+    if (!tree_path.empty() || !batch_dir.empty()) return usage(argv[0]);
+    return run_serve(bind_address, port, jobs, opts, quiet);
   }
   if (!batch_dir.empty()) {
     if (!tree_path.empty()) return usage(argv[0]);

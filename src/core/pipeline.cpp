@@ -258,8 +258,22 @@ maxsat::MaxSatResult MpmcsPipeline::solve_with_session(
     const maxsat::WcnfInstance* raw_working,
     util::CancelTokenPtr cancel) const {
   switch (opts_.solver) {
-    case SolverChoice::Oll:
-      return session.solve_oll(std::move(cancel));
+    case SolverChoice::Oll: {
+      // A fragmentation-latched engine (hit OllOptions::core_ceiling on
+      // an earlier solve of this structure) would burn the whole budget
+      // again; LSU's counting encoding is immune to core fragmentation.
+      // The divert lives here rather than inside solve_oll because
+      // portfolio races drive the OLL and LSU engines from two threads
+      // under one guard — solve_oll must never touch the LSU engine.
+      if (!(session.oll_fragmented() && session.lsu_useful())) {
+        maxsat::MaxSatResult r = session.solve_oll(cancel);
+        if (r.status != maxsat::MaxSatStatus::Unknown ||
+            !(session.oll_fragmented() && session.lsu_useful())) {
+          return r;
+        }
+      }
+      return session.solve_lsu(std::move(cancel));
+    }
     case SolverChoice::Lsu:
       return session.solve_lsu(std::move(cancel));
     case SolverChoice::Portfolio:

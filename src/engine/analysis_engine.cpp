@@ -1,6 +1,8 @@
 #include "engine/analysis_engine.hpp"
 
+#include <chrono>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "bdd/fta_bdd.hpp"
@@ -68,6 +70,8 @@ EngineStats AnalysisEngine::stats() const {
   s.cache_misses = cache_.misses();
   s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
   s.pool_steals = pool_.steals();
+  s.session_memory_bytes = cache_.session_memory_bytes();
+  s.session_evictions = cache_.session_evictions();
   return s;
 }
 
@@ -148,8 +152,35 @@ void AnalysisEngine::run_top_k(const AnalysisRequest& request,
     // it, the warm incremental session — with MPMCS traffic on the same
     // structure instead of re-preparing per request.
     PreparedTreePtr prepared = prepared_for(pipeline, request, result);
+    // Third tier: a completed enumeration under the same structure,
+    // solver configuration AND k replays with zero solver work. k is
+    // part of the key — a k=5 sequence is not a valid k=10 answer, and
+    // prefix reuse would return a possibly different tie-breaking order.
+    const std::string memo_key =
+        std::string(core::solver_choice_name(request.pipeline.solver)) +
+        (request.pipeline.shrink_to_minimal ? "|s" : "|-") +
+        (request.pipeline.hedging_effective() ? "|h" : "|-") + "|k" +
+        std::to_string(request.top_k);
+    if (opts_.memoize_results) {
+      std::lock_guard<std::mutex> lock(prepared->memo_mutex);
+      const auto it = prepared->topk_solutions.find(memo_key);
+      if (it != prepared->topk_solutions.end()) {
+        result.top = it->second;
+        result.memoized = true;
+        result.ok = true;
+        memo_hits_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
     result.top = pipeline.top_k_prepared(request.tree, prepared->prepared,
                                          request.top_k, token, &final_status);
+    // Memoize only completed enumerations: Optimal (k found) or
+    // Unsatisfiable (the tree ran out of MCSs — the list is exhaustive).
+    if (opts_.memoize_results &&
+        final_status != maxsat::MaxSatStatus::Unknown) {
+      std::lock_guard<std::mutex> lock(prepared->memo_mutex);
+      prepared->topk_solutions.emplace(memo_key, result.top);
+    }
   }
   // Unsatisfiable just means the tree ran out of MCSs; only an Unknown
   // round (cancellation / budget) is a failed request.
@@ -166,6 +197,16 @@ AnalysisResult AnalysisEngine::execute(AnalysisRequest request,
                              ? request.timeout_seconds
                              : opts_.default_timeout_seconds;
   token->set_deadline_after(timeout);
+  if (opts_.debug_solve_delay_seconds > 0.0) {
+    // Fault injection for the serving tests: hold the worker (and thus
+    // the request's in-flight window) for a deterministic interval,
+    // while staying responsive to cancellation/deadlines.
+    util::Timer delay;
+    while (delay.seconds() < opts_.debug_solve_delay_seconds &&
+           !token->cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
   try {
     request.tree.validate();
     if (!token->cancelled()) {
@@ -204,6 +245,12 @@ AnalysisResult AnalysisEngine::execute(AnalysisRequest request,
   }
   result.cancelled = !result.ok && result.error.empty() && token->cancelled();
   result.seconds = timer.seconds();
+  // Long-running services bound the session pool, not just each session:
+  // shed LRU session-carrying cache entries once the pool-wide footprint
+  // passes the cap.
+  if (opts_.session_memory_cap_bytes > 0) {
+    cache_.shed_sessions(opts_.session_memory_cap_bytes);
+  }
   if (result.cancelled) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
   } else if (result.ok) {

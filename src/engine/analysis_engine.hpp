@@ -89,6 +89,17 @@ struct EngineOptions {
   bool memoize_results = true;
   /// Default per-request timeout; 0 = none.
   double default_timeout_seconds = 0.0;
+  /// Cap on the pool-wide incremental-session footprint: after each
+  /// request the cache evicts LRU session-carrying entries until the
+  /// total estimate is back under. Complements the per-session cap
+  /// (PipelineOptions::incremental_memory_cap_bytes), which bounds one
+  /// session but not how many the cache accumulates. 0 = unbounded.
+  std::size_t session_memory_cap_bytes = 0;
+  /// Fault injection: artificial (cancellable) delay inside the worker
+  /// before each analysis. Lets the serving tests hold a request in
+  /// flight for a deterministic interval regardless of how fast the
+  /// solver is. 0 = off; never set in production configurations.
+  double debug_solve_delay_seconds = 0.0;
 };
 
 struct EngineStats {
@@ -100,6 +111,8 @@ struct EngineStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t memo_hits = 0;
   std::uint64_t pool_steals = 0;
+  std::uint64_t session_memory_bytes = 0;  ///< Current pool-wide estimate.
+  std::uint64_t session_evictions = 0;     ///< Entries shed by the cap.
 };
 
 class AnalysisEngine {

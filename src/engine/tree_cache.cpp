@@ -107,6 +107,40 @@ PreparedTreePtr TreeCache::insert(const std::string& key,
   return value;
 }
 
+std::size_t TreeCache::session_memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    total += entry.value->session_bytes_estimate();
+  }
+  return total;
+}
+
+std::size_t TreeCache::shed_sessions(std::size_t cap) {
+  if (cap == 0) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    total += entry.value->session_bytes_estimate();
+  }
+  std::size_t evicted = 0;
+  // Oldest first; skip sessionless entries — evicting them frees no
+  // solver state, and their artefacts are cheap to keep.
+  auto it = lru_.end();
+  while (total > cap && it != lru_.begin()) {
+    --it;
+    const auto found = entries_.find(*it);
+    const std::size_t bytes = found->second.value->session_bytes_estimate();
+    if (bytes == 0) continue;
+    total -= bytes;
+    entries_.erase(found);
+    it = lru_.erase(it);
+    ++evicted;
+  }
+  session_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
 void TreeCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();

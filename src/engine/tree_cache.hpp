@@ -43,6 +43,16 @@ struct PreparedTree {
 
   mutable std::mutex memo_mutex;
   mutable std::unordered_map<std::string, core::MpmcsSolution> solutions;
+  /// Complete top-k enumerations memoized per (solver configuration, k):
+  /// a repeated top-k request replays the sequence without any SAT calls.
+  mutable std::unordered_map<std::string, std::vector<core::MpmcsSolution>>
+      topk_solutions;
+
+  /// The incremental session's footprint, lock-free (see
+  /// IncrementalSolveSession::memory_bytes_estimate). 0 without a session.
+  std::size_t session_bytes_estimate() const noexcept {
+    return prepared.session ? prepared.session->memory_bytes_estimate() : 0;
+  }
 };
 
 using PreparedTreePtr = std::shared_ptr<const PreparedTree>;
@@ -69,10 +79,26 @@ class TreeCache {
 
   void clear();
 
+  /// Sum of the resident entries' incremental-session footprints
+  /// (lock-free per-entry estimates; sessions without a footprint yet —
+  /// never solved — count as zero).
+  std::size_t session_memory_bytes() const;
+
+  /// Memory-bounds the session pool: while the total session footprint
+  /// exceeds `cap`, evicts least-recently-used entries that carry a
+  /// session (entries without one are skipped — they hold no solver
+  /// state). Returns the number of entries evicted. No-op when cap == 0
+  /// (unbounded). Sessions still referenced by an in-flight solve stay
+  /// alive through their shared_ptr until the solve finishes.
+  std::size_t shed_sessions(std::size_t cap);
+
   std::size_t size() const;
   std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t hits() const noexcept { return hits_.load(); }
   std::uint64_t misses() const noexcept { return misses_.load(); }
+  std::uint64_t session_evictions() const noexcept {
+    return session_evictions_.load();
+  }
 
  private:
   struct Entry {
@@ -86,6 +112,7 @@ class TreeCache {
   std::list<std::string> lru_;  // front = most recent
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> session_evictions_{0};
 };
 
 }  // namespace fta::engine

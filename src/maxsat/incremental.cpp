@@ -188,6 +188,14 @@ MaxSatResult IncrementalOll::run(State& st, std::span<const Lit> context,
       return res;
     }
 
+    if (opts_.core_ceiling != 0 && res.cores >= opts_.core_ceiling) {
+      // Weight-fragmentation pathology: give up before transforming yet
+      // another near-equal-weight core, and remember the diagnosis so
+      // callers stop routing this structure at OLL.
+      fragmented_ = true;
+      break;
+    }
+
     std::vector<Lit> core = sat_.unsat_core();
     if (core.empty()) {
       // UNSAT regardless of assumptions: the hard clauses themselves.
@@ -474,10 +482,14 @@ void IncrementalSolveSession::maybe_shed_memory() {
   std::size_t bytes = 0;
   if (oll_) bytes += oll_->memory_bytes();
   if (lsu_) bytes += lsu_->memory_bytes();
-  if (bytes <= opts_.memory_cap_bytes) return;
+  if (bytes <= opts_.memory_cap_bytes) {
+    memory_estimate_.store(bytes, std::memory_order_relaxed);
+    return;
+  }
   if (lsu_ && lsu_->encoding_failed()) lsu_failed_.store(true);
   oll_.reset();
   lsu_.reset();
+  memory_estimate_.store(0, std::memory_order_relaxed);
   resets_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -530,6 +542,11 @@ bool IncrementalSolveSession::Guard::lsu_useful() const {
   if (!session_->opts_.enable_lsu) return false;
   if (session_->lsu_failed_.load()) return false;
   return !(session_->lsu_ && session_->lsu_->encoding_failed());
+}
+
+bool IncrementalSolveSession::Guard::oll_fragmented() const {
+  assert(session_);
+  return session_->oll_ && session_->oll_->fragmented();
 }
 
 void IncrementalSolveSession::Guard::begin_context() {

@@ -75,6 +75,11 @@ class IncrementalOll {
   /// re-solve is a single (cheap) verification SAT call.
   bool base_converged() const noexcept { return base_optimal_; }
 
+  /// A solve hit OllOptions::core_ceiling: the instance fragments its
+  /// optimum across too many cores for core-guided search to pay off.
+  /// Sticky — callers should route this structure to LSU instead.
+  bool fragmented() const noexcept { return fragmented_; }
+
   sat::Solver& sat() noexcept { return sat_; }
   std::size_t memory_bytes() const noexcept { return sat_.memory_bytes(); }
 
@@ -109,6 +114,7 @@ class IncrementalOll {
   State base_;
   bool base_optimal_ = false;  ///< base_ has reached its SAT fixpoint.
   bool dead_ = false;
+  bool fragmented_ = false;  ///< Hit the core ceiling (sticky).
 
   std::deque<Totalizer> totalizers_;
   std::map<std::vector<logic::Lit>, std::size_t> totalizer_cache_;
@@ -209,6 +215,9 @@ class IncrementalSolveSession {
     /// False once the LSU counting encoding failed its budget (racing the
     /// LSU engine would only burn a thread).
     bool lsu_useful() const;
+    /// True once the OLL engine latched as weight-fragmented (hit its
+    /// core ceiling); the pipeline diverts Oll-choice solves to LSU.
+    bool oll_fragmented() const;
 
     /// Opens a blocking context: subsequent add_blocking_clause calls are
     /// guarded by a fresh activation selector per engine.
@@ -236,6 +245,12 @@ class IncrementalSolveSession {
   SessionStats stats() const;
   /// Engines' approximate footprint. Acquires the session lock.
   std::size_t memory_bytes() const;
+  /// Footprint as of the last guard release — lock-free, so pool-level
+  /// eviction (engine::TreeCache::shed_sessions) can size sessions while
+  /// a solve holds the session lock, where memory_bytes() would block.
+  std::size_t memory_bytes_estimate() const noexcept {
+    return memory_estimate_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Guard;
@@ -259,6 +274,8 @@ class IncrementalSolveSession {
   logic::Lit oll_selector_ = logic::kNoLit;
   logic::Lit lsu_selector_ = logic::kNoLit;
   std::vector<logic::Clause> context_clauses_;
+
+  std::atomic<std::size_t> memory_estimate_{0};
 
   std::atomic<std::uint64_t> solves_{0};
   std::atomic<std::uint64_t> oll_solves_{0};

@@ -24,6 +24,15 @@ struct OllOptions {
   /// current set is satisfiable. Often reduces core count drastically on
   /// instances with wide weight spreads (like scaled -log probabilities).
   bool stratified = false;
+  /// Ceiling on cores discovered within one solve (0 = unlimited). Nested
+  /// vote gates lowered by expansion can fragment the optimum across
+  /// thousands of near-equal-weight cores — OLL then burns its whole
+  /// budget re-cutting the same counting structure (healthy fault-tree
+  /// instances discover well under a hundred). Hitting the ceiling
+  /// latches the engine as fragmented and returns Unknown quickly, so a
+  /// portfolio race moves on and the session pipeline diverts the
+  /// request to LSU (see MpmcsPipeline::solve_with_session).
+  std::uint64_t core_ceiling = 2000;
 };
 
 class OllSolver final : public MaxSatSolver {

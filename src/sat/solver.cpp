@@ -1,6 +1,7 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <unordered_map>
@@ -583,7 +584,16 @@ std::size_t Solver::memory_bytes() const noexcept {
   return bytes;
 }
 
+namespace {
+std::atomic<std::uint64_t> g_solve_calls{0};
+}  // namespace
+
+std::uint64_t Solver::global_solve_calls() noexcept {
+  return g_solve_calls.load(std::memory_order_relaxed);
+}
+
 SolveResult Solver::solve(std::span<const Lit> assumptions) {
+  g_solve_calls.fetch_add(1, std::memory_order_relaxed);
   if (!ok_) {
     core_.clear();
     return SolveResult::Unsat;

@@ -90,6 +90,11 @@ class Solver {
   SolveResult solve() { return solve({}); }
   SolveResult solve(std::span<const Lit> assumptions);
 
+  /// Process-wide count of solve() calls across every Solver instance.
+  /// Tests diff it around an operation to prove a path did zero SAT work
+  /// (e.g. a memoized repeat request).
+  static std::uint64_t global_solve_calls() noexcept;
+
   /// After Sat: the satisfying assignment (index = variable).
   const std::vector<bool>& model() const noexcept { return model_; }
 

@@ -1,0 +1,189 @@
+#include "service/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace fta::service {
+
+namespace {
+
+void set_timeout(int fd, double seconds) {
+  if (seconds <= 0.0) seconds = 30.0;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) *
+                               1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+void HttpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  residue_.clear();
+}
+
+bool HttpClient::connect_once(double timeout_seconds) {
+  disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  set_timeout(fd_, timeout_seconds);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    disconnect();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+std::optional<ClientResponse> HttpClient::request(std::string_view method,
+                                                  std::string_view path,
+                                                  std::string_view body,
+                                                  double timeout_seconds) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0 && !connect_once(timeout_seconds)) return std::nullopt;
+    set_timeout(fd_, timeout_seconds);
+
+    std::string out;
+    out.reserve(body.size() + 128);
+    out.append(method).append(" ").append(path).append(" HTTP/1.1\r\n");
+    out.append("Host: ").append(host_).append("\r\n");
+    out.append("Content-Type: application/json\r\n");
+    out.append("Content-Length: ")
+        .append(std::to_string(body.size()))
+        .append("\r\n\r\n");
+    out.append(body);
+
+    bool send_failed = false;
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n =
+          ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        send_failed = true;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (send_failed) {
+      // A keep-alive socket the server already closed: reconnect once.
+      disconnect();
+      if (attempt == 0) continue;
+      return std::nullopt;
+    }
+
+    std::string buffer = std::move(residue_);
+    residue_.clear();
+    std::size_t head_end;
+    bool dead = false;
+    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      char chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        dead = true;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (dead) {
+      disconnect();
+      // Only safe to retry when nothing of a response ever arrived.
+      if (attempt == 0 && buffer.empty()) continue;
+      return std::nullopt;
+    }
+
+    const std::string_view head = std::string_view(buffer).substr(0, head_end);
+    if (!util::starts_with(head, "HTTP/1.")) {
+      disconnect();
+      return std::nullopt;
+    }
+    ClientResponse response;
+    {
+      const std::size_t sp = head.find(' ');
+      if (sp == std::string_view::npos || sp + 4 > head.size()) {
+        disconnect();
+        return std::nullopt;
+      }
+      response.status = std::atoi(std::string(head.substr(sp + 1, 3)).c_str());
+      if (response.status < 100 || response.status > 599) {
+        disconnect();
+        return std::nullopt;
+      }
+    }
+    std::size_t content_length = 0;
+    bool have_length = false;
+    response.keep_alive = true;
+    std::size_t pos = head.find("\r\n");
+    while (pos != std::string_view::npos && pos + 2 < head.size()) {
+      std::size_t next = head.find("\r\n", pos + 2);
+      const std::string_view line =
+          head.substr(pos + 2, (next == std::string_view::npos
+                                    ? head.size()
+                                    : next) -
+                                   pos - 2);
+      pos = next;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) continue;
+      const std::string name =
+          util::to_lower(util::trim(line.substr(0, colon)));
+      const std::string value =
+          util::to_lower(util::trim(line.substr(colon + 1)));
+      if (name == "content-length") {
+        content_length = static_cast<std::size_t>(
+            std::strtoull(value.c_str(), nullptr, 10));
+        have_length = true;
+      } else if (name == "connection" && value == "close") {
+        response.keep_alive = false;
+      }
+    }
+    if (!have_length) {
+      disconnect();
+      return std::nullopt;  // the server always sends Content-Length
+    }
+
+    const std::size_t total = head_end + 4 + content_length;
+    while (buffer.size() < total) {
+      char chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        disconnect();
+        return std::nullopt;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    response.body = buffer.substr(head_end + 4, content_length);
+    if (response.keep_alive) {
+      residue_ = buffer.substr(total);
+    } else {
+      disconnect();
+    }
+    return response;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fta::service

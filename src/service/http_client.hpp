@@ -1,0 +1,60 @@
+// A minimal blocking HTTP/1.1 client used by the load generator and the
+// service test suite. Persistent connections (keep-alive) are first-class:
+// the loadgen's throughput target depends on reusing sockets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fta::service {
+
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+  bool keep_alive = false;
+};
+
+/// One persistent client connection. Not thread-safe; use one per thread.
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+  ~HttpClient() { disconnect(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Sends one request, reconnecting if needed, and reads the full
+  /// response. nullopt = transport failure (connect/send/recv error or a
+  /// response that is not parseable HTTP) — the caller decides whether
+  /// that counts as "malformed" or "connection refused".
+  std::optional<ClientResponse> request(std::string_view method,
+                                        std::string_view path,
+                                        std::string_view body,
+                                        double timeout_seconds = 30.0);
+
+  std::optional<ClientResponse> get(std::string_view path,
+                                    double timeout_seconds = 30.0) {
+    return request("GET", path, "", timeout_seconds);
+  }
+  std::optional<ClientResponse> post(std::string_view path,
+                                     std::string_view body,
+                                     double timeout_seconds = 30.0) {
+    return request("POST", path, body, timeout_seconds);
+  }
+
+  void disconnect();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  bool connect_once(double timeout_seconds);
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  std::string residue_;  ///< Bytes past the previous response.
+};
+
+}  // namespace fta::service

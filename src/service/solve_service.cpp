@@ -1,0 +1,442 @@
+#include "service/solve_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "ft/parser.hpp"
+#include "ft/openpsa.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace fta::service {
+
+namespace {
+
+using engine::AnalysisKind;
+using engine::AnalysisRequest;
+using engine::AnalysisResult;
+
+HttpResponse error_response(int status, const char* code,
+                            const std::string& message) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::string("{\"ok\": false, \"code\": \"") + code +
+           "\", \"error\": \"" + util::json_escape(message) + "\"}";
+  return r;
+}
+
+/// The CLI's --solver vocabulary, shared by the service schema.
+bool parse_solver_name(const std::string& name, core::SolverChoice* out) {
+  if (name == "portfolio") *out = core::SolverChoice::Portfolio;
+  else if (name == "oll") *out = core::SolverChoice::Oll;
+  else if (name == "fu-malik") *out = core::SolverChoice::FuMalik;
+  else if (name == "lsu") *out = core::SolverChoice::Lsu;
+  else if (name == "brute") *out = core::SolverChoice::BruteForce;
+  else if (name == "stratified") *out = core::SolverChoice::Stratified;
+  else return false;
+  return true;
+}
+
+fta::ft::FaultTree parse_tree_text(const std::string& text) {
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '<') {
+    return ft::parse_open_psa(text);
+  }
+  return ft::parse_fault_tree(text);
+}
+
+std::string cut_to_json_array(const ft::FaultTree& tree,
+                              const ft::CutSet& cut) {
+  std::string out = "[";
+  bool sep = false;
+  for (const ft::EventIndex e : cut.events()) {
+    if (sep) out += ", ";
+    out += '"' + util::json_escape(tree.event(e).name) + '"';
+    sep = true;
+  }
+  return out + "]";
+}
+
+/// Identical shape to the batch CLI's per-solution JSON.
+std::string solution_json(const ft::FaultTree& tree,
+                          const core::MpmcsSolution& sol) {
+  return "{\"probability\": " + util::format_double(sol.probability) +
+         ", \"logCost\": " + util::format_double(sol.log_cost) +
+         ", \"solver\": \"" + util::json_escape(sol.solver_name) +
+         "\", \"lineage\": \"" + util::json_escape(sol.lineage) +
+         "\", \"mpmcs\": " + cut_to_json_array(tree, sol.cut) + "}";
+}
+
+std::string tenant_json(const std::string& name, const TenantCounters& t,
+                        std::size_t queue_depth) {
+  std::string j = "{";
+  if (!name.empty()) j += "\"tenant\": \"" + util::json_escape(name) + "\", ";
+  j += "\"requests\": " + std::to_string(t.requests.load()) + ", ";
+  j += "\"ok\": " + std::to_string(t.ok.load()) + ", ";
+  j += "\"coalescedHits\": " + std::to_string(t.coalesced.load()) + ", ";
+  j += "\"memoHits\": " + std::to_string(t.memo_hits.load()) + ", ";
+  j += "\"cacheHits\": " + std::to_string(t.cache_hits.load()) + ", ";
+  j += "\"engineSolves\": " + std::to_string(t.engine_solves.load()) + ", ";
+  j += "\"rejectedQuota\": " + std::to_string(t.rejected_quota.load()) + ", ";
+  j += "\"rejectedCapacity\": " + std::to_string(t.rejected_capacity.load()) +
+       ", ";
+  j += "\"rejectedDeadline\": " + std::to_string(t.rejected_deadline.load()) +
+       ", ";
+  j += "\"deadlineExceeded\": " + std::to_string(t.deadline_exceeded.load()) +
+       ", ";
+  j += "\"badRequests\": " + std::to_string(t.bad_requests.load()) + ", ";
+  j += "\"errors\": " + std::to_string(t.errors.load()) + ", ";
+  j += "\"queueDepth\": " + std::to_string(queue_depth) + ", ";
+  j += "\"p50Seconds\": " +
+       util::format_double(t.latency.quantile_seconds(0.50)) + ", ";
+  j += "\"p99Seconds\": " +
+       util::format_double(t.latency.quantile_seconds(0.99));
+  return j + "}";
+}
+
+}  // namespace
+
+SolveService::SolveService(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      engine_([&] {
+        engine::EngineOptions e;
+        e.num_threads = opts_.engine_threads;
+        e.cache_capacity = opts_.cache_capacity;
+        e.memoize_results = opts_.memoize_results;
+        e.session_memory_cap_bytes = opts_.session_memory_cap_bytes;
+        e.debug_solve_delay_seconds = opts_.debug_solve_delay_seconds;
+        return e;
+      }()) {}
+
+SolveService::~SolveService() = default;
+
+void SolveService::begin_shutdown() {
+  draining_.store(true, std::memory_order_relaxed);
+}
+
+double SolveService::service_estimate() const {
+  std::lock_guard<std::mutex> lock(estimate_mutex_);
+  return std::max(ewma_primed_ ? ewma_seconds_ : 0.0,
+                  opts_.min_service_estimate_seconds);
+}
+
+void SolveService::observe_service_time(double seconds) {
+  std::lock_guard<std::mutex> lock(estimate_mutex_);
+  if (!ewma_primed_) {
+    ewma_seconds_ = seconds;
+    ewma_primed_ = true;
+  } else {
+    ewma_seconds_ = 0.8 * ewma_seconds_ + 0.2 * seconds;
+  }
+}
+
+HttpResponse SolveService::handle(const HttpRequest& request) {
+  if (request.path == "/v1/healthz") {
+    if (request.method != "GET") {
+      return error_response(405, "bad_request", "healthz is GET-only");
+    }
+    return handle_healthz();
+  }
+  if (request.path == "/v1/statsz") {
+    if (request.method != "GET") {
+      return error_response(405, "bad_request", "statsz is GET-only");
+    }
+    HttpResponse r;
+    r.body = statsz_json();
+    return r;
+  }
+  if (request.path == "/v1/solve" || request.path == "/v1/topk") {
+    if (request.method != "POST") {
+      return error_response(405, "bad_request", "solve endpoints are POST");
+    }
+    return handle_solve(request, request.path == "/v1/solve"
+                                     ? AnalysisKind::Mpmcs
+                                     : AnalysisKind::TopK);
+  }
+  return error_response(404, "not_found",
+                        "unknown path " + request.path +
+                            " (try /v1/solve, /v1/topk, /v1/healthz, "
+                            "/v1/statsz)");
+}
+
+HttpResponse SolveService::handle_healthz() {
+  HttpResponse r;
+  const bool draining = draining_.load(std::memory_order_relaxed);
+  r.body = std::string("{\"ok\": true, \"status\": \"") +
+           (draining ? "draining" : "serving") + "\"}";
+  return r;
+}
+
+HttpResponse SolveService::handle_solve(const HttpRequest& request,
+                                        AnalysisKind kind) {
+  util::Timer arrival;
+  TenantCounters& anon = stats_.global();
+  anon.requests.fetch_add(1, std::memory_order_relaxed);
+
+  // --- parse & validate the request (no engine resources yet) ----------
+  std::string tenant_name = "default";
+  ft::FaultTree tree;
+  core::PipelineOptions popts = opts_.pipeline;
+  std::size_t top_k = 3;
+  double deadline_seconds = opts_.default_deadline_seconds;
+  try {
+    const util::JsonValue doc = util::JsonValue::parse(request.body);
+    if (!doc.is_object()) {
+      throw util::JsonError(0, "request body must be a JSON object");
+    }
+    tenant_name = doc.get_string("tenant", "default");
+    if (tenant_name.empty() || tenant_name.size() > 128) {
+      throw util::JsonError(0, "tenant must be 1..128 bytes");
+    }
+    const std::string tree_text = doc.get_string("tree", "");
+    if (tree_text.empty()) {
+      throw util::JsonError(0, "missing required member \"tree\"");
+    }
+    tree = parse_tree_text(tree_text);
+    tree.validate();
+    const std::string solver = doc.get_string("solver", "");
+    if (!solver.empty() && !parse_solver_name(solver, &popts.solver)) {
+      throw util::JsonError(0, "unknown solver \"" + solver + "\"");
+    }
+    if (kind == AnalysisKind::TopK) {
+      const double k = doc.get_number("k", 3.0);
+      if (!(k >= 1.0) ||
+          k > static_cast<double>(opts_.max_top_k)) {
+        throw util::JsonError(0, "k must be in [1, " +
+                                     std::to_string(opts_.max_top_k) + "]");
+      }
+      top_k = static_cast<std::size_t>(k);
+    }
+    const double deadline_ms = doc.get_number("deadline_ms", -1.0);
+    if (deadline_ms >= 0.0) {
+      deadline_seconds =
+          std::min(deadline_ms / 1e3, opts_.max_deadline_seconds);
+    } else if (doc.find("deadline_ms") != nullptr) {
+      throw util::JsonError(0, "deadline_ms must be >= 0");
+    }
+  } catch (const std::exception& e) {
+    anon.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "bad_request", e.what());
+  }
+
+  TenantCounters& tenant = stats_.tenant(tenant_name);
+  tenant.requests.fetch_add(1, std::memory_order_relaxed);
+
+  // --- coalescing: join a structurally identical in-flight solve -------
+  // The key extends the engine's structural signature (tree shape +
+  // probabilities + transformation options; names excluded) with the
+  // outcome-shaping solver configuration and the analysis kind, so two
+  // coalesced requests are guaranteed the same answer.
+  std::string key = engine::structural_key(tree, popts);
+  key.push_back('|');
+  key.push_back(kind == AnalysisKind::TopK ? 'K' : 'M');
+  key += std::to_string(kind == AnalysisKind::TopK ? top_k : 0);
+  key.push_back('|');
+  key += core::solver_choice_name(popts.solver);
+  key.push_back(popts.shrink_to_minimal ? 's' : '-');
+  key.push_back(popts.hedging_effective() ? 'h' : '-');
+
+  // Join-or-lead is decided and committed under one hold of the flights
+  // lock — a window between "no flight found" and "flight published"
+  // would let two identical requests both elect themselves leader and
+  // solve twice. Admission (leaders only: followers cost no solve) runs
+  // inside the same hold; it is a handful of atomic reads.
+  FlightPtr flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    const auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      flight = it->second;
+    } else {
+      if (draining_.load(std::memory_order_relaxed)) {
+        return error_response(503, "shutting_down", "server is draining");
+      }
+      const std::size_t global_depth =
+          outstanding_.load(std::memory_order_relaxed);
+      if (global_depth >= opts_.global_queue_limit) {
+        anon.rejected_capacity.fetch_add(1, std::memory_order_relaxed);
+        tenant.rejected_capacity.fetch_add(1, std::memory_order_relaxed);
+        return error_response(
+            503, "over_capacity",
+            "global queue is full (" + std::to_string(global_depth) +
+                " outstanding)");
+      }
+      const auto tenant_depth = static_cast<std::size_t>(
+          std::max<std::int64_t>(0, tenant.outstanding.load()));
+      if (tenant_depth >= opts_.tenant_queue_limit) {
+        anon.rejected_quota.fetch_add(1, std::memory_order_relaxed);
+        tenant.rejected_quota.fetch_add(1, std::memory_order_relaxed);
+        return error_response(429, "over_quota",
+                              "tenant \"" + tenant_name + "\" has " +
+                                  std::to_string(tenant_depth) +
+                                  " requests outstanding");
+      }
+      if (deadline_seconds > 0.0) {
+        // Deadline-aware shedding: solving a request that cannot finish
+        // in time wastes a worker AND still fails the client — reject
+        // early.
+        const double estimated_wait =
+            (static_cast<double>(global_depth) /
+                 static_cast<double>(engine_.num_threads()) +
+             1.0) *
+            service_estimate();
+        if (estimated_wait > deadline_seconds) {
+          anon.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+          tenant.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+          return error_response(
+              503, "deadline_unmeetable",
+              "estimated wait " + util::format_double(estimated_wait) +
+                  "s exceeds the " + util::format_double(deadline_seconds) +
+                  "s deadline");
+        }
+      }
+
+      outstanding_.fetch_add(1, std::memory_order_relaxed);
+      tenant.outstanding.fetch_add(1, std::memory_order_relaxed);
+
+      AnalysisRequest areq;
+      areq.id = tenant_name;
+      areq.tree = tree;  // the engine takes its own copy
+      areq.kind = kind;
+      areq.top_k = top_k;
+      areq.pipeline = popts;
+      areq.timeout_seconds = deadline_seconds;
+      flight = std::make_shared<Flight>();
+      flight->future = engine_.submit(std::move(areq)).share();
+      flights_.emplace(key, flight);
+      leader = true;
+    }
+  }
+
+  // --- wait for the shared result ---------------------------------------
+  AnalysisResult result;
+  bool timed_out = false;
+  if (!leader && deadline_seconds > 0.0) {
+    // Followers observe their own deadline; the flight keeps running for
+    // everyone else.
+    const double remaining = deadline_seconds - arrival.seconds();
+    if (remaining <= 0.0 ||
+        flight->future.wait_for(std::chrono::duration<double>(remaining)) !=
+            std::future_status::ready) {
+      timed_out = true;
+    }
+  }
+  if (!timed_out) result = flight->future.get();
+
+  if (leader) {
+    {
+      std::lock_guard<std::mutex> lock(flights_mutex_);
+      flights_.erase(key);
+    }
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    tenant.outstanding.fetch_sub(1, std::memory_order_relaxed);
+    if (result.ok && !result.memoized) {
+      observe_service_time(result.seconds);
+      anon.engine_solves.fetch_add(1, std::memory_order_relaxed);
+      tenant.engine_solves.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    anon.coalesced.fetch_add(1, std::memory_order_relaxed);
+    tenant.coalesced.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- render -----------------------------------------------------------
+  const auto finish_latency = [&] {
+    const double seconds = arrival.seconds();
+    anon.latency.record_seconds(seconds);
+    tenant.latency.record_seconds(seconds);
+    return seconds;
+  };
+
+  if (timed_out || result.cancelled) {
+    finish_latency();
+    anon.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    tenant.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    return error_response(504, "deadline_exceeded",
+                          "deadline of " +
+                              util::format_double(deadline_seconds) +
+                              "s expired before the solve finished");
+  }
+  if (!result.ok) {
+    finish_latency();
+    anon.errors.fetch_add(1, std::memory_order_relaxed);
+    tenant.errors.fetch_add(1, std::memory_order_relaxed);
+    return error_response(500, "internal",
+                          result.error.empty() ? "analysis failed"
+                                               : result.error);
+  }
+
+  if (result.cache_hit) {
+    anon.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    tenant.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (result.memoized) {
+    anon.memo_hits.fetch_add(1, std::memory_order_relaxed);
+    tenant.memo_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  anon.ok.fetch_add(1, std::memory_order_relaxed);
+  tenant.ok.fetch_add(1, std::memory_order_relaxed);
+
+  std::string body = "{\"ok\": true, ";
+  body += "\"tenant\": \"" + util::json_escape(tenant_name) + "\", ";
+  body += std::string("\"kind\": \"") + analysis_kind_name(result.kind) +
+          "\", ";
+  body += std::string("\"cacheHit\": ") +
+          (result.cache_hit ? "true" : "false") + ", ";
+  body += std::string("\"memoized\": ") +
+          (result.memoized ? "true" : "false") + ", ";
+  body += std::string("\"coalesced\": ") + (leader ? "false" : "true") + ", ";
+  body += "\"seconds\": " + util::format_double(finish_latency()) + ", ";
+  if (kind == AnalysisKind::TopK) {
+    body += "\"top\": [";
+    for (std::size_t i = 0; i < result.top.size(); ++i) {
+      if (i > 0) body += ", ";
+      body += solution_json(tree, result.top[i]);
+    }
+    body += "]}";
+  } else {
+    body += "\"solution\": " + solution_json(tree, result.mpmcs) + "}";
+  }
+  HttpResponse r;
+  r.body = std::move(body);
+  return r;
+}
+
+std::string SolveService::statsz_json() {
+  const engine::EngineStats es = engine_.stats();
+  std::string j = "{\n  \"global\": ";
+  j += tenant_json("", stats_.global(), queue_depth());
+  j += ",\n  \"engine\": {";
+  j += "\"submitted\": " + std::to_string(es.submitted) + ", ";
+  j += "\"completed\": " + std::to_string(es.completed) + ", ";
+  j += "\"cancelled\": " + std::to_string(es.cancelled) + ", ";
+  j += "\"failed\": " + std::to_string(es.failed) + ", ";
+  j += "\"cacheHits\": " + std::to_string(es.cache_hits) + ", ";
+  j += "\"cacheMisses\": " + std::to_string(es.cache_misses) + ", ";
+  j += "\"memoHits\": " + std::to_string(es.memo_hits) + ", ";
+  j += "\"sessionMemoryBytes\": " + std::to_string(es.session_memory_bytes) +
+       ", ";
+  j += "\"sessionEvictions\": " + std::to_string(es.session_evictions) + ", ";
+  j += "\"poolSteals\": " + std::to_string(es.pool_steals) + ", ";
+  j += "\"threads\": " + std::to_string(engine_.num_threads());
+  j += "},\n  \"tenants\": [";
+  bool sep = false;
+  for (const std::string& name : stats_.tenant_names()) {
+    const TenantCounters* t = stats_.find(name);
+    if (t == nullptr) continue;
+    j += sep ? ",\n    " : "\n    ";
+    sep = true;
+    j += tenant_json(
+        name, *t,
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            0, t->outstanding.load(std::memory_order_relaxed))));
+  }
+  j += "\n  ]\n}\n";
+  return j;
+}
+
+}  // namespace fta::service

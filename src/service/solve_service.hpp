@@ -1,0 +1,136 @@
+// Analysis-as-a-service: the resident multi-tenant solve front-end.
+//
+// The batch engine (engine/AnalysisEngine) already owns the heavy
+// machinery — prepared-instance LRU, solution memoization, incremental
+// sessions, cancel/deadline tokens, a work-stealing pool. This layer
+// turns it into a long-running server back-end:
+//
+//   * Request coalescing — concurrent requests whose structural key
+//     matches (same tree shape/probabilities, same solver configuration,
+//     same analysis kind) share ONE in-flight engine solve and fan the
+//     result out; each requester renders the answer with its own event
+//     names. A monitoring fleet hammering the same plant model costs one
+//     solve, not N.
+//   * Per-tenant admission control — bounded per-tenant and global
+//     outstanding-work queues. A flooding tenant exhausts its own quota
+//     (429) long before it can starve the global queue (503); shed
+//     requests cost a JSON parse, not a solve.
+//   * Deadline-aware scheduling — requests carry `deadline_ms`; ones the
+//     queue cannot meet (estimated wait from queue depth x an EWMA of
+//     recent solve times) are rejected up front with 503 instead of
+//     being solved late, and admitted ones run under a cancel-token
+//     deadline so an expired request frees its worker at the next poll.
+//   * Session-pool memory bound — the engine evicts prepared-tree LRU
+//     entries (and with them their incremental SAT sessions) once the
+//     pool's total session footprint passes the configured cap.
+//
+// Endpoints (JSON in/out, schema shared with the batch CLI):
+//   POST /v1/solve   {"tenant", "tree", "solver"?, "deadline_ms"?}
+//   POST /v1/topk    {..., "k"}
+//   GET  /v1/healthz
+//   GET  /v1/statsz  counters + p50/p99 latency, global and per tenant
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/analysis_engine.hpp"
+#include "service/http_server.hpp"
+#include "service/stats.hpp"
+
+namespace fta::service {
+
+struct ServiceOptions {
+  /// Engine worker threads; 0 = hardware concurrency.
+  std::size_t engine_threads = 0;
+  /// Prepared-tree LRU entries.
+  std::size_t cache_capacity = 512;
+  /// Reuse whole solutions for repeated (structure, config) pairs.
+  bool memoize_results = true;
+  /// Total incremental-session memory across all cached trees; above it
+  /// the engine evicts LRU entries until back under. 0 = unbounded.
+  std::size_t session_memory_cap_bytes = std::size_t{2} << 30;
+  /// Max outstanding (queued + running) requests per tenant; beyond it
+  /// requests are shed with 429.
+  std::size_t tenant_queue_limit = 64;
+  /// Max outstanding requests across all tenants; beyond it 503.
+  std::size_t global_queue_limit = 512;
+  /// Applied when a request carries no deadline_ms; 0 = no deadline.
+  double default_deadline_seconds = 0.0;
+  /// Upper bound on client deadlines (longer ones are clamped).
+  double max_deadline_seconds = 300.0;
+  /// Floor for the per-solve service-time estimate used by the
+  /// deadline-aware admission check (the EWMA starts cold).
+  double min_service_estimate_seconds = 0.002;
+  /// Cap on top-k enumeration length per request.
+  std::size_t max_top_k = 64;
+  /// Fault injection forwarded to the engine (see
+  /// EngineOptions::debug_solve_delay_seconds); test-only.
+  double debug_solve_delay_seconds = 0.0;
+  /// Base pipeline configuration; requests may override the solver.
+  core::PipelineOptions pipeline;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions opts = {});
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Routes one HTTP request. Never throws: every failure path is a
+  /// structured JSON error response.
+  HttpResponse handle(const HttpRequest& request);
+
+  /// Flips healthz to "draining" and sheds new solves with 503; requests
+  /// already admitted keep running (the HTTP layer drains them).
+  void begin_shutdown();
+
+  engine::AnalysisEngine& engine() noexcept { return engine_; }
+  ServiceStats& stats() noexcept { return stats_; }
+  std::size_t queue_depth() const noexcept {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+  const ServiceOptions& options() const noexcept { return opts_; }
+
+  /// The /v1/statsz document (exposed for the CLI's final report).
+  std::string statsz_json();
+
+ private:
+  struct Flight {
+    std::shared_future<engine::AnalysisResult> future;
+  };
+  using FlightPtr = std::shared_ptr<Flight>;
+
+  HttpResponse handle_solve(const HttpRequest& request,
+                            engine::AnalysisKind kind);
+  HttpResponse handle_healthz();
+
+  /// EWMA of recent engine-run times (memo hits excluded) for the
+  /// admission estimate.
+  double service_estimate() const;
+  void observe_service_time(double seconds);
+
+  ServiceOptions opts_;
+  ServiceStats stats_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> outstanding_{0};
+
+  std::mutex flights_mutex_;
+  std::unordered_map<std::string, FlightPtr> flights_;
+
+  mutable std::mutex estimate_mutex_;
+  double ewma_seconds_ = 0.0;
+  bool ewma_primed_ = false;
+
+  /// Declared last so its destructor (which joins the pool) runs first.
+  engine::AnalysisEngine engine_;
+};
+
+}  // namespace fta::service

@@ -1,0 +1,85 @@
+// A small strict JSON reader for service request bodies.
+//
+// The serving layer accepts untrusted bytes, so the parser is defensive
+// by construction: recursion is depth-capped, numbers parse through
+// strtod without locale surprises, escapes are validated (including
+// \uXXXX surrogate pairs), and any trailing garbage after the document is
+// an error. Failures throw JsonError with a byte offset — the HTTP layer
+// turns that into a structured 400, never a crash.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fta::util {
+
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(std::size_t offset, const std::string& message)
+      : std::runtime_error("json: " + message + " (at byte " +
+                           std::to_string(offset) + ")"),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  /// Parses one JSON document; throws JsonError on any defect.
+  /// `max_depth` bounds array/object nesting.
+  static JsonValue parse(std::string_view text, std::size_t max_depth = 64);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+  bool is_number() const noexcept { return type_ == Type::Number; }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+
+  bool as_bool() const { return expect(Type::Bool), bool_; }
+  double as_number() const { return expect(Type::Number), number_; }
+  const std::string& as_string() const { return expect(Type::String), str_; }
+  const std::vector<JsonValue>& items() const {
+    return expect(Type::Array), arr_;
+  }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return expect(Type::Object), obj_;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  // Typed member getters with defaults (objects only; wrong-typed members
+  // throw so schema defects surface as 400s, not silent fallbacks).
+  std::string get_string(std::string_view key,
+                         const std::string& fallback) const;
+  double get_number(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+
+ private:
+  friend class JsonParser;
+
+  void expect(Type t) const {
+    if (type_ != t) throw JsonError(0, "unexpected value type");
+  }
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+}  // namespace fta::util

@@ -8,6 +8,7 @@
 #include "engine/tree_cache.hpp"
 #include "ft/builder.hpp"
 #include "gen/generator.hpp"
+#include "sat/solver.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fta::engine {
@@ -278,6 +279,61 @@ TEST(AnalysisEngine, MemoizationReusesSolutionsPerSolverConfig) {
   EXPECT_FALSE(resolved.memoized);
   EXPECT_TRUE(resolved.cache_hit);
   EXPECT_EQ(no_memo.stats().memo_hits, 0u);
+}
+
+TEST(AnalysisEngine, RepeatedTopKReplaysWithZeroSatWork) {
+  // The third cache tier: a completed top-k enumeration under the same
+  // (structure, solver configuration, k) replays from the memo without a
+  // single SAT call — proven by diffing the solver's process-wide solve
+  // counter around the repeat, not by trusting the `memoized` flag.
+  EngineOptions eopts;
+  eopts.num_threads = 1;
+  eopts.memoize_results = true;
+  AnalysisEngine engine(eopts);
+
+  const auto make_request = [](std::size_t k) {
+    AnalysisRequest req;
+    req.id = "topk-memo";
+    req.tree = ft::fire_protection_system();
+    req.kind = AnalysisKind::TopK;
+    req.top_k = k;
+    req.pipeline = deterministic_options();
+    return req;
+  };
+
+  const AnalysisResult first = engine.submit(make_request(4)).get();
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.memoized);
+  ASSERT_EQ(first.top.size(), 4u);
+
+  const std::uint64_t sat_calls_before = sat::Solver::global_solve_calls();
+  const AnalysisResult replay = engine.submit(make_request(4)).get();
+  ASSERT_TRUE(replay.ok) << replay.error;
+  EXPECT_TRUE(replay.memoized);
+  EXPECT_TRUE(replay.cache_hit);
+  EXPECT_EQ(sat::Solver::global_solve_calls(), sat_calls_before);
+  ASSERT_EQ(replay.top.size(), first.top.size());
+  for (std::size_t i = 0; i < first.top.size(); ++i) {
+    EXPECT_EQ(replay.top[i].cut, first.top[i].cut) << "rank " << i;
+    EXPECT_DOUBLE_EQ(replay.top[i].probability, first.top[i].probability)
+        << "rank " << i;
+  }
+
+  // A different k is a different memo entry: the k=4 sequence is not a
+  // valid k=2 answer (tie-breaking may differ), so the engine re-solves.
+  const AnalysisResult shorter = engine.submit(make_request(2)).get();
+  ASSERT_TRUE(shorter.ok) << shorter.error;
+  EXPECT_FALSE(shorter.memoized);
+  EXPECT_GT(sat::Solver::global_solve_calls(), sat_calls_before);
+  ASSERT_EQ(shorter.top.size(), 2u);
+  EXPECT_DOUBLE_EQ(shorter.top[0].probability, first.top[0].probability);
+
+  // ... and the shorter sequence now replays too.
+  const std::uint64_t sat_calls_after_k2 = sat::Solver::global_solve_calls();
+  const AnalysisResult replay_k2 = engine.submit(make_request(2)).get();
+  ASSERT_TRUE(replay_k2.ok) << replay_k2.error;
+  EXPECT_TRUE(replay_k2.memoized);
+  EXPECT_EQ(sat::Solver::global_solve_calls(), sat_calls_after_k2);
 }
 
 TEST(AnalysisEngine, SolverAttributionStableUnderMemoization) {

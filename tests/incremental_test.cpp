@@ -415,6 +415,76 @@ TEST(IncrementalDifferential, TopKExhaustionAfterSolvesLeavesSessionClean) {
   EXPECT_EQ(sol1.probability, all[0].probability);
 }
 
+TEST(IncrementalSession, FragmentedNestedVoteDivertsToLsu) {
+  // Regression for the OLL weight-fragmentation pathology: seed 5002 of
+  // property_sweep's VoteCombinedLaddersMatchLsuReference recipe — a
+  // k-of-n top over 2-of-3 subsystems — with the vote gates lowered by
+  // expansion fragments monolithic core-guided OLL into thousands of
+  // near-duplicate cores (in practice it stops terminating). The
+  // OllOptions::core_ceiling must latch the session after bounded work,
+  // the pipeline must divert the solve to the session's LSU engine
+  // (whose upper-bound search is immune to fragmentation), and the
+  // request must still end Optimal with the exact MPMCS.
+  util::Rng rng(5002ULL * 131 + 7);
+  gen::LadderOptions lo;
+  lo.subsystems = static_cast<std::uint32_t>(3 + rng.below(2));
+  lo.combine = ft::NodeType::Vote;
+  lo.combine_k = static_cast<std::uint32_t>(2 + rng.below(lo.subsystems - 1));
+  const ft::FaultTree tree = gen::ladder_tree(lo, 5002);
+
+  // Exact reference: exhaustive maximum over the satisfying assignments,
+  // multiplying factors in ascending event order exactly like
+  // CutSet::probability, so the comparison below is ==, not a tolerance.
+  logic::FormulaStore store;
+  const logic::NodeId root = tree.to_formula(store);
+  const auto n = static_cast<std::uint32_t>(tree.num_events());
+  ASSERT_LE(n, 20u);
+  double brute = -1.0;
+  std::vector<bool> assignment(n, false);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    double p = 1.0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      assignment[v] = (mask >> v) & 1;
+      if (assignment[v]) p *= tree.event_probability(v);
+    }
+    if (p > brute && logic::eval(store, root, assignment)) brute = p;
+  }
+  ASSERT_GT(brute, 0.0);
+
+  core::PipelineOptions opts =
+      incremental_options(true, core::SolverChoice::Oll);
+  opts.card_lowering = logic::CardinalityLowering::Expand;
+  const core::MpmcsPipeline pipe(opts);
+  const core::PreparedInstance prepared = pipe.prepare(tree);
+  ASSERT_TRUE(prepared.session);
+
+  const core::MpmcsSolution sol = pipe.solve_prepared(tree, prepared);
+  ASSERT_EQ(sol.status, MaxSatStatus::Optimal);
+  EXPECT_DOUBLE_EQ(sol.probability, brute);
+  EXPECT_TRUE(ft::is_minimal_cut_set(tree, sol.cut));
+  {
+    // The Optimal answer really came through the divert: the session's
+    // OLL engine is fragmentation-latched.
+    auto guard = prepared.session->try_acquire();
+    ASSERT_TRUE(guard);
+    EXPECT_TRUE(guard.oll_fragmented());
+  }
+
+  // The latch persists: a warm re-solve skips OLL entirely and stays
+  // exact.
+  const core::MpmcsSolution again = pipe.solve_prepared(tree, prepared);
+  ASSERT_EQ(again.status, MaxSatStatus::Optimal);
+  EXPECT_DOUBLE_EQ(again.probability, brute);
+
+  // The monolithic LSU reference (the configuration property_sweep pins
+  // these seeds against) agrees.
+  const core::MpmcsSolution ref =
+      core::MpmcsPipeline(incremental_options(true, core::SolverChoice::Lsu))
+          .solve(tree);
+  ASSERT_EQ(ref.status, MaxSatStatus::Optimal);
+  EXPECT_DOUBLE_EQ(ref.probability, sol.probability);
+}
+
 TEST(IncrementalSession, MemoryCapRebuildsEngines) {
   gen::GeneratorOptions opts;
   opts.num_events = 40;
