@@ -10,7 +10,13 @@ warm/cold burst and fails the build when serving quality regresses:
     (bench/loadgen_baseline.json, `p99Seconds` x --p99-slack);
   * achieved throughput below `minAchievedFraction` of the offered rate
     (the generator is open-loop: falling behind means the service, not
-    the script, is too slow).
+    the script, is too slow);
+  * mutation serving-path drag: when the baseline carries a
+    `mutateFraction`, that share of the burst PATCHes per-connection
+    tree resources, and the PATCH p99 must stay within
+    `mutateP99WarmMultiple` x the warm-solve p99 of the same run — a
+    delta re-solve is supposed to ride the warm path, not pay a cold
+    prepare.
 
 Stdlib only; no third-party dependencies.
 
@@ -55,8 +61,11 @@ def main() -> int:
         report_path = tempfile.NamedTemporaryFile(
             suffix=".json", delete=False).name
 
+    mutate_fraction = float(baseline.get("mutateFraction", 0.0))
     cmd = [args.loadgen, "--rps", str(rps), "--seconds", str(seconds),
            "--json", report_path]
+    if mutate_fraction > 0.0:
+        cmd += ["--mutate-fraction", str(mutate_fraction)]
     print("+", " ".join(cmd), flush=True)
     proc = subprocess.run(cmd)
 
@@ -83,15 +92,32 @@ def main() -> int:
         failures.append(f"p99 {p99 * 1e3:.3f} ms exceeds the baseline "
                         f"allowance {allowance * 1e3:.3f} ms")
 
+    mutate_p99 = float(report.get("mutateP99Seconds", 0.0))
+    if mutate_fraction > 0.0:
+        if report.get("mutateOk", 0) == 0:
+            failures.append("mutate class requested but no PATCH succeeded")
+        warm_p99 = float(report.get("warmP99Seconds", 0.0))
+        multiple = float(baseline.get("mutateP99WarmMultiple", 2.0))
+        if warm_p99 > 0.0 and mutate_p99 > warm_p99 * multiple:
+            failures.append(
+                f"mutate p99 {mutate_p99 * 1e3:.3f} ms exceeds "
+                f"{multiple:.1f}x the warm p99 "
+                f"{warm_p99 * 1e3:.3f} ms — PATCH is not riding the "
+                "delta re-solve path")
+
     achieved = float(report.get("achievedRps", 0.0))
     floor = rps * float(baseline.get("minAchievedFraction", 0.9))
     if achieved < floor:
         failures.append(f"achieved {achieved:.0f} rps below the "
                         f"{floor:.0f} rps floor for an offered {rps}")
 
+    mutate_note = (f", mutate p99 {mutate_p99 * 1e3:.3f} ms over "
+                   f"{report.get('mutateOk', 0)} PATCHes"
+                   if mutate_fraction > 0.0 else "")
     print(f"load-smoke: {achieved:.0f}/{rps} rps, "
           f"p99 {p99 * 1e3:.3f} ms (allowance {allowance * 1e3:.3f} ms), "
-          f"ok={report.get('ok', 0)} of sent={report.get('sent', 0)}")
+          f"ok={report.get('ok', 0)} of sent={report.get('sent', 0)}"
+          f"{mutate_note}")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")

@@ -9,7 +9,7 @@
 //
 //   usage: loadgen [--port P] [--host H] [--rps N] [--seconds S]
 //                  [--connections C] [--warm-fraction F] [--topk-fraction F]
-//                  [--json PATH]
+//                  [--mutate-fraction F] [--json PATH]
 //
 // Workload mix:
 //   * warm  — one fixed ladder tree repeated verbatim: exercises the
@@ -17,6 +17,11 @@
 //     monitoring re-checking one plant model).
 //   * perturbed — the warm tree with one probability nudged per request:
 //     structural-cache hit for the artefact, fresh solve per request.
+//   * mutate — each connection registers the warm tree once via
+//     POST /v1/trees, then PATCHes it with one-event weight deltas:
+//     exercises the stateful mutation path (artefact patched + session
+//     rebase, zero re-encoding). Reported separately so the smoke gate
+//     can bound PATCH p99 against the warm-solve p99.
 //   * cold  — a fresh randomly generated tree per request: full pipeline.
 #include <algorithm>
 #include <atomic>
@@ -53,6 +58,8 @@ struct LoadgenOptions {
   double warm_fraction = 0.8;
   double perturbed_fraction = 0.15;  ///< Remainder is cold.
   double topk_fraction = 0.2;        ///< Of warm requests, sent to /v1/topk.
+  /// PATCH /v1/trees traffic, carved out before the cold remainder.
+  double mutate_fraction = 0.0;
   std::string json_path;
 };
 
@@ -65,6 +72,8 @@ struct WorkerResult {
   std::uint64_t transport = 0;    ///< Connect/send/recv failures.
   std::uint64_t malformed = 0;    ///< Responses that fail JSON validation.
   std::vector<double> latencies;  ///< Seconds, successful requests only.
+  std::vector<double> warm_latencies;    ///< Warm /v1/solve|topk subset.
+  std::vector<double> mutate_latencies;  ///< PATCH /v1/trees subset.
 };
 
 std::string make_body(const std::string& tree_text, const char* tenant,
@@ -103,11 +112,29 @@ bool response_well_formed(int status, const std::string& body, bool topk) {
 
 void run_worker(const LoadgenOptions& opts, std::uint16_t port,
                 std::size_t worker_index, const std::string& warm_text,
+                const std::vector<std::string>& warm_events,
                 const std::vector<std::string>& cold_bodies,
                 std::atomic<std::uint64_t>& tick, std::uint64_t total_ticks,
                 std::atomic<std::uint64_t>& cold_cursor, WorkerResult& out) {
   service::HttpClient client(opts.host, port);
   util::Rng rng(0x10adull * (worker_index + 1) + 7);
+
+  // The mutate class PATCHes a per-connection tree resource (registered
+  // once, outside the measured window). A failed registration downgrades
+  // this worker's mutate slots to warm traffic rather than failing the
+  // run.
+  std::string tree_id;
+  if (opts.mutate_fraction > 0.0) {
+    const auto created =
+        client.post("/v1/trees", make_body(warm_text, "loadgen", 0), 30.0);
+    if (created && created->status == 201) {
+      try {
+        const util::JsonValue doc = util::JsonValue::parse(created->body);
+        tree_id = doc.get_string("id", "");
+      } catch (const util::JsonError&) {
+      }
+    }
+  }
   const auto start = std::chrono::steady_clock::now();
 
   // Open-loop pacing over a shared tick counter: workers claim the next
@@ -126,11 +153,28 @@ void run_worker(const LoadgenOptions& opts, std::uint16_t port,
     const double shape = rng.uniform();
     std::string body;
     bool topk = false;
+    bool warm = false;
+    bool mutate = false;
     const char* tenant = "loadgen";
-    if (shape < opts.warm_fraction) {
+    if (shape < opts.warm_fraction ||
+        (tree_id.empty() &&
+         shape < opts.warm_fraction + opts.mutate_fraction)) {
+      warm = true;
       topk = rng.uniform() < opts.topk_fraction;
       body = make_body(warm_text, tenant, topk ? 3 : 0);
-    } else if (shape < opts.warm_fraction + opts.perturbed_fraction) {
+    } else if (!tree_id.empty() &&
+               shape < opts.warm_fraction + opts.mutate_fraction) {
+      // One-event weight update: the stateful re-solve fast path.
+      mutate = true;
+      const std::string& event =
+          warm_events[rng.below(warm_events.size())];
+      const double p = 0.05 + 0.9 * rng.uniform();
+      body = std::string("{\"tenant\": \"loadgen\", \"delta\": ") +
+             "[{\"op\": \"weight\", \"event\": \"" +
+             util::json_escape(event) +
+             "\", \"probability\": " + util::format_double(p) + "}]}";
+    } else if (shape < opts.warm_fraction + opts.mutate_fraction +
+                           opts.perturbed_fraction) {
       // Same structure, one nudged probability: a different structural
       // key (probability bits are part of it), so a handful of lukewarm
       // variants that miss the warm tree's memo. Event names stay
@@ -153,7 +197,8 @@ void run_worker(const LoadgenOptions& opts, std::uint16_t port,
 
     util::Timer timer;
     const auto response =
-        client.post(topk ? "/v1/topk" : "/v1/solve", body, 30.0);
+        mutate ? client.request("PATCH", "/v1/trees/" + tree_id, body, 30.0)
+               : client.post(topk ? "/v1/topk" : "/v1/solve", body, 30.0);
     const double latency = timer.seconds();
     ++out.sent;
     if (!response) {
@@ -167,6 +212,8 @@ void run_worker(const LoadgenOptions& opts, std::uint16_t port,
     if (response->status == 200) {
       ++out.ok;
       out.latencies.push_back(latency);
+      if (warm) out.warm_latencies.push_back(latency);
+      if (mutate) out.mutate_latencies.push_back(latency);
     } else if (response->status == 429 || response->status == 503 ||
                response->status == 504) {
       ++out.rejected;
@@ -189,7 +236,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--host H] [--rps N] [--seconds S]\n"
                "          [--connections C] [--warm-fraction F]\n"
-               "          [--topk-fraction F] [--json PATH]\n"
+               "          [--topk-fraction F] [--mutate-fraction F]\n"
+               "          [--json PATH]\n"
                "With no --port a service is hosted in-process.\n",
                argv0);
   return 2;
@@ -224,6 +272,8 @@ int main(int argc, char** argv) {
       opts.warm_fraction = std::strtod(next(), nullptr);
     } else if (arg == "--topk-fraction") {
       opts.topk_fraction = std::strtod(next(), nullptr);
+    } else if (arg == "--mutate-fraction") {
+      opts.mutate_fraction = std::strtod(next(), nullptr);
     } else if (arg == "--json") {
       opts.json_path = next();
     } else {
@@ -252,6 +302,11 @@ int main(int argc, char** argv) {
   // The warm tree: a small ladder every request repeats verbatim.
   const ft::FaultTree warm_tree = gen::ladder_tree(3, 42);
   const std::string warm_text = ft::to_text(warm_tree);
+  std::vector<std::string> warm_events;
+  warm_events.reserve(warm_tree.num_events());
+  for (ft::EventIndex e = 0; e < warm_tree.num_events(); ++e) {
+    warm_events.push_back(warm_tree.event(e).name);
+  }
 
   const auto total_ticks =
       static_cast<std::uint64_t>(opts.rps * opts.seconds);
@@ -259,7 +314,8 @@ int main(int argc, char** argv) {
   // window (capped so pathological rps*seconds cannot exhaust memory;
   // past the cap cold bodies repeat, which only makes them warmer).
   const double cold_fraction =
-      std::max(0.0, 1.0 - opts.warm_fraction - opts.perturbed_fraction);
+      std::max(0.0, 1.0 - opts.warm_fraction - opts.perturbed_fraction -
+                        opts.mutate_fraction);
   const auto cold_count = std::min<std::uint64_t>(
       static_cast<std::uint64_t>(total_ticks * cold_fraction) + 1, 200000);
   std::vector<std::string> cold_bodies;
@@ -281,8 +337,8 @@ int main(int argc, char** argv) {
   util::Timer wall;
   for (std::size_t w = 0; w < opts.connections; ++w) {
     workers.emplace_back([&, w] {
-      run_worker(opts, port, w, warm_text, cold_bodies, tick, total_ticks,
-                 cold_cursor, results[w]);
+      run_worker(opts, port, w, warm_text, warm_events, cold_bodies, tick,
+                 total_ticks, cold_cursor, results[w]);
     });
   }
   for (auto& t : workers) t.join();
@@ -299,11 +355,22 @@ int main(int argc, char** argv) {
     total.malformed += r.malformed;
     total.latencies.insert(total.latencies.end(), r.latencies.begin(),
                            r.latencies.end());
+    total.warm_latencies.insert(total.warm_latencies.end(),
+                                r.warm_latencies.begin(),
+                                r.warm_latencies.end());
+    total.mutate_latencies.insert(total.mutate_latencies.end(),
+                                  r.mutate_latencies.begin(),
+                                  r.mutate_latencies.end());
   }
   std::sort(total.latencies.begin(), total.latencies.end());
+  std::sort(total.warm_latencies.begin(), total.warm_latencies.end());
+  std::sort(total.mutate_latencies.begin(), total.mutate_latencies.end());
   const double p50 = quantile(total.latencies, 0.50);
   const double p95 = quantile(total.latencies, 0.95);
   const double p99 = quantile(total.latencies, 0.99);
+  const double warm_p99 = quantile(total.warm_latencies, 0.99);
+  const double mutate_p50 = quantile(total.mutate_latencies, 0.50);
+  const double mutate_p99 = quantile(total.mutate_latencies, 0.99);
   const double achieved = elapsed > 0.0 ? total.sent / elapsed : 0.0;
 
   std::printf("sent      : %llu in %.2f s (offered %g rps, achieved %.0f)\n",
@@ -319,6 +386,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.malformed));
   std::printf("latency   : p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
               p50 * 1e3, p95 * 1e3, p99 * 1e3);
+  if (!total.mutate_latencies.empty()) {
+    std::printf("mutate    : %zu PATCHes  p50 %.3f ms  p99 %.3f ms  "
+                "(warm p99 %.3f ms)\n",
+                total.mutate_latencies.size(), mutate_p50 * 1e3,
+                mutate_p99 * 1e3, warm_p99 * 1e3);
+  }
 
   if (!opts.json_path.empty()) {
     std::string json = "{\n";
@@ -337,7 +410,16 @@ int main(int argc, char** argv) {
     json += "  \"malformed\": " + std::to_string(total.malformed) + ",\n";
     json += "  \"p50Seconds\": " + util::format_double(p50) + ",\n";
     json += "  \"p95Seconds\": " + util::format_double(p95) + ",\n";
-    json += "  \"p99Seconds\": " + util::format_double(p99) + "\n}\n";
+    json += "  \"p99Seconds\": " + util::format_double(p99) + ",\n";
+    json += "  \"warmOk\": " + std::to_string(total.warm_latencies.size()) +
+            ",\n";
+    json += "  \"warmP99Seconds\": " + util::format_double(warm_p99) + ",\n";
+    json += "  \"mutateOk\": " +
+            std::to_string(total.mutate_latencies.size()) + ",\n";
+    json += "  \"mutateP50Seconds\": " + util::format_double(mutate_p50) +
+            ",\n";
+    json += "  \"mutateP99Seconds\": " + util::format_double(mutate_p99) +
+            "\n}\n";
     if (opts.json_path == "-") {
       std::fputs(json.c_str(), stdout);
     } else {

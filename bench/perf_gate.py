@@ -3,8 +3,8 @@
 
 Runs the fixed-seed benchmark binaries (bench_engine_batch,
 fig1_fps_mpmcs, ablation_preprocess, ablation_incremental,
-voting_gates, ablation_stratified), takes per-metric medians over a few
-runs, writes the combined report (BENCH_pr5.json) and fails when a
+voting_gates, ablation_stratified, ablation_mutation), takes
+per-metric medians over a few runs, writes the combined report (BENCH_pr5.json) and fails when a
 throughput metric regresses more than --tolerance below the committed
 bench/baseline.json.
 
@@ -29,6 +29,7 @@ ABLATION_ARGS = ["16"]
 ABLATION_INCREMENTAL_ARGS = ["8"]
 VOTING_GATES_ARGS = ["1"]
 ABLATION_STRATIFIED_ARGS = ["4"]
+ABLATION_MUTATION_ARGS = ["4"]
 
 
 def run_bench(binary, args, runs):
@@ -127,6 +128,27 @@ def collect_metrics(build_dir, runs):
     # behaviour >= 5x (median, end-to-end) on the ladder corpus.
     flags["stratified.ladder_speedup_ok"] = all(
         d["ladderSpeedupOk"] for d in stratified)
+
+    mutation = run_bench(os.path.join(build_dir, "ablation_mutation"),
+                         ABLATION_MUTATION_ARGS, runs)
+    metrics["mutation.weight_median_speedup"] = median_of(
+        mutation, lambda d: d["weightMedianSpeedup"])
+    metrics["mutation.mono_median_speedup"] = median_of(
+        mutation, lambda d: d["monoMedianSpeedup"])
+    metrics["mutation.warm_edits_per_second"] = median_of(
+        mutation, lambda d: d["warmEditsPerSecond"])
+    flags["mutation.results_match"] = all(
+        d["resultsMatch"] for d in mutation)
+    # The PR 7 acceptance bar: weight-only drift on a stratified model
+    # must re-solve >= 10x faster than a cold prepare+solve, with zero
+    # cold prepares (counter-verified) and one touched stratum per
+    # splice.
+    flags["mutation.weight_speedup_ok"] = all(
+        d["weightSpeedupOk"] for d in mutation)
+    flags["mutation.zero_prepare_ok"] = all(
+        d["zeroPrepareOk"] for d in mutation)
+    flags["mutation.splice_strata_ok"] = all(
+        d["spliceStrataOk"] for d in mutation)
 
     return metrics, flags
 

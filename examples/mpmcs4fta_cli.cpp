@@ -25,10 +25,19 @@
 //
 //   usage: mpmcs4fta_cli serve [options]
 //     Long-running analysis service (src/service): POST /v1/solve and
-//     /v1/topk with the batch JSON schema, GET /v1/healthz and /v1/statsz.
+//     /v1/topk with the batch JSON schema, the /v1/trees mutable-resource
+//     API, GET /v1/healthz and /v1/statsz.
 //     --port P        listen port (default 8080; 0 = ephemeral)
 //     --bind ADDR     bind address (default 127.0.0.1)
 //     plus --jobs and every pipeline option above as service defaults.
+//
+//   usage: mpmcs4fta_cli mutate [options] <tree.ft> --edits <script.json>
+//     Replays a JSON edit script against the tree as one mutable engine
+//     resource: each step is a TreeDelta (an array of op objects, the
+//     PATCH /v1/trees wire form); the tool reports per-edit re-solve
+//     latency and how much of the solver artefact survived each edit
+//     (weight-only reweighting, session rebases, strata reused vs
+//     re-prepared).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -50,8 +59,10 @@
 #include "ft/dot_writer.hpp"
 #include "ft/openpsa.hpp"
 #include "ft/parser.hpp"
+#include "ft/tree_delta.hpp"
 #include "service/http_server.hpp"
 #include "service/solve_service.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 
@@ -79,8 +90,12 @@ int usage(const char* argv0) {
                "  --quiet         no human-readable summary\n"
                "serve mode: %s serve [--port P] [--bind ADDR] [options]\n"
                "  long-running HTTP service: POST /v1/solve, POST /v1/topk,\n"
-               "  GET /v1/healthz, GET /v1/statsz\n",
-               argv0, argv0, argv0);
+               "  the /v1/trees resource API, GET /v1/healthz, GET /v1/statsz\n"
+               "mutate mode: %s mutate [options] <tree.ft> --edits "
+               "<script.json>\n"
+               "  replay a JSON edit script (array of TreeDeltas) against\n"
+               "  the tree, reporting per-edit re-solve latency + lineage\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -313,6 +328,220 @@ int run_batch(const std::string& dir, std::size_t jobs,
   return failed == 0 && cancelled == 0 ? 0 : 1;
 }
 
+/// One human-readable tag per edit describing what the patch path did.
+std::string lineage_tag(const fta::engine::AnalysisResult& r) {
+  if (!r.delta_applied) return "no-delta";
+  const fta::core::DeltaApplication& d = r.delta;
+  if (d.reprepared) return "re-prepared";
+  std::string tag = d.weight_only ? "weight-only" : "structural";
+  if (d.session_rebased) tag += ", session rebased";
+  if (d.strata_total > 0) {
+    tag += ", strata " + std::to_string(d.strata_reused) + "r/" +
+           std::to_string(d.strata_reweighted) + "w/" +
+           std::to_string(d.strata_reprepared) + "p of " +
+           std::to_string(d.strata_total);
+  }
+  return tag;
+}
+
+/// Runs `mutate` mode: replays the edit script against the tree held as
+/// one mutable engine resource, measuring each re-solve.
+int run_mutate(const std::string& tree_path, const std::string& edits_path,
+               std::size_t jobs, const fta::core::PipelineOptions& opts,
+               const std::string& json_path, bool quiet) {
+  using namespace fta;
+
+  std::ifstream in(tree_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", tree_path.c_str());
+    return 1;
+  }
+  ft::FaultTree tree;
+  try {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    tree = parse_tree_text(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", tree_path.c_str(), e.what());
+    return 1;
+  }
+
+  std::ifstream edits_in(edits_path);
+  if (!edits_in) {
+    std::fprintf(stderr, "cannot open %s\n", edits_path.c_str());
+    return 1;
+  }
+  std::vector<ft::TreeDelta> steps;
+  try {
+    std::ostringstream buffer;
+    buffer << edits_in.rdbuf();
+    const util::JsonValue doc = util::JsonValue::parse(buffer.str());
+    if (!doc.is_array()) {
+      throw std::runtime_error(
+          "edit script must be a JSON array of deltas "
+          "(each itself an array of op objects)");
+    }
+    for (const util::JsonValue& step : doc.items()) {
+      steps.push_back(ft::parse_tree_delta(step));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", edits_path.c_str(), e.what());
+    return 1;
+  }
+
+  engine::EngineOptions eopts;
+  eopts.num_threads = jobs;
+  engine::AnalysisEngine eng(eopts);
+
+  util::Timer prepare_timer;
+  std::string id;
+  try {
+    id = eng.create_tree(tree, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", tree_path.c_str(), e.what());
+    return 1;
+  }
+  const double prepare_seconds = prepare_timer.seconds();
+
+  const auto solve_once = [&](std::optional<ft::TreeDelta> delta) {
+    engine::AnalysisRequest req;
+    req.id = tree_path;
+    req.tree_id = id;
+    req.kind = engine::AnalysisKind::Mpmcs;
+    req.pipeline = opts;
+    req.timeout_seconds = opts.timeout_seconds;
+    req.delta = std::move(delta);
+    return eng.submit(std::move(req)).get();
+  };
+  const auto names_now = [&] {
+    std::vector<std::string> names;
+    if (const auto snap = eng.tree_snapshot(id)) {
+      names.reserve(snap->num_events());
+      for (ft::EventIndex e = 0; e < snap->num_events(); ++e) {
+        names.push_back(snap->event(e).name);
+      }
+    }
+    return names;
+  };
+
+  util::Timer initial_timer;
+  const engine::AnalysisResult initial = solve_once(std::nullopt);
+  const double initial_seconds = initial_timer.seconds();
+  if (!initial.ok) {
+    std::fprintf(stderr, "initial solve failed: %s\n",
+                 initial.cancelled ? "cancelled" : initial.error.c_str());
+    return 1;
+  }
+
+  struct StepOutcome {
+    double seconds = 0.0;
+    engine::AnalysisResult result;
+    std::vector<std::string> names;
+  };
+  std::vector<StepOutcome> outcomes;
+  outcomes.reserve(steps.size());
+  std::size_t failed = 0;
+  for (ft::TreeDelta& step : steps) {
+    StepOutcome o;
+    util::Timer timer;
+    o.result = solve_once(std::move(step));
+    o.seconds = timer.seconds();
+    o.names = names_now();
+    if (!o.result.ok) ++failed;
+    outcomes.push_back(std::move(o));
+  }
+
+  if (!quiet) {
+    std::printf("tree      : %s (%zu events, %zu gates)\n", tree_path.c_str(),
+                tree.stats().events, tree.stats().gates);
+    std::printf("resource  : %s  (prepare %.2f ms, initial solve %.2f ms)\n",
+                id.c_str(), prepare_seconds * 1e3, initial_seconds * 1e3);
+    std::printf("edits     : %zu steps from %s\n", steps.size(),
+                edits_path.c_str());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const StepOutcome& o = outcomes[i];
+      if (!o.result.ok) {
+        std::printf("  edit %-3zu %7.2f ms  FAILED: %s\n", i + 1,
+                    o.seconds * 1e3,
+                    o.result.cancelled ? "cancelled" : o.result.error.c_str());
+        continue;
+      }
+      std::printf("  edit %-3zu %7.2f ms  [%s]  P = %-12g %s\n", i + 1,
+                  o.seconds * 1e3, lineage_tag(o.result).c_str(),
+                  o.result.mpmcs.probability,
+                  cut_to_string(o.names, o.result.mpmcs.cut).c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    const auto solution_json = [](const std::vector<std::string>& names,
+                                  const core::MpmcsSolution& sol) {
+      return "{\"probability\": " + util::format_double(sol.probability) +
+             ", \"logCost\": " + util::format_double(sol.log_cost) +
+             ", \"solver\": \"" + util::json_escape(sol.solver_name) +
+             "\", \"lineage\": \"" + util::json_escape(sol.lineage) +
+             "\", \"mpmcs\": " + cut_to_json_array(names, sol.cut) + "}";
+    };
+    std::vector<std::string> initial_names;
+    initial_names.reserve(tree.num_events());
+    for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+      initial_names.push_back(tree.event(e).name);
+    }
+    std::string json = "{\n  \"mutate\": {\n";
+    json += "    \"tree\": \"" + util::json_escape(tree_path) + "\",\n";
+    json += "    \"edits\": " + std::to_string(steps.size()) + ",\n";
+    json += "    \"failed\": " + std::to_string(failed) + ",\n";
+    json += "    \"prepareSeconds\": " + util::format_double(prepare_seconds) +
+            ",\n";
+    json += "    \"initialSolveSeconds\": " +
+            util::format_double(initial_seconds) + "\n  },\n";
+    json += "  \"initial\": " +
+            solution_json(initial_names, initial.mpmcs) + ",\n";
+    json += "  \"steps\": [";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const StepOutcome& o = outcomes[i];
+      json += i > 0 ? ",\n    {" : "\n    {";
+      json += "\"index\": " + std::to_string(i + 1) + ", ";
+      json += "\"seconds\": " + util::format_double(o.seconds) + ", ";
+      json += std::string("\"ok\": ") + (o.result.ok ? "true" : "false");
+      if (!o.result.ok) {
+        json += ", \"error\": \"" +
+                util::json_escape(o.result.cancelled ? "cancelled"
+                                                     : o.result.error) +
+                "\"}";
+        continue;
+      }
+      const core::DeltaApplication& d = o.result.delta;
+      json += ", \"version\": " + std::to_string(o.result.tree_version);
+      json += std::string(", \"deltaApplied\": ") +
+              (o.result.delta_applied ? "true" : "false");
+      json += std::string(", \"weightOnly\": ") +
+              (d.weight_only ? "true" : "false");
+      json += std::string(", \"sessionRebased\": ") +
+              (d.session_rebased ? "true" : "false");
+      json += std::string(", \"reprepared\": ") +
+              (d.reprepared ? "true" : "false");
+      json += ", \"strataTotal\": " + std::to_string(d.strata_total);
+      json += ", \"strataReused\": " + std::to_string(d.strata_reused);
+      json += ", \"strataReweighted\": " +
+              std::to_string(d.strata_reweighted);
+      json += ", \"strataReprepared\": " +
+              std::to_string(d.strata_reprepared);
+      json += ", \"solution\": " + solution_json(o.names, o.result.mpmcs);
+      json += "}";
+    }
+    json += "\n  ]\n}\n";
+    if (json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(json_path);
+      out << json;
+      if (!quiet) std::printf("JSON      : %s\n", json_path.c_str());
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 std::atomic<bool> g_stop_requested{false};
 
 void handle_stop_signal(int) { g_stop_requested.store(true); }
@@ -374,10 +603,12 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string dot_path;
   std::string wcnf_path;
+  std::string edits_path;
   std::size_t top_k = 0;
   std::size_t jobs = 0;
   bool quiet = false;
   bool serve_mode = false;
+  bool mutate_mode = false;
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 8080;
 
@@ -439,8 +670,12 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--bind") {
       bind_address = next();
-    } else if (arg == "serve" && tree_path.empty()) {
+    } else if (arg == "--edits") {
+      edits_path = next();
+    } else if (arg == "serve" && tree_path.empty() && !mutate_mode) {
       serve_mode = true;
+    } else if (arg == "mutate" && tree_path.empty() && !serve_mode) {
+      mutate_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -452,6 +687,16 @@ int main(int argc, char** argv) {
   if (serve_mode) {
     if (!tree_path.empty() || !batch_dir.empty()) return usage(argv[0]);
     return run_serve(bind_address, port, jobs, opts, quiet);
+  }
+  if (mutate_mode) {
+    if (tree_path.empty() || edits_path.empty() || !batch_dir.empty()) {
+      return usage(argv[0]);
+    }
+    return run_mutate(tree_path, edits_path, jobs, opts, json_path, quiet);
+  }
+  if (!edits_path.empty()) {
+    std::fprintf(stderr, "--edits requires the mutate subcommand\n");
+    return 2;
   }
   if (!batch_dir.empty()) {
     if (!tree_path.empty()) return usage(argv[0]);

@@ -92,7 +92,8 @@ ExtractedModule extract_module(const ft::FaultTree& tree,
       continue;
     }
     if (n.type == ft::NodeType::BasicEvent) {
-      mapping[f.node] = out.tree.add_basic_event(n.name, n.probability);
+      mapping[f.node] = out.tree.add_basic_event(
+          n.name, n.enabled ? n.probability : 0.0);
       out.event_map.push_back(n.event_index);
     } else {
       std::vector<ft::NodeIndex> children;

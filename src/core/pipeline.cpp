@@ -1,8 +1,10 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "logic/tseitin.hpp"
 #include "maxsat/brute_force.hpp"
@@ -46,6 +48,75 @@ logic::NodeId MpmcsPipeline::success_tree(logic::FormulaStore& store,
                                           const ft::FaultTree& tree) {
   return store.dualize(tree.to_formula(store));
 }
+
+namespace {
+
+/// Cold prepares since process start (see MpmcsPipeline::prepare_calls).
+std::atomic<std::uint64_t> g_prepare_calls{0};
+
+/// The events reachable from the top gate. A superset of the events the
+/// built formula mentions only in degenerate cases, and a superset is
+/// harmless for reweighting: a soft on an unconstrained variable is
+/// always satisfiable and never changes the optimum.
+std::vector<bool> reachable_events(const ft::FaultTree& tree) {
+  std::vector<bool> used(tree.num_events(), false);
+  if (!tree.has_top()) return used;
+  std::vector<bool> seen(tree.num_nodes(), false);
+  std::vector<ft::NodeIndex> stack{tree.top()};
+  while (!stack.empty()) {
+    const ft::NodeIndex i = stack.back();
+    stack.pop_back();
+    if (seen[i]) continue;
+    seen[i] = true;
+    const ft::Node& n = tree.node(i);
+    if (n.type == ft::NodeType::BasicEvent) {
+      used[n.event_index] = true;
+      continue;
+    }
+    for (const ft::NodeIndex c : n.children) stack.push_back(c);
+  }
+  return used;
+}
+
+/// Step 3 in scaled-integer form for the events in `used`: the final
+/// per-event soft weight (0 = no soft clause: unused or p == 1; p == 0
+/// gets the "forbidden" weight, one more than the summed ordinary
+/// weights). Factored out of instance_for_formula so the mutation path
+/// rebuilds weights with bit-identical rounding.
+std::vector<maxsat::Weight> scaled_soft_weights(const ft::FaultTree& tree,
+                                                const std::vector<bool>& used,
+                                                double weight_scale) {
+  const auto weights = MpmcsPipeline::log_weights(tree);
+  maxsat::Weight ordinary_total = 0;
+  std::vector<maxsat::Weight> scaled(tree.num_events(), 0);
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    if (!used[e] || std::isinf(weights[e])) continue;
+    const auto w = static_cast<maxsat::Weight>(
+        std::llround(weights[e] * weight_scale));
+    scaled[e] = w;
+    ordinary_total += w;
+  }
+  const maxsat::Weight forbidden = ordinary_total + 1;
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    if (used[e] && std::isinf(weights[e])) scaled[e] = forbidden;
+  }
+  return scaled;
+}
+
+/// Step 4's soft side: one unit soft per weighted event, preferring it
+/// absent. Drops any previous softs first (the mutation path reweights
+/// instances in place).
+void rebuild_softs(const ft::FaultTree& tree, const std::vector<bool>& used,
+                   double weight_scale, maxsat::WcnfInstance& instance) {
+  instance.clear_soft();
+  const auto scaled = scaled_soft_weights(tree, used, weight_scale);
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    if (scaled[e] == 0) continue;  // unused, or p == 1: free to include
+    instance.add_soft_unit(Lit::neg(e), scaled[e]);
+  }
+}
+
+}  // namespace
 
 maxsat::WcnfInstance MpmcsPipeline::build_instance(
     const ft::FaultTree& tree) const {
@@ -104,23 +175,7 @@ maxsat::WcnfInstance MpmcsPipeline::instance_for_formula(
   // p == 0 get the "forbidden" weight: worse than every possible
   // combination of ordinary events, so they are only chosen when
   // unavoidable.
-  const auto weights = log_weights(tree);
-  maxsat::Weight ordinary_total = 0;
-  std::vector<maxsat::Weight> scaled(tree.num_events(), 0);
-  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
-    if (!used[e] || std::isinf(weights[e])) continue;
-    const auto w = static_cast<maxsat::Weight>(
-        std::llround(weights[e] * opts_.weight_scale));
-    scaled[e] = w;
-    ordinary_total += w;
-  }
-  const maxsat::Weight forbidden = ordinary_total + 1;
-  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
-    if (!used[e]) continue;
-    const maxsat::Weight w = std::isinf(weights[e]) ? forbidden : scaled[e];
-    if (w == 0) continue;  // p == 1: free to include
-    instance.add_soft_unit(Lit::neg(e), w);
-  }
+  rebuild_softs(tree, used, opts_.weight_scale, instance);
   return instance;
 }
 
@@ -252,32 +307,53 @@ MpmcsSolution MpmcsPipeline::solve_instance(
                           raw);
 }
 
+namespace {
+
+/// OLL on the session with the fragmentation-latch divert to LSU. A
+/// fragmentation-latched engine (hit OllOptions::core_ceiling on an
+/// earlier solve of this structure) would burn the whole budget again;
+/// LSU's counting encoding is immune to core fragmentation. The divert
+/// lives here rather than inside solve_oll because portfolio races
+/// drive the OLL and LSU engines from two threads under one guard —
+/// solve_oll must never touch the LSU engine.
+maxsat::MaxSatResult solve_session_oll_lsu(
+    maxsat::IncrementalSolveSession::Guard& session,
+    util::CancelTokenPtr cancel) {
+  if (!(session.oll_fragmented() && session.lsu_useful())) {
+    maxsat::MaxSatResult r = session.solve_oll(cancel);
+    if (r.status != maxsat::MaxSatStatus::Unknown ||
+        !(session.oll_fragmented() && session.lsu_useful())) {
+      return r;
+    }
+  }
+  return session.solve_lsu(std::move(cancel));
+}
+
+/// Below this working-instance size the hedged race is skipped on the
+/// session path: spawning member threads costs ~0.2 ms, a small
+/// instance's incremental re-solve finishes well inside that, and its
+/// worst case is bounded by the instance itself. This is what keeps a
+/// weight-only PATCH on a modest tree resource in the warm-latency
+/// regime instead of paying a portfolio spawn per edit.
+constexpr std::size_t kSessionOnlyVarLimit = 256;
+
+}  // namespace
+
 maxsat::MaxSatResult MpmcsPipeline::solve_with_session(
     maxsat::IncrementalSolveSession::Guard& session,
     const maxsat::WcnfInstance& working,
     const maxsat::WcnfInstance* raw_working,
     util::CancelTokenPtr cancel) const {
   switch (opts_.solver) {
-    case SolverChoice::Oll: {
-      // A fragmentation-latched engine (hit OllOptions::core_ceiling on
-      // an earlier solve of this structure) would burn the whole budget
-      // again; LSU's counting encoding is immune to core fragmentation.
-      // The divert lives here rather than inside solve_oll because
-      // portfolio races drive the OLL and LSU engines from two threads
-      // under one guard — solve_oll must never touch the LSU engine.
-      if (!(session.oll_fragmented() && session.lsu_useful())) {
-        maxsat::MaxSatResult r = session.solve_oll(cancel);
-        if (r.status != maxsat::MaxSatStatus::Unknown ||
-            !(session.oll_fragmented() && session.lsu_useful())) {
-          return r;
-        }
-      }
-      return session.solve_lsu(std::move(cancel));
-    }
+    case SolverChoice::Oll:
+      return solve_session_oll_lsu(session, std::move(cancel));
     case SolverChoice::Lsu:
       return session.solve_lsu(std::move(cancel));
     case SolverChoice::Portfolio:
     case SolverChoice::Stratified: {
+      if (working.num_vars() <= kSessionOnlyVarLimit) {
+        return solve_session_oll_lsu(session, std::move(cancel));
+      }
       // Incremental members run on the persistent session; stateless
       // hedges race on the working instance (which carries any top-k
       // blockers as plain hard clauses) exactly as before. A stateless
@@ -460,20 +536,47 @@ PreparedInstance MpmcsPipeline::prepare(const ft::FaultTree& tree,
 PreparedInstance MpmcsPipeline::prepare_with_plan(
     const ft::FaultTree& tree, maxsat::StratifiedPlan plan,
     util::CancelTokenPtr cancel) const {
+  g_prepare_calls.fetch_add(1, std::memory_order_relaxed);
   PreparedInstance prepared;
-  prepared.raw = build_instance(tree);
   // Stratified decomposition plan, detected up front (by prepare() or by
   // a one-shot solve): when it applies with an OR combine, every solve
   // and top-k on this artefact routes through the per-stratum
   // sub-artefacts, so the whole-tree Step 3.5 pass, session and shrink
-  // context below would be dead weight (AND and vote combines keep them:
-  // their top-k enumerates unions through the monolithic loop). The
-  // engine's structural key separates stratified artefacts, so no other
-  // solver choice ever sees this entry.
+  // context would be dead weight (AND and vote combines keep them: their
+  // top-k enumerates unions through the monolithic loop). The engine's
+  // structural key separates stratified artefacts, so no other solver
+  // choice ever sees this entry.
   const bool strata_only =
       plan.applicable && plan.combine == ft::NodeType::Or;
+  build_monolithic(tree, strata_only, prepared, cancel);
+  // One recursively-prepared sub-artefact (instance + Step 3.5 + session)
+  // per module stratum; the modules are where the solving state lives. A
+  // pre-filled slot is an artefact the mutation path (patch_prepared)
+  // carried over — only dirty strata pay a cold prepare.
+  if (plan.applicable) {
+    for (maxsat::StratifiedStratum& s : plan.strata) {
+      if (!s.trivial && !s.prepared) {
+        s.prepared = std::make_shared<const PreparedInstance>(
+            prepare(s.module.tree, cancel));
+      }
+    }
+    prepared.strata =
+        std::make_shared<const maxsat::StratifiedPlan>(std::move(plan));
+    prepared.stratum_memo = std::make_shared<StratumMemo>();
+  }
+  return prepared;
+}
+
+void MpmcsPipeline::build_monolithic(const ft::FaultTree& tree,
+                                     bool strata_only,
+                                     PreparedInstance& prepared,
+                                     util::CancelTokenPtr cancel) const {
+  prepared.raw = build_instance(tree);
+  prepared.pre.reset();
+  prepared.session.reset();
+  prepared.shrink.reset();
   if (opts_.preprocess && !strata_only) {
-    // `cancel` stays live: the stratified sub-preparation below also
+    // `cancel` stays live: the caller's stratified sub-preparation also
     // polls it.
     prepared.pre = std::make_shared<preprocess::PreprocessResult>(
         preprocess::preprocess(prepared.raw, freeze_mask(tree, prepared.raw),
@@ -511,19 +614,238 @@ PreparedInstance MpmcsPipeline::prepare_with_plan(
   if (!strata_only) {
     prepared.shrink = std::make_shared<const ft::ShrinkContext>(tree);
   }
-  // One recursively-prepared sub-artefact (instance + Step 3.5 + session)
-  // per module stratum; the modules are where the solving state lives.
-  if (plan.applicable) {
-    for (maxsat::StratifiedStratum& s : plan.strata) {
-      if (!s.trivial) {
-        s.prepared = std::make_shared<const PreparedInstance>(
-            prepare(s.module.tree, cancel));
+}
+
+std::uint64_t MpmcsPipeline::prepare_calls() noexcept {
+  return g_prepare_calls.load(std::memory_order_relaxed);
+}
+
+void MpmcsPipeline::reweight_prepared(const ft::FaultTree& tree,
+                                      PreparedInstance& prepared,
+                                      bool exclusive,
+                                      DeltaApplication& st) const {
+  // The tree's structure is unchanged, so every hard clause — raw
+  // Tseitin, preprocessed, and everything a SAT session has learnt from
+  // them — is still exact. Only the soft side (Step 3/4) and the
+  // weight-dependent core-transformation state need replacing.
+  const std::vector<bool> used = reachable_events(tree);
+  rebuild_softs(tree, used, opts_.weight_scale, prepared.raw);
+  if (prepared.pre && !prepared.pre->unsat) {
+    // The UP-forced fix set depends only on hard clauses, so under new
+    // weights a fixed-true event discharges its (new) weight into the
+    // offset, a fixed-false one drops its soft, and every free event
+    // keeps a verbatim unit soft — exactly what a fresh Step 3.5 run
+    // over the reweighted raw instance would emit.
+    //
+    // Exclusive artefacts patch the result in place (the hard clauses —
+    // the expensive part of a PreprocessResult — are untouched, so the
+    // edit costs O(events), not a full artefact copy); shared ones
+    // copy-on-write, because cache-shared copies may still point at the
+    // old result. The const_cast is sound: every PreprocessResult is
+    // created non-const by prepare()/this COW path, and exclusivity is
+    // the documented apply_delta contract.
+    std::shared_ptr<preprocess::PreprocessResult> copy;
+    auto* next = exclusive
+                     ? const_cast<preprocess::PreprocessResult*>(
+                           prepared.pre.get())
+                     : (copy = std::make_shared<preprocess::PreprocessResult>(
+                            *prepared.pre))
+                           .get();
+    next->simplified.clear_soft();
+    next->cost_offset = 0;
+    const auto scaled = scaled_soft_weights(tree, used, opts_.weight_scale);
+    for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+      if (scaled[e] == 0) continue;
+      const logic::LBool v =
+          e < next->level0.size() ? next->level0[e] : logic::LBool::Undef;
+      if (v == logic::LBool::True) {
+        next->cost_offset += scaled[e];
+      } else if (v == logic::LBool::Undef) {
+        next->simplified.add_soft_unit(Lit::neg(e), scaled[e]);
       }
     }
-    prepared.strata =
-        std::make_shared<const maxsat::StratifiedPlan>(std::move(plan));
+    if (copy) prepared.pre = std::move(copy);
   }
-  return prepared;
+  if (prepared.session) {
+    std::shared_ptr<const maxsat::WcnfInstance> instance;
+    if (prepared.pre) {
+      instance = std::shared_ptr<const maxsat::WcnfInstance>(
+          prepared.pre, &prepared.pre->simplified);
+    } else {
+      instance = std::make_shared<maxsat::WcnfInstance>(prepared.raw);
+    }
+    // Exclusively-owned artefacts rebase the live session: learnt
+    // clauses and totalizer networks carry over, so the next solve
+    // starts warm. Shared ones (cache derive path) get a fresh session —
+    // the base's warm state must not be mutated under it.
+    if (exclusive && prepared.session->rebase(instance)) {
+      st.session_rebased = true;
+    } else {
+      maxsat::IncrementalOptions inc;
+      inc.memory_cap_bytes = opts_.incremental_memory_cap_bytes;
+      prepared.session = std::make_shared<maxsat::IncrementalSolveSession>(
+          std::move(instance), inc);
+    }
+  }
+  // Stratified sub-artefacts: the plan's shape is weight-independent, so
+  // only modules whose events changed are touched — each gets its module
+  // tree reweighted and recurses through this same patch.
+  if (prepared.strata && prepared.strata->applicable) {
+    auto plan = std::make_shared<maxsat::StratifiedPlan>(*prepared.strata);
+    std::vector<bool> touched(plan->strata.size(), false);
+    for (std::size_t i = 0; i < plan->strata.size(); ++i) {
+      maxsat::StratifiedStratum& s = plan->strata[i];
+      if (s.trivial) continue;
+      ++st.strata_total;
+      bool changed = false;
+      for (ft::EventIndex e = 0; e < s.module.tree.num_events(); ++e) {
+        const double p = tree.event_probability(s.module.event_map[e]);
+        if (s.module.tree.event_probability(e) != p) {
+          s.module.tree.set_event_probability(e, p);
+          changed = true;
+        }
+      }
+      if (!changed || !s.prepared) {
+        ++st.strata_reused;
+        continue;
+      }
+      auto sub = std::make_shared<PreparedInstance>(*s.prepared);
+      reweight_prepared(s.module.tree, *sub, exclusive, st);
+      s.prepared = std::move(sub);
+      touched[i] = true;
+      ++st.strata_reweighted;
+    }
+    // Memo: entries of untouched strata stay valid (their events, and
+    // hence their optima and costs, did not change); touched ones drop.
+    auto memo = std::make_shared<StratumMemo>();
+    if (prepared.stratum_memo) {
+      std::lock_guard<std::mutex> lock(prepared.stratum_memo->mutex);
+      for (const auto& [key, vec] : prepared.stratum_memo->entries) {
+        auto& kept = memo->entries[key];
+        kept.resize(plan->strata.size());
+        for (std::size_t i = 0; i < vec.size() && i < kept.size(); ++i) {
+          if (!touched[i]) kept[i] = vec[i];
+        }
+      }
+    }
+    prepared.stratum_memo = std::move(memo);
+    prepared.strata = std::move(plan);
+  }
+}
+
+DeltaApplication MpmcsPipeline::patch_prepared(
+    const ft::FaultTree& new_tree, const ft::TreeDelta& delta,
+    PreparedInstance& prepared, bool exclusive,
+    util::CancelTokenPtr cancel) const {
+  DeltaApplication st;
+  st.weight_only = delta.weight_only();
+  if (st.weight_only) {
+    reweight_prepared(new_tree, prepared, exclusive, st);
+    return st;
+  }
+  // Structural edit. When the artefact is stratified and the new tree
+  // decomposes compatibly, only strata whose module actually changed pay
+  // a cold prepare; a splice keeps existing node indices, so strata pair
+  // up by their top-child NodeIndex.
+  if (prepared.strata && prepared.strata->applicable) {
+    maxsat::StratifiedPlan next = maxsat::plan_strata(new_tree);
+    const maxsat::StratifiedPlan& old = *prepared.strata;
+    if (next.applicable && next.combine == old.combine && next.k == old.k) {
+      std::unordered_map<ft::NodeIndex, std::size_t> by_gate;
+      for (std::size_t i = 0; i < old.strata.size(); ++i) {
+        by_gate.emplace(old.strata[i].gate, i);
+      }
+      std::vector<std::ptrdiff_t> reused_from(next.strata.size(), -1);
+      std::vector<std::size_t> dirty;
+      for (std::size_t i = 0; i < next.strata.size(); ++i) {
+        maxsat::StratifiedStratum& s = next.strata[i];
+        if (s.trivial) continue;
+        ++st.strata_total;
+        const auto it = by_gate.find(s.gate);
+        if (it != by_gate.end()) {
+          const maxsat::StratifiedStratum& o = old.strata[it->second];
+          if (!o.trivial && o.prepared) {
+            if (ft::structural_equal(s.module.tree, o.module.tree)) {
+              // Identical module (shape and weights): share the artefact,
+              // warm session included.
+              s.prepared = o.prepared;
+              reused_from[i] = static_cast<std::ptrdiff_t>(it->second);
+              ++st.strata_reused;
+              continue;
+            }
+            if (ft::structural_equal(s.module.tree, o.module.tree,
+                                     /*compare_probabilities=*/false)) {
+              // Same hard clauses, new weights: patch instead of
+              // re-preparing (the splice happened elsewhere; this module
+              // only saw weight drift via shared events).
+              auto sub = std::make_shared<PreparedInstance>(*o.prepared);
+              reweight_prepared(s.module.tree, *sub, exclusive, st);
+              s.prepared = std::move(sub);
+              ++st.strata_reweighted;
+              continue;
+            }
+          }
+        }
+        dirty.push_back(i);
+      }
+      // The monolithic artefacts span the whole tree, so a structural
+      // edit invalidates them wholesale (their hard clauses changed) —
+      // rebuild, cold. For OR combines this is just the raw instance.
+      build_monolithic(new_tree, next.combine == ft::NodeType::Or, prepared,
+                       cancel);
+      for (const std::size_t i : dirty) {
+        maxsat::StratifiedStratum& s = next.strata[i];
+        s.prepared = std::make_shared<const PreparedInstance>(
+            prepare(s.module.tree, cancel));
+        ++st.strata_reprepared;
+      }
+      // Memo entries follow the strata they were computed for; anything
+      // reweighted or re-prepared starts empty.
+      auto memo = std::make_shared<StratumMemo>();
+      if (prepared.stratum_memo) {
+        std::lock_guard<std::mutex> lock(prepared.stratum_memo->mutex);
+        for (const auto& [key, vec] : prepared.stratum_memo->entries) {
+          auto& kept = memo->entries[key];
+          kept.resize(next.strata.size());
+          for (std::size_t i = 0; i < next.strata.size(); ++i) {
+            const std::ptrdiff_t j = reused_from[i];
+            if (j >= 0 && static_cast<std::size_t>(j) < vec.size()) {
+              kept[i] = vec[j];
+            }
+          }
+        }
+      }
+      prepared.stratum_memo = std::move(memo);
+      prepared.strata =
+          std::make_shared<const maxsat::StratifiedPlan>(std::move(next));
+      return st;
+    }
+  }
+  // No patchable structure (monolithic artefact, or the decomposition
+  // shape itself changed): cold re-prepare.
+  prepared = prepare(new_tree, std::move(cancel));
+  st.reprepared = true;
+  return st;
+}
+
+DeltaApplication MpmcsPipeline::apply_delta(const ft::FaultTree& new_tree,
+                                            const ft::TreeDelta& delta,
+                                            PreparedInstance& prepared,
+                                            util::CancelTokenPtr cancel) const {
+  return patch_prepared(new_tree, delta, prepared, /*exclusive=*/true,
+                        std::move(cancel));
+}
+
+PreparedInstance MpmcsPipeline::derive_prepared(
+    const ft::FaultTree& new_tree, const ft::TreeDelta& delta,
+    const PreparedInstance& base, DeltaApplication* stats,
+    util::CancelTokenPtr cancel) const {
+  PreparedInstance out = base;
+  const DeltaApplication st =
+      patch_prepared(new_tree, delta, out, /*exclusive=*/false,
+                     std::move(cancel));
+  if (stats) *stats = st;
+  return out;
 }
 
 MpmcsSolution MpmcsPipeline::solve_prepared(const ft::FaultTree& tree,
@@ -532,8 +854,7 @@ MpmcsSolution MpmcsPipeline::solve_prepared(const ft::FaultTree& tree,
   util::Timer total;
   if (opts_.solver == SolverChoice::Stratified && prepared.strata &&
       prepared.strata->applicable) {
-    MpmcsSolution sol =
-        solve_stratified(tree, *prepared.strata, std::move(cancel));
+    MpmcsSolution sol = solve_stratified(tree, prepared, std::move(cancel));
     sol.total_seconds = total.seconds();
     return sol;
   }
@@ -624,12 +945,31 @@ MpmcsSolution MpmcsPipeline::solve_decomposed(const ft::FaultTree& tree,
 }
 
 MpmcsSolution MpmcsPipeline::solve_stratified(
-    const ft::FaultTree& tree, const maxsat::StratifiedPlan& plan,
+    const ft::FaultTree& tree, const PreparedInstance& prepared,
     util::CancelTokenPtr cancel) const {
+  const maxsat::StratifiedPlan& plan = *prepared.strata;
   util::Timer total;
   MpmcsSolution sol;
   sol.solver_name = "stratified";
   sol.lineage = "strata";
+  // Per-stratum optima memo: a stratum solved once under this
+  // configuration is free on every later solve of the artefact, and the
+  // mutation path invalidates exactly the entries an edit touched — the
+  // re-solve after a local edit pays SAT calls for that module only.
+  // The key covers the options that change a stratum's *answer* (shrink
+  // drops gratuitous members); costs are in the tree's weight space,
+  // which the structural key already pins.
+  const std::string memo_key =
+      std::string(opts_.shrink_to_minimal ? "s" : "-") +
+      (opts_.hedging_effective() ? "h" : "-");
+  std::vector<std::optional<maxsat::StratumOutcome>> memo;
+  if (prepared.stratum_memo) {
+    std::lock_guard<std::mutex> lock(prepared.stratum_memo->mutex);
+    const auto it = prepared.stratum_memo->entries.find(memo_key);
+    if (it != prepared.stratum_memo->entries.end()) memo = it->second;
+  }
+  memo.resize(plan.strata.size());
+  bool memo_grew = false;
   // One sub-solve per stratum (trivial single-event strata are closed
   // form), each on its own prepared sub-artefact and incremental session.
   std::vector<maxsat::StratumOutcome> outcomes(plan.strata.size());
@@ -641,6 +981,10 @@ MpmcsSolution MpmcsPipeline::solve_stratified(
       o.cut = ft::CutSet({s.event});
       o.cost =
           maxsat::scaled_cut_cost(tree, o.cut.events(), opts_.weight_scale);
+      continue;
+    }
+    if (memo[i]) {
+      o = *memo[i];
       continue;
     }
     const MpmcsSolution sub =
@@ -660,6 +1004,16 @@ MpmcsSolution MpmcsPipeline::solve_stratified(
       o.cut = ft::CutSet(std::move(mapped));
       o.cost =
           maxsat::scaled_cut_cost(tree, o.cut.events(), opts_.weight_scale);
+      memo[i] = o;
+      memo_grew = true;
+    }
+  }
+  if (memo_grew && prepared.stratum_memo) {
+    std::lock_guard<std::mutex> lock(prepared.stratum_memo->mutex);
+    auto& stored = prepared.stratum_memo->entries[memo_key];
+    stored.resize(plan.strata.size());
+    for (std::size_t i = 0; i < plan.strata.size(); ++i) {
+      if (memo[i] && !stored[i]) stored[i] = memo[i];
     }
   }
 

@@ -27,7 +27,9 @@
 
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,16 +37,14 @@
 #include "ft/cut_set.hpp"
 #include "ft/fault_tree.hpp"
 #include "ft/json_writer.hpp"
+#include "ft/tree_delta.hpp"
 #include "logic/tseitin.hpp"
 #include "maxsat/incremental.hpp"
 #include "maxsat/instance.hpp"
 #include "maxsat/solver.hpp"
+#include "maxsat/stratified.hpp"
 #include "preprocess/preprocess.hpp"
 #include "util/cancel.hpp"
-
-namespace fta::maxsat {
-struct StratifiedPlan;  // maxsat/stratified.hpp (holds PreparedInstances)
-}  // namespace fta::maxsat
 
 namespace fta::core {
 
@@ -158,6 +158,38 @@ struct MpmcsSolution {
   std::string lineage;
 };
 
+/// Memoized per-stratum optima of a stratified artefact: keyed by the
+/// solve-relevant configuration (shrink/hedge flags), indexed by stratum
+/// position in the plan. Shared mutable state hanging off a (possibly
+/// cached) PreparedInstance, guarded by `mutex` — the same pattern as the
+/// engine's solution memo, one level down. apply_delta() invalidates
+/// exactly the touched strata's entries, so after a local edit the
+/// untouched modules cost zero SAT calls to re-solve.
+struct StratumMemo {
+  std::mutex mutex;
+  std::map<std::string, std::vector<std::optional<maxsat::StratumOutcome>>>
+      entries;
+};
+
+/// What apply_delta()/derive_prepared() did to the artefact — the lineage
+/// record the service reports as `delta_applied` and the mutation bench
+/// asserts on.
+struct DeltaApplication {
+  /// The delta left the tree's structure (hard clauses) intact: softs
+  /// were rebuilt in place and sessions rebased — zero re-encoding.
+  bool weight_only = false;
+  /// Fell back to a full cold prepare (the topology changed too much to
+  /// patch).
+  bool reprepared = false;
+  /// At least one incremental session survived the edit with its SAT
+  /// state (learnt clauses, totalizers, cores) intact.
+  bool session_rebased = false;
+  std::size_t strata_total = 0;       ///< Non-trivial strata examined.
+  std::size_t strata_reused = 0;      ///< Untouched: sub-artefact shared.
+  std::size_t strata_reweighted = 0;  ///< Weight-patched sub-artefacts.
+  std::size_t strata_reprepared = 0;  ///< Cold re-prepared sub-artefacts.
+};
+
 /// The Step 1-4 artefacts plus the optional Step 3.5 simplification —
 /// everything needed to jump straight to Step 5. Built once per tree by
 /// prepare() and cached by engine::TreeCache for repeated structures.
@@ -179,6 +211,8 @@ struct PreparedInstance {
   /// separates those artefacts); null or !applicable means the tree does
   /// not decompose and Stratified falls back to the hedged portfolio.
   std::shared_ptr<const maxsat::StratifiedPlan> strata;
+  /// Per-stratum optima memo (stratified artefacts only, else null).
+  std::shared_ptr<StratumMemo> stratum_memo;
 };
 
 class MpmcsPipeline {
@@ -233,6 +267,39 @@ class MpmcsPipeline {
   MpmcsSolution solve_prepared(const ft::FaultTree& tree,
                                const maxsat::WcnfInstance& instance,
                                util::CancelTokenPtr cancel = nullptr) const;
+
+  /// Patches `prepared` (built for the tree `delta` was applied to) into
+  /// the artefact prepare(new_tree) would build, reusing everything the
+  /// edit did not touch. `new_tree` must be apply_delta(old_tree, delta).
+  /// Weight-only deltas rebuild the soft clauses in place and *rebase*
+  /// the live incremental sessions — the SAT solver state (hard clauses,
+  /// learnt clauses, totalizer networks) is weight-independent, so no
+  /// re-encoding and no cold prepare happens at all. Structural deltas on
+  /// stratified artefacts re-prepare only the strata whose module
+  /// changed; everything else falls back to a cold prepare. The caller
+  /// must own `prepared` exclusively (no cache-shared copies) because
+  /// sessions are mutated in place — shared artefacts go through
+  /// derive_prepared() instead.
+  DeltaApplication apply_delta(const ft::FaultTree& new_tree,
+                               const ft::TreeDelta& delta,
+                               PreparedInstance& prepared,
+                               util::CancelTokenPtr cancel = nullptr) const;
+
+  /// Non-destructive apply_delta: returns a patched *copy* of `base`,
+  /// which may be shared (an engine cache entry). Untouched sub-artefacts
+  /// and contexts are shared with the base; anything reweighted gets a
+  /// fresh session (the base's warm sessions are never mutated).
+  PreparedInstance derive_prepared(const ft::FaultTree& new_tree,
+                                   const ft::TreeDelta& delta,
+                                   const PreparedInstance& base,
+                                   DeltaApplication* stats = nullptr,
+                                   util::CancelTokenPtr cancel = nullptr) const;
+
+  /// Process-wide count of cold prepares (prepare_with_plan invocations,
+  /// including recursive per-stratum sub-prepares). The mutation bench
+  /// and tests assert on deltas of this counter: a weight-only edit adds
+  /// 0, a single-module splice adds exactly that module's prepares.
+  static std::uint64_t prepare_calls() noexcept;
 
   /// Async entry point: solve() on a detached thread, result via future.
   /// The task takes its own copy of the tree and options, so neither the
@@ -301,8 +368,9 @@ class MpmcsPipeline {
       util::CancelTokenPtr cancel) const;
   /// The stratified strategy: per-stratum sub-solves (each on its own
   /// prepared artefact) recombined exactly; see maxsat/stratified.
+  /// Consults and populates the artefact's StratumMemo.
   MpmcsSolution solve_stratified(const ft::FaultTree& tree,
-                                 const maxsat::StratifiedPlan& plan,
+                                 const PreparedInstance& prepared,
                                  util::CancelTokenPtr cancel) const;
   /// Stratified top-k for OR-combined plans: the global family is the
   /// disjoint union of the stratum families, so per-stratum top-k streams
@@ -322,6 +390,26 @@ class MpmcsPipeline {
   PreparedInstance prepare_with_plan(const ft::FaultTree& tree,
                                      maxsat::StratifiedPlan plan,
                                      util::CancelTokenPtr cancel) const;
+  /// The whole-tree artefacts of prepare_with_plan (raw instance, Step
+  /// 3.5 pass, session, shrink context) built into `prepared`, replacing
+  /// whatever was there. Shared by prepare_with_plan and the structural
+  /// branch of patch_prepared.
+  void build_monolithic(const ft::FaultTree& tree, bool strata_only,
+                        PreparedInstance& prepared,
+                        util::CancelTokenPtr cancel) const;
+  /// apply_delta/derive_prepared implementation; `exclusive` says whether
+  /// sessions may be rebased in place (true) or must be replaced by
+  /// fresh ones (false — the base is shared with a cache).
+  DeltaApplication patch_prepared(const ft::FaultTree& new_tree,
+                                  const ft::TreeDelta& delta,
+                                  PreparedInstance& prepared, bool exclusive,
+                                  util::CancelTokenPtr cancel) const;
+  /// Weight-only patch: rebuilds raw/simplified softs under the new
+  /// tree's weights, rebases (or replaces) sessions, recurses into
+  /// stratified sub-artefacts whose events changed.
+  void reweight_prepared(const ft::FaultTree& tree,
+                         PreparedInstance& prepared, bool exclusive,
+                         DeltaApplication& st) const;
   maxsat::MaxSatSolverPtr make_solver() const;
 
   PipelineOptions opts_;

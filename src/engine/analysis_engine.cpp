@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "bdd/fta_bdd.hpp"
+#include "ft/parser.hpp"
 #include "util/timer.hpp"
 
 namespace fta::engine {
@@ -28,17 +29,20 @@ AnalysisEngine::AnalysisEngine(EngineOptions opts)
 
 AnalysisEngine::~AnalysisEngine() = default;
 
-std::future<AnalysisResult> AnalysisEngine::submit(AnalysisRequest request) {
+AnalysisTicket AnalysisEngine::analyze(AnalysisRequest request) {
   util::CancelTokenPtr token;
   {
     std::lock_guard<std::mutex> lock(lifetime_mutex_);
     token = util::make_child_token(lifetime_);
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  return pool_.submit(
+  AnalysisTicket ticket;
+  ticket.id = request.id;
+  ticket.result = pool_.submit(
       [this, request = std::move(request), token = std::move(token)]() mutable {
         return execute(std::move(request), std::move(token));
       });
+  return ticket;
 }
 
 std::vector<AnalysisResult> AnalysisEngine::run_batch(
@@ -68,21 +72,146 @@ EngineStats AnalysisEngine::stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
+  s.delta_hits = cache_.delta_hits();
   s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
   s.pool_steals = pool_.steals();
   s.session_memory_bytes = cache_.session_memory_bytes();
   s.session_evictions = cache_.session_evictions();
+  s.trees_active = num_trees();
+  s.tree_edits = tree_edits_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::string AnalysisEngine::create_tree(ft::FaultTree tree,
+                                        core::PipelineOptions pipeline) {
+  tree.validate();
+  auto res = std::make_shared<TreeResource>();
+  res->pipeline = pipeline;
+  // Eager prepare: the creation request pays the cold transformation
+  // once, so every later edit on the resource is a patch, never a
+  // rebuild-in-disguise.
+  const core::MpmcsPipeline p(pipeline);
+  res->prepared = p.prepare(tree);
+  res->tree = std::move(tree);
+  res->last_used = use_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string id =
+      "t" + std::to_string(next_tree_id_.fetch_add(1,
+                                                   std::memory_order_relaxed) +
+                           1);
+  std::lock_guard<std::mutex> lock(trees_mutex_);
+  trees_.emplace(id, std::move(res));
+  return id;
+}
+
+bool AnalysisEngine::release_tree(const std::string& id) {
+  std::lock_guard<std::mutex> lock(trees_mutex_);
+  return trees_.erase(id) > 0;
+}
+
+std::optional<TreeResourceInfo> AnalysisEngine::tree_info(
+    const std::string& id) const {
+  std::shared_ptr<TreeResource> res;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    const auto it = trees_.find(id);
+    if (it == trees_.end()) return std::nullopt;
+    res = it->second;
+  }
+  std::lock_guard<std::mutex> lock(res->mutex);
+  TreeResourceInfo info;
+  info.id = id;
+  info.version = res->version;
+  info.edits = res->edits;
+  info.events = res->tree.num_events();
+  info.nodes = res->tree.num_nodes();
+  info.last_used = res->last_used;
+  return info;
+}
+
+std::optional<std::string> AnalysisEngine::tree_text(
+    const std::string& id) const {
+  std::shared_ptr<TreeResource> res;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    const auto it = trees_.find(id);
+    if (it == trees_.end()) return std::nullopt;
+    res = it->second;
+  }
+  std::lock_guard<std::mutex> lock(res->mutex);
+  return ft::to_text(res->tree);
+}
+
+std::optional<ft::FaultTree> AnalysisEngine::tree_snapshot(
+    const std::string& id) const {
+  std::shared_ptr<TreeResource> res;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    const auto it = trees_.find(id);
+    if (it == trees_.end()) return std::nullopt;
+    res = it->second;
+  }
+  std::lock_guard<std::mutex> lock(res->mutex);
+  return res->tree;
+}
+
+bool AnalysisEngine::validate_delta(const std::string& id,
+                                    const ft::TreeDelta& delta) const {
+  std::shared_ptr<TreeResource> res;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    const auto it = trees_.find(id);
+    if (it == trees_.end()) return false;
+    res = it->second;
+  }
+  std::lock_guard<std::mutex> lock(res->mutex);
+  ft::validate_delta(res->tree, delta);
+  return true;
+}
+
+std::vector<TreeResourceInfo> AnalysisEngine::list_trees() const {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    ids.reserve(trees_.size());
+    for (const auto& [id, res] : trees_) ids.push_back(id);
+  }
+  std::vector<TreeResourceInfo> out;
+  out.reserve(ids.size());
+  for (const std::string& id : ids) {
+    if (auto info = tree_info(id)) out.push_back(std::move(*info));
+  }
+  return out;
+}
+
+std::size_t AnalysisEngine::num_trees() const {
+  std::lock_guard<std::mutex> lock(trees_mutex_);
+  return trees_.size();
 }
 
 PreparedTreePtr AnalysisEngine::prepared_for(
     const core::MpmcsPipeline& pipeline, const AnalysisRequest& request,
-    AnalysisResult& result) {
+    const ft::FaultTree* base, AnalysisResult& result) {
   const std::string key = structural_key(request.tree, request.pipeline);
   PreparedTreePtr prepared = cache_.find(key);
   if (prepared) {
     result.cache_hit = true;
     return prepared;
+  }
+  // Delta match: the edited tree misses, but its base is resident —
+  // derive a patched artefact from the base entry (sharing every
+  // untouched piece) instead of re-running the transformation steps.
+  if (base != nullptr && request.delta) {
+    const PreparedTreePtr base_entry =
+        cache_.find_base(structural_key(*base, request.pipeline));
+    if (base_entry) {
+      util::Timer build;
+      auto derived = std::make_shared<PreparedTree>();
+      derived->prepared = pipeline.derive_prepared(
+          request.tree, *request.delta, base_entry->prepared, &result.delta);
+      derived->build_seconds = build.seconds();
+      result.delta_applied = true;
+      return cache_.insert(key, std::move(derived));
+    }
   }
   util::Timer build;
   auto built = std::make_shared<PreparedTree>();
@@ -94,6 +223,7 @@ PreparedTreePtr AnalysisEngine::prepared_for(
 }
 
 void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
+                               const ft::FaultTree* base,
                                util::CancelTokenPtr token,
                                AnalysisResult& result) {
   const core::MpmcsPipeline pipeline(request.pipeline);
@@ -104,7 +234,7 @@ void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
   if (!cacheable) {
     result.mpmcs = pipeline.solve(request.tree, std::move(token));
   } else {
-    PreparedTreePtr prepared = prepared_for(pipeline, request, result);
+    PreparedTreePtr prepared = prepared_for(pipeline, request, base, result);
     // Second tier: a solution memoized under the same structure and an
     // outcome-equivalent solver configuration skips Step 5 entirely.
     // Hedging widens the race (a raw-lineage member may win a tie with a
@@ -140,6 +270,7 @@ void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
 }
 
 void AnalysisEngine::run_top_k(const AnalysisRequest& request,
+                               const ft::FaultTree* base,
                                util::CancelTokenPtr token,
                                AnalysisResult& result) {
   const core::MpmcsPipeline pipeline(request.pipeline);
@@ -151,7 +282,7 @@ void AnalysisEngine::run_top_k(const AnalysisRequest& request,
     // Enumeration shares the cached Step 1-4/3.5 artefact — and, through
     // it, the warm incremental session — with MPMCS traffic on the same
     // structure instead of re-preparing per request.
-    PreparedTreePtr prepared = prepared_for(pipeline, request, result);
+    PreparedTreePtr prepared = prepared_for(pipeline, request, base, result);
     // Third tier: a completed enumeration under the same structure,
     // solver configuration AND k replays with zero solver work. k is
     // part of the key — a k=5 sequence is not a valid k=10 answer, and
@@ -187,6 +318,108 @@ void AnalysisEngine::run_top_k(const AnalysisRequest& request,
   result.ok = final_status != maxsat::MaxSatStatus::Unknown;
 }
 
+void AnalysisEngine::run_importance(const ft::FaultTree& tree,
+                                    util::CancelTokenPtr token,
+                                    AnalysisResult& result) const {
+  bdd::FaultTreeBdd analysis(tree);
+  const auto mcs = analysis.minimal_cut_sets();
+  if (!token->cancelled()) {
+    result.importance = analysis::importance_measures(tree, mcs);
+    result.ok = true;
+  }
+}
+
+void AnalysisEngine::run_quantitative(const ft::FaultTree& tree,
+                                      AnalysisResult& result) const {
+  bdd::FaultTreeBdd analysis(tree);
+  result.quantitative.top_probability = analysis.top_probability();
+  result.quantitative.mcs_count = analysis.mcs_count();
+  const ft::TreeStats ts = tree.stats();
+  result.quantitative.events = ts.events;
+  result.quantitative.gates = ts.gates;
+  result.ok = true;  // the BDD ran to completion
+}
+
+void AnalysisEngine::run_resource(const AnalysisRequest& request,
+                                  util::CancelTokenPtr token,
+                                  AnalysisResult& result) {
+  std::shared_ptr<TreeResource> res;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    const auto it = trees_.find(request.tree_id);
+    if (it != trees_.end()) res = it->second;
+  }
+  if (!res) {
+    result.error = "unknown tree id '" + request.tree_id + "'";
+    return;
+  }
+  // Per-resource linearization: edits and solves on one resource are
+  // serialized in arrival order (the version sequence is meaningful);
+  // requests to different resources run concurrently across the pool.
+  std::lock_guard<std::mutex> lock(res->mutex);
+  res->last_used = use_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // The resource's pipeline configuration shaped its artefact; a
+  // per-request override would silently mismatch the two.
+  const core::MpmcsPipeline pipeline(res->pipeline);
+  if (request.delta && !request.delta->empty()) {
+    // Throws ft::DeltaError on bad edits — reported via result.error
+    // with the resource untouched.
+    ft::FaultTree next = ft::apply_delta(res->tree, *request.delta);
+    result.delta = pipeline.apply_delta(next, *request.delta, res->prepared,
+                                        token);
+    res->tree = std::move(next);
+    ++res->version;
+    res->edits += request.delta->ops.size();
+    // Whole-solution memo dies with the edit; the stratum-level memo
+    // inside the artefact carries the untouched modules across.
+    res->solutions.clear();
+    result.delta_applied = true;
+    tree_edits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  result.tree_id = request.tree_id;
+  result.tree_version = res->version;
+  switch (request.kind) {
+    case AnalysisKind::Mpmcs: {
+      const std::string memo_key =
+          std::string(core::solver_choice_name(res->pipeline.solver)) +
+          (res->pipeline.shrink_to_minimal ? "|s" : "|-") +
+          (res->pipeline.hedging_effective() ? "|h" : "|-");
+      if (opts_.memoize_results) {
+        const auto it = res->solutions.find(memo_key);
+        if (it != res->solutions.end()) {
+          result.mpmcs = it->second;
+          result.memoized = true;
+          result.ok = true;
+          memo_hits_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      result.mpmcs =
+          pipeline.solve_prepared(res->tree, res->prepared, token);
+      if (opts_.memoize_results &&
+          result.mpmcs.status != maxsat::MaxSatStatus::Unknown) {
+        res->solutions.emplace(memo_key, result.mpmcs);
+      }
+      result.ok = result.mpmcs.status != maxsat::MaxSatStatus::Unknown;
+      break;
+    }
+    case AnalysisKind::TopK: {
+      maxsat::MaxSatStatus final_status = maxsat::MaxSatStatus::Optimal;
+      result.top = pipeline.top_k_prepared(res->tree, res->prepared,
+                                           request.top_k, token,
+                                           &final_status);
+      result.ok = final_status != maxsat::MaxSatStatus::Unknown;
+      break;
+    }
+    case AnalysisKind::Importance:
+      run_importance(res->tree, token, result);
+      break;
+    case AnalysisKind::Quantitative:
+      run_quantitative(res->tree, result);
+      break;
+  }
+}
+
 AnalysisResult AnalysisEngine::execute(AnalysisRequest request,
                                        util::CancelTokenPtr token) {
   util::Timer timer;
@@ -208,34 +441,34 @@ AnalysisResult AnalysisEngine::execute(AnalysisRequest request,
     }
   }
   try {
-    request.tree.validate();
-    if (!token->cancelled()) {
-      switch (request.kind) {
-        case AnalysisKind::Mpmcs:
-          run_mpmcs(request, token, result);
-          break;
-        case AnalysisKind::TopK:
-          run_top_k(request, token, result);
-          break;
-        case AnalysisKind::Importance: {
-          bdd::FaultTreeBdd analysis(request.tree);
-          const auto mcs = analysis.minimal_cut_sets();
-          if (!token->cancelled()) {
-            result.importance =
-                analysis::importance_measures(request.tree, mcs);
-            result.ok = true;
-          }
-          break;
-        }
-        case AnalysisKind::Quantitative: {
-          bdd::FaultTreeBdd analysis(request.tree);
-          result.quantitative.top_probability = analysis.top_probability();
-          result.quantitative.mcs_count = analysis.mcs_count();
-          const ft::TreeStats ts = request.tree.stats();
-          result.quantitative.events = ts.events;
-          result.quantitative.gates = ts.gates;
-          result.ok = true;  // the BDD ran to completion
-          break;
+    if (!request.tree_id.empty()) {
+      if (!token->cancelled()) run_resource(request, token, result);
+    } else {
+      // Stateless path. A delta makes `tree` the base: the effective
+      // analysed tree is base + delta, and prepared_for() delta-matches
+      // the base's cache entry before falling back to a cold prepare.
+      ft::FaultTree base;
+      const bool has_delta = request.delta && !request.delta->empty();
+      if (has_delta) {
+        base = request.tree;
+        request.tree = ft::apply_delta(base, *request.delta);
+      }
+      request.tree.validate();
+      const ft::FaultTree* base_ptr = has_delta ? &base : nullptr;
+      if (!token->cancelled()) {
+        switch (request.kind) {
+          case AnalysisKind::Mpmcs:
+            run_mpmcs(request, base_ptr, token, result);
+            break;
+          case AnalysisKind::TopK:
+            run_top_k(request, base_ptr, token, result);
+            break;
+          case AnalysisKind::Importance:
+            run_importance(request.tree, token, result);
+            break;
+          case AnalysisKind::Quantitative:
+            run_quantitative(request.tree, result);
+            break;
         }
       }
     }

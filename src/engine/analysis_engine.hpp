@@ -23,13 +23,16 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/importance.hpp"
 #include "core/pipeline.hpp"
 #include "engine/tree_cache.hpp"
 #include "ft/fault_tree.hpp"
+#include "ft/tree_delta.hpp"
 #include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
@@ -44,9 +47,24 @@ enum class AnalysisKind : std::uint8_t {
 
 const char* analysis_kind_name(AnalysisKind k) noexcept;
 
+/// The one request shape every analysis goes through (see analyze()):
+/// either an inline `tree` or a registered resource `tree_id`, optionally
+/// a `delta` to apply first, plus the kind/k/deadline/solver knobs.
 struct AnalysisRequest {
   std::string id;         ///< Caller-chosen label (e.g. the file name).
-  ft::FaultTree tree;
+  ft::FaultTree tree;     ///< Ignored when `tree_id` is set.
+  /// Registered tree resource (see create_tree) to analyse instead of
+  /// `tree`. The request runs against the resource's current tree and
+  /// prepared artefact under the resource lock; the resource's pipeline
+  /// configuration (fixed at creation) overrides `pipeline`.
+  std::string tree_id;
+  /// Edit to apply before analysing. With `tree_id`: mutates the
+  /// resource in place — its artefact is patched (sessions rebased,
+  /// dirty strata re-prepared) and its version bumped. Without: `tree`
+  /// is the *base*; the effective tree is apply_delta(tree, delta) and
+  /// the engine delta-matches the base's cache entry (deriving a patched
+  /// artefact) before falling back to a cold prepare.
+  std::optional<ft::TreeDelta> delta;
   AnalysisKind kind = AnalysisKind::Mpmcs;
   std::size_t top_k = 3;  ///< TopK only.
   core::PipelineOptions pipeline;
@@ -70,6 +88,13 @@ struct AnalysisResult {
   bool memoized = false;   ///< Whole solution reused (implies cache_hit).
   std::string error;       ///< Parse/validation/analysis failure, if any.
   double seconds = 0.0;    ///< Wall clock inside the worker.
+  /// Delta lineage: set when the request carried a delta that was
+  /// applied (resource mutation or cache delta-match); `delta` then says
+  /// how much of the artefact survived the edit.
+  bool delta_applied = false;
+  core::DeltaApplication delta;
+  std::string tree_id;            ///< Resolved resource, when one was used.
+  std::uint64_t tree_version = 0; ///< Resource version after the request.
 
   core::MpmcsSolution mpmcs;             ///< Mpmcs.
   std::vector<core::MpmcsSolution> top;  ///< TopK.
@@ -109,10 +134,33 @@ struct EngineStats {
   std::uint64_t failed = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t delta_hits = 0;  ///< Cache delta-matches (derived entries).
   std::uint64_t memo_hits = 0;
   std::uint64_t pool_steals = 0;
   std::uint64_t session_memory_bytes = 0;  ///< Current pool-wide estimate.
   std::uint64_t session_evictions = 0;     ///< Entries shed by the cap.
+  std::uint64_t trees_active = 0;   ///< Registered tree resources alive.
+  std::uint64_t tree_edits = 0;     ///< Deltas applied to resources.
+};
+
+/// A registered tree resource's public face (the service renders these).
+struct TreeResourceInfo {
+  std::string id;
+  std::uint64_t version = 1;  ///< Bumped per applied delta.
+  std::uint64_t edits = 0;    ///< Total delta ops applied.
+  std::size_t events = 0;
+  std::size_t nodes = 0;
+  /// Monotonic use tick (not wall time): higher = more recently used.
+  /// The service's LRU eviction picks the minimum.
+  std::uint64_t last_used = 0;
+};
+
+/// Handle returned by analyze(): the request label plus the future
+/// carrying its result. Analysis failures are reported inside
+/// AnalysisResult, never thrown through the future.
+struct AnalysisTicket {
+  std::string id;
+  std::future<AnalysisResult> result;
 };
 
 class AnalysisEngine {
@@ -123,12 +171,52 @@ class AnalysisEngine {
   AnalysisEngine(const AnalysisEngine&) = delete;
   AnalysisEngine& operator=(const AnalysisEngine&) = delete;
 
-  /// Schedules one request; the future never throws for analysis errors
-  /// (they are reported in AnalysisResult::error).
-  std::future<AnalysisResult> submit(AnalysisRequest request);
+  /// THE entry point: schedules one request — inline tree or registered
+  /// resource, with or without a delta, any analysis kind — and returns
+  /// a ticket with the result future. Analysis errors are reported in
+  /// AnalysisResult::error, never thrown.
+  AnalysisTicket analyze(AnalysisRequest request);
+
+  /// Thin shim over analyze() (the historical entry point).
+  std::future<AnalysisResult> submit(AnalysisRequest request) {
+    return analyze(std::move(request)).result;
+  }
 
   /// Runs a whole batch and returns results in submission order.
   std::vector<AnalysisResult> run_batch(std::vector<AnalysisRequest> requests);
+
+  // --- stateful tree resources (the mutation API's server side) --------
+
+  /// Registers `tree` as a mutable resource and eagerly prepares its
+  /// solver artefact under `pipeline` (fixed for the resource's
+  /// lifetime). Returns the assigned id ("t1", "t2", ...). Requests
+  /// referencing the id run against the resource's current state;
+  /// deltas (AnalysisRequest::delta) mutate it in place, patching the
+  /// artefact instead of rebuilding it. Throws ft::ValidationError on an
+  /// invalid tree.
+  std::string create_tree(ft::FaultTree tree, core::PipelineOptions pipeline);
+
+  /// Destroys a resource (its artefact and sessions die with the last
+  /// in-flight request). Returns false for an unknown id.
+  bool release_tree(const std::string& id);
+
+  std::optional<TreeResourceInfo> tree_info(const std::string& id) const;
+  /// The resource's current tree in the parser's text format (the GET
+  /// representation); nullopt for an unknown id.
+  std::optional<std::string> tree_text(const std::string& id) const;
+  /// Copy of the resource's current tree (callers render cut-set event
+  /// names from it); nullopt for an unknown id. Events are only ever
+  /// appended by edits, so a snapshot taken after a solve can name every
+  /// event index that solve produced.
+  std::optional<ft::FaultTree> tree_snapshot(const std::string& id) const;
+  /// Dry-run delta validation against the resource's current tree, in
+  /// place under the resource lock (no tree copy — the serving hot path
+  /// calls this per PATCH). Returns false for an unknown id; throws
+  /// ft::DeltaError exactly when applying the delta would.
+  bool validate_delta(const std::string& id,
+                      const ft::TreeDelta& delta) const;
+  std::vector<TreeResourceInfo> list_trees() const;
+  std::size_t num_trees() const;
 
   /// Cancels queued and running requests. Running solvers observe the
   /// lifetime token at their next poll; queued requests complete
@@ -140,22 +228,57 @@ class AnalysisEngine {
   EngineStats stats() const;
 
  private:
+  /// One registered mutable tree: the current tree, its exclusively
+  /// owned prepared artefact, and the per-configuration solution memo
+  /// (cleared on every edit — the stratum-level memo inside the artefact
+  /// is what survives across edits). `mutex` linearizes edits and solves
+  /// per resource; different resources run concurrently.
+  struct TreeResource {
+    mutable std::mutex mutex;
+    ft::FaultTree tree;
+    core::PipelineOptions pipeline;
+    core::PreparedInstance prepared;
+    std::uint64_t version = 1;
+    std::uint64_t edits = 0;
+    std::uint64_t last_used = 0;
+    std::unordered_map<std::string, core::MpmcsSolution> solutions;
+  };
+
   AnalysisResult execute(AnalysisRequest request, util::CancelTokenPtr token);
-  /// Cache lookup-or-build of the Step 1-4/3.5 artefact for `request`;
-  /// sets result.cache_hit on a hit.
+  /// Cache lookup-or-build of the Step 1-4/3.5 artefact for the
+  /// (effective) request tree; sets result.cache_hit on an exact hit.
+  /// When the request carried a delta, `base` is the pre-delta tree and
+  /// a resident base entry is delta-matched: the artefact is derived
+  /// from it (sharing untouched pieces) instead of cold-prepared.
   PreparedTreePtr prepared_for(const core::MpmcsPipeline& pipeline,
                                const AnalysisRequest& request,
+                               const ft::FaultTree* base,
                                AnalysisResult& result);
-  void run_mpmcs(const AnalysisRequest& request, util::CancelTokenPtr token,
-                 AnalysisResult& result);
-  void run_top_k(const AnalysisRequest& request, util::CancelTokenPtr token,
-                 AnalysisResult& result);
+  void run_mpmcs(const AnalysisRequest& request, const ft::FaultTree* base,
+                 util::CancelTokenPtr token, AnalysisResult& result);
+  void run_top_k(const AnalysisRequest& request, const ft::FaultTree* base,
+                 util::CancelTokenPtr token, AnalysisResult& result);
+  /// The tree_id path: resolve the resource, apply any delta under its
+  /// lock (patching the artefact in place), then run the analysis on its
+  /// current state.
+  void run_resource(const AnalysisRequest& request, util::CancelTokenPtr token,
+                    AnalysisResult& result);
+  void run_importance(const ft::FaultTree& tree, util::CancelTokenPtr token,
+                      AnalysisResult& result) const;
+  void run_quantitative(const ft::FaultTree& tree,
+                        AnalysisResult& result) const;
 
   EngineOptions opts_;
   TreeCache cache_;
 
   mutable std::mutex lifetime_mutex_;
   util::CancelTokenPtr lifetime_;  ///< Parent of every request token.
+
+  mutable std::mutex trees_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<TreeResource>> trees_;
+  std::atomic<std::uint64_t> next_tree_id_{0};
+  std::atomic<std::uint64_t> use_tick_{0};
+  std::atomic<std::uint64_t> tree_edits_{0};
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};

@@ -67,7 +67,9 @@ std::string structural_key(const ft::FaultTree& tree,
     key.push_back(static_cast<char>(n.type));
     if (n.type == ft::NodeType::BasicEvent) {
       append_u32(key, n.event_index);
-      append_f64(key, n.probability);
+      // Effective probability: a disabled event keys like p = 0, so
+      // toggle deltas land on the right cache entries.
+      append_f64(key, n.enabled ? n.probability : 0.0);
     } else {
       if (n.type == ft::NodeType::Vote) append_u32(key, n.k);
       append_u32(key, static_cast<std::uint32_t>(n.children.size()));
@@ -86,6 +88,15 @@ PreparedTreePtr TreeCache::find(const std::string& key) {
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.value;
+}
+
+PreparedTreePtr TreeCache::find_base(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  delta_hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second.value;
 }
 

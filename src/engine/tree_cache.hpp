@@ -70,6 +70,14 @@ class TreeCache {
   /// Returns the entry for `key` (refreshing its recency), or null.
   PreparedTreePtr find(const std::string& key);
 
+  /// Delta-match probe: like find(), but for looking up the *base* entry
+  /// of a mutated tree (the engine patches it via
+  /// MpmcsPipeline::derive_prepared instead of cold-preparing the edited
+  /// tree). Counted separately — a base hit is a successful delta match,
+  /// not an exact-key hit, and a base miss is not an extra miss (the
+  /// exact lookup already recorded one).
+  PreparedTreePtr find_base(const std::string& key);
+
   /// Inserts `key` and returns the resident entry. When another thread
   /// raced the build and inserted first, the *existing* entry wins (so
   /// its memoized solutions survive) and is returned instead of `value`.
@@ -96,6 +104,9 @@ class TreeCache {
   std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t hits() const noexcept { return hits_.load(); }
   std::uint64_t misses() const noexcept { return misses_.load(); }
+  /// Successful delta matches (find_base hits that seeded a derived
+  /// artefact).
+  std::uint64_t delta_hits() const noexcept { return delta_hits_.load(); }
   std::uint64_t session_evictions() const noexcept {
     return session_evictions_.load();
   }
@@ -112,6 +123,7 @@ class TreeCache {
   std::list<std::string> lru_;  // front = most recent
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> delta_hits_{0};
   std::atomic<std::uint64_t> session_evictions_{0};
 };
 

@@ -138,7 +138,8 @@ void FaultTree::validate() const {
 std::vector<double> FaultTree::event_probabilities() const {
   std::vector<double> probs(event_nodes_.size());
   for (std::size_t e = 0; e < event_nodes_.size(); ++e) {
-    probs[e] = nodes_[event_nodes_[e]].probability;
+    const Node& n = nodes_[event_nodes_[e]];
+    probs[e] = n.enabled ? n.probability : 0.0;
   }
   return probs;
 }
@@ -153,6 +154,34 @@ void FaultTree::set_event_probability(EventIndex e, double probability) {
     throw ValidationError("probability out of [0,1]");
   }
   nodes_[event_nodes_.at(e)].probability = probability;
+}
+
+void FaultTree::set_event_enabled(EventIndex e, bool enabled) {
+  nodes_[event_nodes_.at(e)].enabled = enabled;
+}
+
+void FaultTree::reset_gate(NodeIndex gate, NodeType type, std::uint32_t k,
+                           std::vector<NodeIndex> children) {
+  if (gate >= nodes_.size()) throw ValidationError("reset_gate: bad index");
+  Node& n = nodes_[gate];
+  if (n.type == NodeType::BasicEvent) {
+    throw ValidationError("reset_gate: '" + n.name + "' is a basic event");
+  }
+  if (type == NodeType::BasicEvent) {
+    throw ValidationError("reset_gate: replacement root must be a gate");
+  }
+  for (NodeIndex c : children) {
+    if (c >= nodes_.size()) {
+      throw ValidationError("reset_gate: '" + n.name +
+                            "' references unknown child");
+    }
+  }
+  if (type == NodeType::Vote && (k < 1 || k > children.size())) {
+    throw ValidationError("reset_gate: '" + n.name + "': bad threshold");
+  }
+  n.type = type;
+  n.k = type == NodeType::Vote ? k : 0;
+  n.children = std::move(children);
 }
 
 TreeStats FaultTree::stats() const {

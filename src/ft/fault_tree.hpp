@@ -38,7 +38,8 @@ const char* node_type_name(NodeType t) noexcept;
 struct Node {
   std::string name;
   NodeType type = NodeType::BasicEvent;
-  double probability = 0.0;          ///< Basic events only.
+  double probability = 0.0;          ///< Basic events only (configured value).
+  bool enabled = true;               ///< Basic events only; disabled => p = 0.
   std::uint32_t k = 0;               ///< Vote gates only (k of n).
   std::vector<NodeIndex> children;   ///< Gates only.
   EventIndex event_index = kNoIndex; ///< Basic events only.
@@ -93,9 +94,20 @@ class FaultTree {
   NodeIndex event_node(EventIndex e) const { return event_nodes_.at(e); }
   const Node& event(EventIndex e) const { return nodes_.at(event_nodes_.at(e)); }
 
-  /// Probability of the i-th basic event.
+  /// Effective probability of the i-th basic event: the configured value,
+  /// or 0 while the event is disabled (it cannot occur).
   double event_probability(EventIndex e) const {
+    const Node& n = nodes_[event_nodes_.at(e)];
+    return n.enabled ? n.probability : 0.0;
+  }
+
+  /// The configured probability, regardless of the enabled flag.
+  double event_configured_probability(EventIndex e) const {
     return nodes_[event_nodes_.at(e)].probability;
+  }
+
+  bool event_enabled(EventIndex e) const {
+    return nodes_[event_nodes_.at(e)].enabled;
   }
 
   /// All event probabilities, indexed by EventIndex.
@@ -106,6 +118,16 @@ class FaultTree {
 
   /// Updates an event's probability (e.g. for sensitivity analysis).
   void set_event_probability(EventIndex e, double probability);
+
+  /// Enables/disables an event. Disabling is a reversible overlay: the
+  /// configured probability is kept and restored on re-enable.
+  void set_event_enabled(EventIndex e, bool enabled);
+
+  /// Redefines an existing gate in place (type, threshold, children) while
+  /// keeping its node index — parents stay wired. Used by subtree splicing;
+  /// callers must re-validate() afterwards.
+  void reset_gate(NodeIndex gate, NodeType type, std::uint32_t k,
+                  std::vector<NodeIndex> children);
 
   TreeStats stats() const;
 

@@ -90,14 +90,49 @@ void IncrementalOll::apply_card_blocks(
     base_.lower_bound += static_cast<Weight>(blk.k) * w_min;
     // Adopt the network: the layout's variables already live in the
     // solver's instance range; only the upward half still missing up to
-    // k+1 is emitted, making ~o_{k+1} the block's first guard.
-    totalizers_.emplace_back(sat_, blk.layout, blk.k + 1);
-    const std::size_t idx = totalizers_.size() - 1;
+    // k+1 is emitted, making ~o_{k+1} the block's first guard. A rebase
+    // re-runs this and must find the already-adopted network instead of
+    // emitting a duplicate.
+    std::size_t idx;
+    const auto cached = totalizer_cache_.find(sorted);
+    if (cached != totalizer_cache_.end()) {
+      idx = cached->second;
+    } else {
+      totalizers_.emplace_back(sat_, blk.layout, blk.k + 1);
+      idx = totalizers_.size() - 1;
+      totalizer_cache_.emplace(std::move(sorted), idx);
+    }
     const Lit guard = ~totalizers_[idx].at_least(blk.k + 1);
-    totalizer_cache_.emplace(std::move(sorted), idx);
     output_info_.emplace(guard, OutputInfo{idx, blk.k + 1});
     merged[guard] += w_min;
   }
+}
+
+bool IncrementalOll::rebase(std::shared_ptr<const WcnfInstance> instance) {
+  // Precondition (caller-enforced): `instance` differs from the current
+  // one in soft weights only — identical hards and cardinality metadata.
+  for (const auto& s : instance->soft()) {
+    if (s.lits.size() != 1) return false;
+  }
+  inst_ = std::move(instance);
+  sat_.ensure_vars(inst_->num_vars());
+  if (dead_) return true;  // hard side unchanged: still unsatisfiable
+  base_ = State{};
+  base_optimal_ = false;
+  // Fragmentation is weight-dependent; give OLL a fresh chance under the
+  // new weights (the core ceiling re-latches if the pathology persists).
+  fragmented_ = false;
+  std::unordered_map<Lit, Weight> merged;
+  for (const auto& s : inst_->soft()) merged[s.lits[0]] += s.weight;
+  apply_card_blocks(merged);
+  base_.pending.assign(merged.begin(), merged.end());
+  std::sort(base_.pending.begin(), base_.pending.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  activate_stratum(base_);
+  return true;
 }
 
 bool IncrementalOll::activate_stratum(State& st) {
@@ -439,6 +474,21 @@ IncrementalSolveSession::Guard IncrementalSolveSession::try_acquire() {
   return guard;
 }
 
+bool IncrementalSolveSession::rebase(
+    std::shared_ptr<const WcnfInstance> instance) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_context_) return false;
+  inst_ = std::move(instance);
+  // The LSU counting network bakes weights into its encoding; drop it and
+  // let the next solve rebuild it (and re-judge its budget) lazily.
+  lsu_.reset();
+  lsu_failed_.store(false);
+  if (oll_ && !oll_->rebase(inst_)) oll_.reset();
+  rebases_.fetch_add(1, std::memory_order_relaxed);
+  maybe_shed_memory();
+  return true;
+}
+
 SessionStats IncrementalSolveSession::stats() const {
   SessionStats s;
   s.solves = solves_.load(std::memory_order_relaxed);
@@ -446,6 +496,7 @@ SessionStats IncrementalSolveSession::stats() const {
   s.lsu_solves = lsu_solves_.load(std::memory_order_relaxed);
   s.contexts = contexts_.load(std::memory_order_relaxed);
   s.resets = resets_.load(std::memory_order_relaxed);
+  s.rebases = rebases_.load(std::memory_order_relaxed);
   s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
   return s;
 }

@@ -68,6 +68,15 @@ class IncrementalOll {
   MaxSatResult solve(std::span<const logic::Lit> context,
                      util::CancelTokenPtr cancel);
 
+  /// Re-targets the engine at an instance with identical hard clauses and
+  /// cardinality blocks but different soft weights (a weight-only tree
+  /// delta). The SAT solver — learnt clauses and every totalizer already
+  /// encoded — survives; only the core-transformation state (remaining
+  /// weights + lower bound) is rebuilt, so no clause is re-encoded.
+  /// Returns false when the new softs are not all unit (relaxer wiring
+  /// cannot be re-linked); the caller should rebuild the engine instead.
+  bool rebase(std::shared_ptr<const WcnfInstance> instance);
+
   /// Hard clauses were refuted at level 0 (construction or later).
   bool hard_unsat() const noexcept { return dead_; }
 
@@ -173,6 +182,7 @@ struct SessionStats {
   std::uint64_t lsu_solves = 0;
   std::uint64_t contexts = 0;     ///< Retired blocking contexts.
   std::uint64_t resets = 0;       ///< Memory-cap engine rebuilds.
+  std::uint64_t rebases = 0;      ///< Weight-only instance swaps.
   std::uint64_t fallbacks = 0;    ///< try_acquire lost to a concurrent owner.
 };
 
@@ -241,6 +251,15 @@ class IncrementalSolveSession {
   /// (callers fall back to stateless solving).
   Guard try_acquire();
 
+  /// Swaps the session onto a reweighted copy of its instance (identical
+  /// hard clauses, new soft weights). Blocks until any in-flight solve
+  /// releases the session. The OLL engine keeps its SAT solver, learnt
+  /// clauses and totalizer encodings (IncrementalOll::rebase); the LSU
+  /// engine is discarded — its weighted counting network bakes the old
+  /// weights in — and lazily rebuilt on next use. Returns false only if
+  /// called while a blocking context is open (a caller bug).
+  bool rebase(std::shared_ptr<const WcnfInstance> instance);
+
   const WcnfInstance& instance() const noexcept { return *inst_; }
   SessionStats stats() const;
   /// Engines' approximate footprint. Acquires the session lock.
@@ -282,6 +301,7 @@ class IncrementalSolveSession {
   std::atomic<std::uint64_t> lsu_solves_{0};
   std::atomic<std::uint64_t> contexts_{0};
   std::atomic<std::uint64_t> resets_{0};
+  std::atomic<std::uint64_t> rebases_{0};
   std::atomic<std::uint64_t> fallbacks_{0};
 };
 

@@ -44,6 +44,13 @@ class WcnfInstance {
     add_soft(logic::Clause{l}, weight);
   }
 
+  /// Drops every soft clause (hard side untouched) so the mutation path
+  /// can rebuild the softs under new weights against unchanged hards.
+  void clear_soft() {
+    soft_.clear();
+    total_soft_weight_ = 0;
+  }
+
   const std::vector<logic::Clause>& hard() const noexcept { return hard_; }
   const std::vector<SoftClause>& soft() const noexcept { return soft_; }
   Weight total_soft_weight() const noexcept { return total_soft_weight_; }

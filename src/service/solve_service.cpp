@@ -7,6 +7,7 @@
 
 #include "ft/parser.hpp"
 #include "ft/openpsa.hpp"
+#include "ft/tree_delta.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -68,6 +69,49 @@ std::string solution_json(const ft::FaultTree& tree,
          ", \"solver\": \"" + util::json_escape(sol.solver_name) +
          "\", \"lineage\": \"" + util::json_escape(sol.lineage) +
          "\", \"mpmcs\": " + cut_to_json_array(tree, sol.cut) + "}";
+}
+
+/// Strong etag over a resource revision: "<id>-v<version>".
+std::string make_etag(const std::string& id, std::uint64_t version) {
+  return id + "-v" + std::to_string(version);
+}
+
+/// Validated tenant for body-optional requests (GET/DELETE on tree
+/// resources). An empty body means the default tenant; a malformed one
+/// sets `error` and returns empty.
+std::string tenant_from_body(const std::string& body, std::string* error) {
+  if (body.find_first_not_of(" \t\r\n") == std::string::npos) return "default";
+  try {
+    const util::JsonValue doc = util::JsonValue::parse(body);
+    if (!doc.is_object()) {
+      throw util::JsonError(0, "request body must be a JSON object");
+    }
+    std::string tenant = doc.get_string("tenant", "default");
+    if (tenant.empty() || tenant.size() > 128) {
+      throw util::JsonError(0, "tenant must be 1..128 bytes");
+    }
+    return tenant;
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return std::string();
+  }
+}
+
+/// The re-solve lineage the mutation path reports: how much of the
+/// artefact survived the edit.
+std::string delta_application_json(const core::DeltaApplication& d) {
+  std::string j = "{";
+  j += std::string("\"weightOnly\": ") + (d.weight_only ? "true" : "false") +
+       ", ";
+  j += std::string("\"sessionRebased\": ") +
+       (d.session_rebased ? "true" : "false") + ", ";
+  j += std::string("\"reprepared\": ") + (d.reprepared ? "true" : "false") +
+       ", ";
+  j += "\"strataTotal\": " + std::to_string(d.strata_total) + ", ";
+  j += "\"strataReused\": " + std::to_string(d.strata_reused) + ", ";
+  j += "\"strataReweighted\": " + std::to_string(d.strata_reweighted) + ", ";
+  j += "\"strataReprepared\": " + std::to_string(d.strata_reprepared);
+  return j + "}";
 }
 
 std::string tenant_json(const std::string& name, const TenantCounters& t,
@@ -134,13 +178,16 @@ void SolveService::observe_service_time(double seconds) {
 }
 
 HttpResponse SolveService::handle(const HttpRequest& request) {
-  if (request.path == "/v1/healthz") {
+  std::string path = request.path;
+  const auto query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  if (path == "/v1/healthz") {
     if (request.method != "GET") {
       return error_response(405, "bad_request", "healthz is GET-only");
     }
     return handle_healthz();
   }
-  if (request.path == "/v1/statsz") {
+  if (path == "/v1/statsz") {
     if (request.method != "GET") {
       return error_response(405, "bad_request", "statsz is GET-only");
     }
@@ -148,18 +195,35 @@ HttpResponse SolveService::handle(const HttpRequest& request) {
     r.body = statsz_json();
     return r;
   }
-  if (request.path == "/v1/solve" || request.path == "/v1/topk") {
+  if (path == "/v1/solve" || path == "/v1/topk") {
     if (request.method != "POST") {
       return error_response(405, "bad_request", "solve endpoints are POST");
     }
-    return handle_solve(request, request.path == "/v1/solve"
-                                     ? AnalysisKind::Mpmcs
+    return handle_solve(
+        request, path == "/v1/solve" ? AnalysisKind::Mpmcs
                                      : AnalysisKind::TopK);
+  }
+  if (path == "/v1/trees") {
+    if (request.method == "POST") return handle_tree_create(request);
+    if (request.method == "GET") return handle_tree_list(request);
+    return error_response(405, "bad_request", "/v1/trees is POST or GET");
+  }
+  const std::string trees_prefix = "/v1/trees/";
+  if (path.rfind(trees_prefix, 0) == 0) {
+    const std::string id = path.substr(trees_prefix.size());
+    if (id.empty() || id.find('/') != std::string::npos) {
+      return error_response(404, "not_found", "malformed tree id");
+    }
+    if (request.method == "GET") return handle_tree_get(request, id);
+    if (request.method == "PATCH") return handle_tree_patch(request, id);
+    if (request.method == "DELETE") return handle_tree_delete(request, id);
+    return error_response(405, "bad_request",
+                          "tree resources accept GET, PATCH, DELETE");
   }
   return error_response(404, "not_found",
                         "unknown path " + request.path +
-                            " (try /v1/solve, /v1/topk, /v1/healthz, "
-                            "/v1/statsz)");
+                            " (try /v1/solve, /v1/topk, /v1/trees, "
+                            "/v1/healthz, /v1/statsz)");
 }
 
 HttpResponse SolveService::handle_healthz() {
@@ -406,6 +470,426 @@ HttpResponse SolveService::handle_solve(const HttpRequest& request,
   return r;
 }
 
+std::optional<std::string> SolveService::tree_owner(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(trees_mutex_);
+  const auto it = tree_owners_.find(id);
+  if (it == tree_owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+HttpResponse SolveService::handle_tree_create(const HttpRequest& request) {
+  util::Timer arrival;
+  TenantCounters& anon = stats_.global();
+  anon.requests.fetch_add(1, std::memory_order_relaxed);
+
+  std::string tenant_name = "default";
+  ft::FaultTree tree;
+  core::PipelineOptions popts = opts_.pipeline;
+  try {
+    const util::JsonValue doc = util::JsonValue::parse(request.body);
+    if (!doc.is_object()) {
+      throw util::JsonError(0, "request body must be a JSON object");
+    }
+    tenant_name = doc.get_string("tenant", "default");
+    if (tenant_name.empty() || tenant_name.size() > 128) {
+      throw util::JsonError(0, "tenant must be 1..128 bytes");
+    }
+    const std::string tree_text = doc.get_string("tree", "");
+    if (tree_text.empty()) {
+      throw util::JsonError(0, "missing required member \"tree\"");
+    }
+    tree = parse_tree_text(tree_text);
+    tree.validate();
+    const std::string solver = doc.get_string("solver", "");
+    if (!solver.empty() && !parse_solver_name(solver, &popts.solver)) {
+      throw util::JsonError(0, "unknown solver \"" + solver + "\"");
+    }
+  } catch (const std::exception& e) {
+    anon.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "bad_request", e.what());
+  }
+
+  TenantCounters& tenant = stats_.tenant(tenant_name);
+  tenant.requests.fetch_add(1, std::memory_order_relaxed);
+
+  if (draining_.load(std::memory_order_relaxed)) {
+    return error_response(503, "shutting_down", "server is draining");
+  }
+
+  // Quota and eviction run under the ownership lock; the create itself
+  // (an eager engine prepare — the expensive part) runs outside it, so a
+  // burst of concurrent creates can overshoot max_trees by at most the
+  // number of handler threads before the next create evicts back down.
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    std::size_t owned = 0;
+    for (const auto& [id, owner] : tree_owners_) {
+      if (owner == tenant_name) ++owned;
+    }
+    if (owned >= opts_.tenant_tree_limit) {
+      anon.rejected_quota.fetch_add(1, std::memory_order_relaxed);
+      tenant.rejected_quota.fetch_add(1, std::memory_order_relaxed);
+      return error_response(429, "over_quota",
+                            "tenant \"" + tenant_name + "\" owns " +
+                                std::to_string(owned) + " trees (limit " +
+                                std::to_string(opts_.tenant_tree_limit) +
+                                ")");
+    }
+    if (opts_.max_trees > 0) {
+      while (tree_owners_.size() >= opts_.max_trees) {
+        // Evict the least-recently-used resource (engine use tick: every
+        // solve/edit/read against a resource bumps it).
+        std::string victim;
+        std::uint64_t oldest = 0;
+        for (const engine::TreeResourceInfo& info : engine_.list_trees()) {
+          if (tree_owners_.find(info.id) == tree_owners_.end()) continue;
+          if (victim.empty() || info.last_used < oldest) {
+            victim = info.id;
+            oldest = info.last_used;
+          }
+        }
+        if (victim.empty()) break;
+        engine_.release_tree(victim);
+        tree_owners_.erase(victim);
+        trees_evicted_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::string id;
+  try {
+    id = engine_.create_tree(std::move(tree), popts);
+  } catch (const std::exception& e) {
+    anon.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    tenant.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "bad_request", e.what());
+  }
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    tree_owners_.emplace(id, tenant_name);
+  }
+  trees_created_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto info = engine_.tree_info(id);
+  anon.ok.fetch_add(1, std::memory_order_relaxed);
+  tenant.ok.fetch_add(1, std::memory_order_relaxed);
+  const double seconds = arrival.seconds();
+  anon.latency.record_seconds(seconds);
+  tenant.latency.record_seconds(seconds);
+
+  std::string body = "{\"ok\": true, ";
+  body += "\"tenant\": \"" + util::json_escape(tenant_name) + "\", ";
+  body += "\"id\": \"" + util::json_escape(id) + "\", ";
+  body += "\"etag\": \"" + util::json_escape(make_etag(id, 1)) + "\", ";
+  body += "\"version\": 1, ";
+  body += "\"events\": " + std::to_string(info ? info->events : 0) + ", ";
+  body += "\"nodes\": " + std::to_string(info ? info->nodes : 0) + ", ";
+  body += "\"seconds\": " + util::format_double(seconds) + "}";
+  HttpResponse r;
+  r.status = 201;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse SolveService::handle_tree_list(const HttpRequest& request) {
+  std::string parse_error;
+  const std::string tenant_name =
+      tenant_from_body(request.body, &parse_error);
+  if (tenant_name.empty()) {
+    stats_.global().bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "bad_request", parse_error);
+  }
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    for (const auto& [id, owner] : tree_owners_) {
+      if (owner == tenant_name) ids.push_back(id);
+    }
+  }
+  std::string body = "{\"ok\": true, \"tenant\": \"" +
+                     util::json_escape(tenant_name) + "\", \"trees\": [";
+  bool sep = false;
+  for (const std::string& id : ids) {
+    const auto info = engine_.tree_info(id);
+    if (!info) continue;  // raced a delete/eviction
+    if (sep) body += ", ";
+    sep = true;
+    body += "{\"id\": \"" + util::json_escape(id) + "\", ";
+    body += "\"etag\": \"" +
+            util::json_escape(make_etag(id, info->version)) + "\", ";
+    body += "\"version\": " + std::to_string(info->version) + ", ";
+    body += "\"edits\": " + std::to_string(info->edits) + ", ";
+    body += "\"events\": " + std::to_string(info->events) + ", ";
+    body += "\"nodes\": " + std::to_string(info->nodes) + "}";
+  }
+  body += "]}";
+  HttpResponse r;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse SolveService::handle_tree_get(const HttpRequest& request,
+                                           const std::string& id) {
+  std::string parse_error;
+  const std::string tenant_name =
+      tenant_from_body(request.body, &parse_error);
+  if (tenant_name.empty()) {
+    stats_.global().bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "bad_request", parse_error);
+  }
+  const auto owner = tree_owner(id);
+  if (!owner || *owner != tenant_name) {
+    return error_response(404, "not_found", "unknown tree id \"" + id + "\"");
+  }
+  const auto info = engine_.tree_info(id);
+  const auto text = engine_.tree_text(id);
+  if (!info || !text) {
+    return error_response(404, "not_found", "unknown tree id \"" + id + "\"");
+  }
+  std::string body = "{\"ok\": true, ";
+  body += "\"tenant\": \"" + util::json_escape(tenant_name) + "\", ";
+  body += "\"id\": \"" + util::json_escape(id) + "\", ";
+  body += "\"etag\": \"" +
+          util::json_escape(make_etag(id, info->version)) + "\", ";
+  body += "\"version\": " + std::to_string(info->version) + ", ";
+  body += "\"edits\": " + std::to_string(info->edits) + ", ";
+  body += "\"events\": " + std::to_string(info->events) + ", ";
+  body += "\"nodes\": " + std::to_string(info->nodes) + ", ";
+  body += "\"tree\": \"" + util::json_escape(*text) + "\"}";
+  HttpResponse r;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse SolveService::handle_tree_delete(const HttpRequest& request,
+                                              const std::string& id) {
+  std::string parse_error;
+  const std::string tenant_name =
+      tenant_from_body(request.body, &parse_error);
+  if (tenant_name.empty()) {
+    stats_.global().bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "bad_request", parse_error);
+  }
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    const auto it = tree_owners_.find(id);
+    if (it == tree_owners_.end() || it->second != tenant_name) {
+      return error_response(404, "not_found",
+                            "unknown tree id \"" + id + "\"");
+    }
+    tree_owners_.erase(it);
+  }
+  engine_.release_tree(id);
+  std::string body = "{\"ok\": true, \"id\": \"" + util::json_escape(id) +
+                     "\", \"deleted\": true}";
+  HttpResponse r;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse SolveService::handle_tree_patch(const HttpRequest& request,
+                                             const std::string& id) {
+  util::Timer arrival;
+  TenantCounters& anon = stats_.global();
+  anon.requests.fetch_add(1, std::memory_order_relaxed);
+
+  std::string tenant_name = "default";
+  std::string etag;
+  ft::TreeDelta delta;
+  double deadline_seconds = opts_.default_deadline_seconds;
+  try {
+    const util::JsonValue doc = util::JsonValue::parse(request.body);
+    if (!doc.is_object()) {
+      throw util::JsonError(0, "request body must be a JSON object");
+    }
+    tenant_name = doc.get_string("tenant", "default");
+    if (tenant_name.empty() || tenant_name.size() > 128) {
+      throw util::JsonError(0, "tenant must be 1..128 bytes");
+    }
+    etag = doc.get_string("etag", "");
+    const util::JsonValue* d = doc.find("delta");
+    if (d == nullptr) {
+      throw util::JsonError(0, "missing required member \"delta\"");
+    }
+    delta = ft::parse_tree_delta(*d);
+    if (delta.empty()) {
+      throw util::JsonError(0, "delta must contain at least one op");
+    }
+    const double deadline_ms = doc.get_number("deadline_ms", -1.0);
+    if (deadline_ms >= 0.0) {
+      deadline_seconds =
+          std::min(deadline_ms / 1e3, opts_.max_deadline_seconds);
+    } else if (doc.find("deadline_ms") != nullptr) {
+      throw util::JsonError(0, "deadline_ms must be >= 0");
+    }
+  } catch (const std::exception& e) {
+    anon.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "bad_request", e.what());
+  }
+
+  TenantCounters& tenant = stats_.tenant(tenant_name);
+  tenant.requests.fetch_add(1, std::memory_order_relaxed);
+
+  const auto owner = tree_owner(id);
+  if (!owner || *owner != tenant_name) {
+    return error_response(404, "not_found", "unknown tree id \"" + id + "\"");
+  }
+
+  // Optimistic concurrency: a client that sends the etag it last saw
+  // loses deterministically (409) when any other edit landed in between.
+  // Omitting the etag opts out — last-writer-wins.
+  if (!etag.empty()) {
+    const auto info = engine_.tree_info(id);
+    const std::string current =
+        info ? make_etag(id, info->version) : std::string();
+    if (etag != current) {
+      etag_conflicts_.fetch_add(1, std::memory_order_relaxed);
+      return error_response(409, "etag_conflict",
+                            "etag \"" + etag +
+                                "\" does not match current \"" + current +
+                                "\"");
+    }
+  }
+
+  // Cheap semantic pre-validation (unknown targets, type mismatches,
+  // invalid result trees) so client mistakes answer 400, not a 500 from
+  // deep inside the engine. A concurrent edit can invalidate the check —
+  // the engine then reports the failure and we answer 500. Weight-only
+  // deltas validate in place under the resource lock (no tree copy —
+  // this is the PATCH hot path).
+  try {
+    engine_.validate_delta(id, delta);
+  } catch (const std::exception& e) {
+    anon.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    tenant.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "bad_request", e.what());
+  }
+
+  // Admission control: same gates as /v1/solve, but NO coalescing —
+  // edits are effectful, every one must run.
+  if (draining_.load(std::memory_order_relaxed)) {
+    return error_response(503, "shutting_down", "server is draining");
+  }
+  const std::size_t global_depth =
+      outstanding_.load(std::memory_order_relaxed);
+  if (global_depth >= opts_.global_queue_limit) {
+    anon.rejected_capacity.fetch_add(1, std::memory_order_relaxed);
+    tenant.rejected_capacity.fetch_add(1, std::memory_order_relaxed);
+    return error_response(503, "over_capacity",
+                          "global queue is full (" +
+                              std::to_string(global_depth) +
+                              " outstanding)");
+  }
+  const auto tenant_depth = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, tenant.outstanding.load()));
+  if (tenant_depth >= opts_.tenant_queue_limit) {
+    anon.rejected_quota.fetch_add(1, std::memory_order_relaxed);
+    tenant.rejected_quota.fetch_add(1, std::memory_order_relaxed);
+    return error_response(429, "over_quota",
+                          "tenant \"" + tenant_name + "\" has " +
+                              std::to_string(tenant_depth) +
+                              " requests outstanding");
+  }
+  if (deadline_seconds > 0.0) {
+    const double estimated_wait =
+        (static_cast<double>(global_depth) /
+             static_cast<double>(engine_.num_threads()) +
+         1.0) *
+        service_estimate();
+    if (estimated_wait > deadline_seconds) {
+      anon.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+      tenant.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+      return error_response(
+          503, "deadline_unmeetable",
+          "estimated wait " + util::format_double(estimated_wait) +
+              "s exceeds the " + util::format_double(deadline_seconds) +
+              "s deadline");
+    }
+  }
+
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  tenant.outstanding.fetch_add(1, std::memory_order_relaxed);
+
+  AnalysisRequest areq;
+  areq.id = tenant_name;
+  areq.tree_id = id;
+  areq.delta = std::move(delta);
+  areq.kind = AnalysisKind::Mpmcs;
+  areq.pipeline = opts_.pipeline;  // the resource's config wins anyway
+  areq.timeout_seconds = deadline_seconds;
+  AnalysisResult result = engine_.submit(std::move(areq)).get();
+
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  tenant.outstanding.fetch_sub(1, std::memory_order_relaxed);
+  if (result.ok && !result.memoized) {
+    observe_service_time(result.seconds);
+    anon.engine_solves.fetch_add(1, std::memory_order_relaxed);
+    tenant.engine_solves.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const auto finish_latency = [&] {
+    const double seconds = arrival.seconds();
+    anon.latency.record_seconds(seconds);
+    tenant.latency.record_seconds(seconds);
+    return seconds;
+  };
+
+  if (result.cancelled) {
+    finish_latency();
+    anon.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    tenant.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    return error_response(504, "deadline_exceeded",
+                          "deadline of " +
+                              util::format_double(deadline_seconds) +
+                              "s expired before the re-solve finished");
+  }
+  if (!result.ok) {
+    finish_latency();
+    if (result.error.find("unknown tree id") != std::string::npos) {
+      // The resource was deleted/evicted between the ownership check and
+      // the engine run.
+      return error_response(404, "not_found", result.error);
+    }
+    anon.errors.fetch_add(1, std::memory_order_relaxed);
+    tenant.errors.fetch_add(1, std::memory_order_relaxed);
+    return error_response(500, "internal",
+                          result.error.empty() ? "analysis failed"
+                                               : result.error);
+  }
+
+  // Snapshot after the solve: edits only append events, so the snapshot
+  // names every event index in the solution's cut.
+  const auto snapshot = engine_.tree_snapshot(id);
+  if (!snapshot) {
+    finish_latency();
+    return error_response(404, "not_found", "unknown tree id \"" + id + "\"");
+  }
+  if (result.memoized) {
+    anon.memo_hits.fetch_add(1, std::memory_order_relaxed);
+    tenant.memo_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  anon.ok.fetch_add(1, std::memory_order_relaxed);
+  tenant.ok.fetch_add(1, std::memory_order_relaxed);
+
+  std::string body = "{\"ok\": true, ";
+  body += "\"tenant\": \"" + util::json_escape(tenant_name) + "\", ";
+  body += "\"id\": \"" + util::json_escape(id) + "\", ";
+  body += "\"etag\": \"" +
+          util::json_escape(make_etag(id, result.tree_version)) + "\", ";
+  body += "\"version\": " + std::to_string(result.tree_version) + ", ";
+  body += std::string("\"deltaApplied\": ") +
+          (result.delta_applied ? "true" : "false") + ", ";
+  body += "\"delta\": " + delta_application_json(result.delta) + ", ";
+  body += std::string("\"memoized\": ") +
+          (result.memoized ? "true" : "false") + ", ";
+  body += "\"seconds\": " + util::format_double(finish_latency()) + ", ";
+  body += "\"solution\": " + solution_json(*snapshot, result.mpmcs) + "}";
+  HttpResponse r;
+  r.body = std::move(body);
+  return r;
+}
+
 std::string SolveService::statsz_json() {
   const engine::EngineStats es = engine_.stats();
   std::string j = "{\n  \"global\": ";
@@ -417,12 +901,22 @@ std::string SolveService::statsz_json() {
   j += "\"failed\": " + std::to_string(es.failed) + ", ";
   j += "\"cacheHits\": " + std::to_string(es.cache_hits) + ", ";
   j += "\"cacheMisses\": " + std::to_string(es.cache_misses) + ", ";
+  j += "\"deltaHits\": " + std::to_string(es.delta_hits) + ", ";
   j += "\"memoHits\": " + std::to_string(es.memo_hits) + ", ";
   j += "\"sessionMemoryBytes\": " + std::to_string(es.session_memory_bytes) +
        ", ";
   j += "\"sessionEvictions\": " + std::to_string(es.session_evictions) + ", ";
   j += "\"poolSteals\": " + std::to_string(es.pool_steals) + ", ";
   j += "\"threads\": " + std::to_string(engine_.num_threads());
+  j += "},\n  \"trees\": {";
+  j += "\"active\": " + std::to_string(es.trees_active) + ", ";
+  j += "\"edits\": " + std::to_string(es.tree_edits) + ", ";
+  j += "\"created\": " +
+       std::to_string(trees_created_.load(std::memory_order_relaxed)) + ", ";
+  j += "\"evicted\": " +
+       std::to_string(trees_evicted_.load(std::memory_order_relaxed)) + ", ";
+  j += "\"etagConflicts\": " +
+       std::to_string(etag_conflicts_.load(std::memory_order_relaxed));
   j += "},\n  \"tenants\": [";
   bool sep = false;
   for (const std::string& name : stats_.tenant_names()) {

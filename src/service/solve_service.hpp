@@ -24,11 +24,29 @@
 //     entries (and with them their incremental SAT sessions) once the
 //     pool's total session footprint passes the configured cap.
 //
+//   * Stateful tree resources — POST /v1/trees registers a mutable tree
+//     (eagerly prepared by the engine); PATCH applies a TreeDelta and
+//     re-solves against the patched artefact (sessions rebased, only
+//     dirty strata re-prepared) instead of re-preparing from scratch.
+//     Edits are etag-guarded ("<id>-v<version>"; stale etag = 409), trees
+//     are tenant-owned (a foreign id answers 404, indistinguishable from
+//     absent), per-tenant creation is quota-bounded (429) and the global
+//     pool is LRU-evicted at capacity.
+//
 // Endpoints (JSON in/out, schema shared with the batch CLI):
-//   POST /v1/solve   {"tenant", "tree", "solver"?, "deadline_ms"?}
-//   POST /v1/topk    {..., "k"}
+//   POST /v1/solve        {"tenant", "tree", "solver"?, "deadline_ms"?}
+//   POST /v1/topk         {..., "k"}
+//   POST /v1/trees        {"tenant", "tree", "solver"?} -> {id, etag}
+//   GET  /v1/trees        {"tenant"?} -> owned resources
+//   GET  /v1/trees/{id}   {"tenant"?} -> metadata + tree text
+//   PATCH /v1/trees/{id}  {"tenant"?, "etag"?, "delta": [...],
+//                          "deadline_ms"?} -> re-solved MPMCS + lineage
+//   DELETE /v1/trees/{id} {"tenant"?}
 //   GET  /v1/healthz
 //   GET  /v1/statsz  counters + p50/p99 latency, global and per tenant
+//
+// The transport (service/http_server) carries no headers, so the etag
+// and tenant ride in the JSON body on every tree-resource request.
 #pragma once
 
 #include <atomic>
@@ -36,6 +54,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -69,6 +88,12 @@ struct ServiceOptions {
   double min_service_estimate_seconds = 0.002;
   /// Cap on top-k enumeration length per request.
   std::size_t max_top_k = 64;
+  /// Max registered tree resources per tenant; POST /v1/trees beyond it
+  /// is shed with 429.
+  std::size_t tenant_tree_limit = 16;
+  /// Global cap on registered tree resources; creating past it evicts
+  /// the least-recently-used resource (engine use tick). 0 = unbounded.
+  std::size_t max_trees = 64;
   /// Fault injection forwarded to the engine (see
   /// EngineOptions::debug_solve_delay_seconds); test-only.
   double debug_solve_delay_seconds = 0.0;
@@ -112,6 +137,20 @@ class SolveService {
                             engine::AnalysisKind kind);
   HttpResponse handle_healthz();
 
+  // --- the /v1/trees resource API --------------------------------------
+  HttpResponse handle_tree_create(const HttpRequest& request);
+  HttpResponse handle_tree_list(const HttpRequest& request);
+  HttpResponse handle_tree_get(const HttpRequest& request,
+                               const std::string& id);
+  HttpResponse handle_tree_patch(const HttpRequest& request,
+                                 const std::string& id);
+  HttpResponse handle_tree_delete(const HttpRequest& request,
+                                  const std::string& id);
+  /// The resource's owning tenant, or nullopt when unknown. Ownership is
+  /// the visibility boundary: a wrong-tenant probe is answered exactly
+  /// like a missing id.
+  std::optional<std::string> tree_owner(const std::string& id) const;
+
   /// EWMA of recent engine-run times (memo hits excluded) for the
   /// admission estimate.
   double service_estimate() const;
@@ -124,6 +163,15 @@ class SolveService {
 
   std::mutex flights_mutex_;
   std::unordered_map<std::string, FlightPtr> flights_;
+
+  /// Tree-resource ownership (id -> tenant). The engine's registry is
+  /// tenant-blind; this map is what scopes ids, enforces the per-tenant
+  /// creation quota and drives LRU eviction bookkeeping.
+  mutable std::mutex trees_mutex_;
+  std::unordered_map<std::string, std::string> tree_owners_;
+  std::atomic<std::uint64_t> trees_created_{0};
+  std::atomic<std::uint64_t> trees_evicted_{0};
+  std::atomic<std::uint64_t> etag_conflicts_{0};
 
   mutable std::mutex estimate_mutex_;
   double ewma_seconds_ = 0.0;

@@ -451,6 +451,228 @@ TEST(SolveService, StatszExposesTheWholeFunnel) {
   }
 }
 
+// --- stateful tree resources: /v1/trees ---------------------------------
+
+/// Generic request builder (the tree-resource API also speaks PATCH and
+/// DELETE, and carries the tenant/etag in the body on every method).
+HttpRequest req(const std::string& method, const std::string& path,
+                std::string body = "") {
+  HttpRequest r;
+  r.method = method;
+  r.path = path;
+  r.body = std::move(body);
+  return r;
+}
+
+/// A small tree with stable event names for edit scripts.
+std::string named_tree_text() {
+  return "toplevel TOP;\nTOP or M1 M2;\nM1 and a b;\nM2 and c d;\n"
+         "a prob=0.1; b prob=0.2; c prob=0.3; d prob=0.1;\n";
+}
+
+std::string patch_body(const std::string& tenant, const std::string& etag,
+                       const std::string& delta) {
+  std::string body = "{\"tenant\": \"" + util::json_escape(tenant) + "\"";
+  if (!etag.empty()) body += ", \"etag\": \"" + util::json_escape(etag) + "\"";
+  return body + ", \"delta\": " + delta + "}";
+}
+
+TEST(TreeResources, LifecycleCreatePatchDeleteRoundTrips) {
+  SolveService svc(test_options());
+
+  const HttpResponse created = svc.handle(
+      req("POST", "/v1/trees", solve_body("plant", named_tree_text())));
+  ASSERT_EQ(created.status, 201) << created.body;
+  const util::JsonValue cdoc = util::JsonValue::parse(created.body);
+  const std::string id = cdoc.get_string("id", "");
+  const std::string etag = cdoc.get_string("etag", "");
+  ASSERT_FALSE(id.empty());
+  EXPECT_EQ(etag, id + "-v1");
+  EXPECT_EQ(cdoc.get_number("version", -1), 1);
+  EXPECT_EQ(cdoc.get_number("events", -1), 4);
+
+  const HttpResponse fetched = svc.handle(
+      req("GET", "/v1/trees/" + id, "{\"tenant\": \"plant\"}"));
+  ASSERT_EQ(fetched.status, 200) << fetched.body;
+  const util::JsonValue fdoc = util::JsonValue::parse(fetched.body);
+  EXPECT_EQ(fdoc.get_string("etag", ""), etag);
+  EXPECT_NE(fdoc.get_string("tree", "").find("TOP"), std::string::npos);
+
+  // A weight-only PATCH re-solves with lineage attached: the session was
+  // rebased, nothing re-prepared, and the solution reflects the new
+  // probabilities ({c, d} overtakes {a, b} once both get p = 0.6).
+  const HttpResponse patched = svc.handle(req(
+      "PATCH", "/v1/trees/" + id,
+      patch_body("plant", etag,
+                 "[{\"op\": \"weight\", \"event\": \"c\", \"probability\": "
+                 "0.6}, {\"op\": \"weight\", \"event\": \"d\", "
+                 "\"probability\": 0.6}]")));
+  ASSERT_EQ(patched.status, 200) << patched.body;
+  const util::JsonValue pdoc = util::JsonValue::parse(patched.body);
+  EXPECT_TRUE(pdoc.get_bool("ok", false));
+  EXPECT_TRUE(pdoc.get_bool("deltaApplied", false));
+  EXPECT_EQ(pdoc.get_number("version", -1), 2);
+  EXPECT_EQ(pdoc.get_string("etag", ""), id + "-v2");
+  const util::JsonValue* lineage = pdoc.find("delta");
+  ASSERT_NE(lineage, nullptr);
+  EXPECT_TRUE(lineage->get_bool("weightOnly", false));
+  EXPECT_FALSE(lineage->get_bool("reprepared", true));
+  const util::JsonValue* sol = pdoc.find("solution");
+  ASSERT_NE(sol, nullptr);
+  EXPECT_NEAR(sol->get_number("probability", 0.0), 0.36, 1e-9);
+
+  const HttpResponse listed =
+      svc.handle(req("GET", "/v1/trees", "{\"tenant\": \"plant\"}"));
+  ASSERT_EQ(listed.status, 200) << listed.body;
+  const util::JsonValue ldoc = util::JsonValue::parse(listed.body);
+  const util::JsonValue* owned = ldoc.find("trees");
+  ASSERT_NE(owned, nullptr);
+  ASSERT_EQ(owned->items().size(), 1u);
+  EXPECT_EQ(owned->items()[0].get_number("version", -1), 2);
+
+  const HttpResponse deleted = svc.handle(
+      req("DELETE", "/v1/trees/" + id, "{\"tenant\": \"plant\"}"));
+  ASSERT_EQ(deleted.status, 200) << deleted.body;
+  EXPECT_EQ(svc.handle(req("GET", "/v1/trees/" + id,
+                           "{\"tenant\": \"plant\"}")).status,
+            404);
+  EXPECT_EQ(svc.engine().num_trees(), 0u);
+}
+
+TEST(TreeResources, StaleEtagConflictsAndOmittedEtagWins) {
+  SolveService svc(test_options());
+  const util::JsonValue cdoc = util::JsonValue::parse(
+      svc.handle(req("POST", "/v1/trees",
+                     solve_body("ops", named_tree_text())))
+          .body);
+  const std::string id = cdoc.get_string("id", "");
+  const std::string v1 = cdoc.get_string("etag", "");
+  ASSERT_FALSE(id.empty());
+
+  const std::string bump =
+      "[{\"op\": \"weight\", \"event\": \"a\", \"probability\": 0.5}]";
+  ASSERT_EQ(svc.handle(req("PATCH", "/v1/trees/" + id,
+                           patch_body("ops", v1, bump))).status,
+            200);
+
+  // Replaying the v1 etag against the now-v2 resource is a lost update:
+  // 409, and the edit is NOT applied.
+  const HttpResponse stale = svc.handle(
+      req("PATCH", "/v1/trees/" + id, patch_body("ops", v1, bump)));
+  EXPECT_EQ(stale.status, 409) << stale.body;
+  EXPECT_NE(stale.body.find("etag_conflict"), std::string::npos);
+  const util::JsonValue after = util::JsonValue::parse(
+      svc.handle(req("GET", "/v1/trees/" + id, "{\"tenant\": \"ops\"}"))
+          .body);
+  EXPECT_EQ(after.get_number("version", -1), 2);
+
+  // Omitting the etag opts out of the guard (last-writer-wins).
+  const HttpResponse lww = svc.handle(
+      req("PATCH", "/v1/trees/" + id, patch_body("ops", "", bump)));
+  EXPECT_EQ(lww.status, 200) << lww.body;
+  EXPECT_EQ(util::JsonValue::parse(lww.body).get_number("version", -1), 3);
+
+  const util::JsonValue stats =
+      util::JsonValue::parse(svc.handle(get("/v1/statsz")).body);
+  const util::JsonValue* tsec = stats.find("trees");
+  ASSERT_NE(tsec, nullptr);
+  EXPECT_EQ(tsec->get_number("etagConflicts", -1), 1);
+}
+
+TEST(TreeResources, ForeignTenantSeesNothingAndBadDeltasGet400) {
+  SolveService svc(test_options());
+  const util::JsonValue cdoc = util::JsonValue::parse(
+      svc.handle(req("POST", "/v1/trees",
+                     solve_body("owner", named_tree_text())))
+          .body);
+  const std::string id = cdoc.get_string("id", "");
+  ASSERT_FALSE(id.empty());
+
+  // A foreign tenant's GET/PATCH/DELETE are answered exactly like a
+  // missing id: 404, no existence leak.
+  const std::string bump =
+      "[{\"op\": \"weight\", \"event\": \"a\", \"probability\": 0.5}]";
+  for (const HttpRequest& probe :
+       {req("GET", "/v1/trees/" + id, "{\"tenant\": \"intruder\"}"),
+        req("PATCH", "/v1/trees/" + id, patch_body("intruder", "", bump)),
+        req("DELETE", "/v1/trees/" + id, "{\"tenant\": \"intruder\"}"),
+        req("GET", "/v1/trees/absent", "{\"tenant\": \"owner\"}")}) {
+    const HttpResponse r = svc.handle(probe);
+    EXPECT_EQ(r.status, 404) << probe.method << " " << probe.path << ": "
+                             << r.body;
+  }
+  // The resource is untouched.
+  EXPECT_EQ(svc.engine().num_trees(), 1u);
+
+  // Semantically invalid deltas are the client's fault: structured 400.
+  for (const std::string& bad :
+       {std::string("[{\"op\": \"weight\", \"event\": \"ghost\", "
+                    "\"probability\": 0.5}]"),
+        std::string("[{\"op\": \"weight\", \"event\": \"a\", "
+                     "\"probability\": 1.5}]"),
+        std::string("[]"), std::string("{\"op\": \"weight\"}"),
+        std::string("[{\"op\": \"teleport\"}]")}) {
+    const HttpResponse r = svc.handle(
+        req("PATCH", "/v1/trees/" + id, patch_body("owner", "", bad)));
+    EXPECT_EQ(r.status, 400) << bad << ": " << r.body;
+    EXPECT_EQ(util::JsonValue::parse(r.body).get_string("code", ""),
+              "bad_request");
+  }
+}
+
+TEST(TreeResources, TenantQuotaAndGlobalLruEviction) {
+  ServiceOptions opts = test_options();
+  opts.tenant_tree_limit = 2;
+  opts.max_trees = 2;
+  SolveService svc(opts);
+
+  auto create = [&svc](const std::string& tenant, std::uint64_t seed) {
+    return svc.handle(
+        req("POST", "/v1/trees", solve_body(tenant, distinct_tree_text(seed))));
+  };
+
+  const util::JsonValue first =
+      util::JsonValue::parse(create("heavy", 10).body);
+  const std::string id1 = first.get_string("id", "");
+  ASSERT_FALSE(id1.empty());
+  const util::JsonValue second =
+      util::JsonValue::parse(create("heavy", 11).body);
+  const std::string id2 = second.get_string("id", "");
+  ASSERT_FALSE(id2.empty());
+
+  // The per-tenant creation quota sheds with 429 before any prepare.
+  const HttpResponse over = create("heavy", 12);
+  EXPECT_EQ(over.status, 429) << over.body;
+  EXPECT_NE(over.body.find("over_quota"), std::string::npos);
+
+  // Touch the older tree so it becomes the most recently used.
+  ASSERT_EQ(svc.handle(req("PATCH", "/v1/trees/" + id1,
+                           patch_body("heavy", "",
+                                      "[{\"op\": \"weight\", \"event\": "
+                                      "\"e0\", \"probability\": 0.5}]")))
+                .status,
+            200);
+
+  // A different tenant's create hits the GLOBAL cap instead: the least
+  // recently used resource (id2 — id1 was just patched) is evicted.
+  const HttpResponse third = create("light", 13);
+  ASSERT_EQ(third.status, 201) << third.body;
+  EXPECT_EQ(svc.handle(req("GET", "/v1/trees/" + id2,
+                           "{\"tenant\": \"heavy\"}")).status,
+            404);
+  EXPECT_EQ(svc.handle(req("GET", "/v1/trees/" + id1,
+                           "{\"tenant\": \"heavy\"}")).status,
+            200);
+
+  const util::JsonValue stats =
+      util::JsonValue::parse(svc.handle(get("/v1/statsz")).body);
+  const util::JsonValue* tsec = stats.find("trees");
+  ASSERT_NE(tsec, nullptr);
+  EXPECT_EQ(tsec->get_number("created", -1), 3);
+  EXPECT_EQ(tsec->get_number("evicted", -1), 1);
+  EXPECT_EQ(tsec->get_number("active", -1), 2);
+}
+
 // --- the wire: real sockets through HttpServer/HttpClient ---------------
 
 /// Sends raw bytes on a fresh connection and returns whatever the server
