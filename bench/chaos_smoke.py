@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""CI chaos gate: crash/restart cycles against the analysis service.
+
+Spawns `mpmcs4fta_cli serve` with a journal directory, registers tree
+resources, then loops: storm the failpoints under load (bench/loadgen
+--chaos), SIGKILL the server mid-flight, restart it, and verify that
+
+  * every acknowledged resource comes back byte-identically — same id,
+    same etag (id + version), same tree text — after each crash;
+  * the server NEVER dies except when this script kills it (a non-injected
+    crash is the hard failure this gate exists to catch);
+  * every answer the loadgen managed to collect was well-formed and
+    consistent with an in-process cold reference solve (loadgen --chaos
+    exits non-zero otherwise).
+
+The failpoint storm needs a binary built with -DMPMCS_FAILPOINTS=ON; on a
+production build /v1/failz answers 501 and the storm degrades to plain
+kill/restart chaos, which still exercises the journal recovery path.
+
+Stdlib only; no third-party dependencies.
+
+usage: chaos_smoke.py --cli build/mpmcs4fta_cli --loadgen build/loadgen
+                      [--cycles 3] [--seconds 4]
+"""
+
+import argparse
+import http.client
+import json
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+TREES = {
+    "plant": ("toplevel TOP;\nTOP or M1 M2;\nM1 and a b;\nM2 and c d;\n"
+              "a prob=0.1; b prob=0.2; c prob=0.3; d prob=0.1;\n"),
+    "grid": ("toplevel G;\nG or x F;\nF and y z;\n"
+             "x prob=0.01; y prob=0.4; z prob=0.5;\n"),
+    "line": ("toplevel L;\nL and p q r;\n"
+             "p prob=0.2; q prob=0.3; r prob=0.25;\n"),
+}
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def request(port, method, path, body=None, timeout=5.0):
+    """One HTTP exchange; returns (status, parsed-json) or (None, None)."""
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        data = resp.read()
+        conn.close()
+        return resp.status, json.loads(data)
+    except (OSError, ValueError):
+        return None, None
+
+
+def wait_ready(port, proc, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            return False  # died during startup/recovery
+        status, _ = request(port, "GET", "/v1/readyz", timeout=2.0)
+        if status == 200:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def snapshot_resources(port, ids):
+    """id -> (etag, version, tree text) for every id, or None on failure."""
+    out = {}
+    for rid in ids:
+        status, doc = request(port, "GET", f"/v1/trees/{rid}",
+                              body=json.dumps({"tenant": "chaos"}))
+        if status != 200 or doc is None:
+            return None
+        out[rid] = (doc.get("etag"), doc.get("version"), doc.get("tree"))
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", required=True,
+                        help="path to the built mpmcs4fta_cli binary")
+    parser.add_argument("--loadgen", required=True,
+                        help="path to the built bench/loadgen binary")
+    parser.add_argument("--cycles", type=int, default=3,
+                        help="kill/restart cycles (default 3)")
+    parser.add_argument("--seconds", type=float, default=4.0,
+                        help="chaos load duration per cycle")
+    parser.add_argument("--rps", type=int, default=300,
+                        help="offered load during each chaos burst")
+    args = parser.parse_args()
+
+    journal_dir = tempfile.mkdtemp(prefix="chaos-journal-")
+    port = free_port()
+    serve_cmd = [args.cli, "serve", "--port", str(port),
+                 "--journal-dir", journal_dir, "--quiet"]
+    failures = []
+    expected = None  # id -> (etag, version, tree) the journal must restore
+    server = None
+
+    def spawn():
+        return subprocess.Popen(serve_cmd, stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+
+    try:
+        for cycle in range(args.cycles):
+            server = spawn()
+            if not wait_ready(port, server):
+                failures.append(f"cycle {cycle}: server never became ready "
+                                f"(exit {server.poll()})")
+                break
+
+            if expected is None:
+                # First boot: register the acknowledged resources the
+                # journal must carry across every crash, and advance one
+                # of them past v1 so replay covers patches too.
+                ids = []
+                for name, text in TREES.items():
+                    status, doc = request(
+                        port, "POST", "/v1/trees",
+                        body=json.dumps({"tenant": "chaos", "tree": text}))
+                    if status != 201 or doc is None:
+                        failures.append(f"create {name} failed ({status})")
+                        break
+                    ids.append(doc["id"])
+                if failures:
+                    break
+                patch = {"tenant": "chaos", "delta": [
+                    {"op": "weight", "event": "a", "probability": 0.15}]}
+                status, _ = request(port, "PATCH", f"/v1/trees/{ids[0]}",
+                                    body=json.dumps(patch), timeout=30.0)
+                if status != 200:
+                    failures.append(f"patch {ids[0]} failed ({status})")
+                    break
+                expected = snapshot_resources(port, ids)
+                if expected is None:
+                    failures.append("cannot snapshot created resources")
+                    break
+            else:
+                # Restarted after SIGKILL: every acknowledged resource
+                # must be back with an identical etag and tree text.
+                restored = snapshot_resources(port, list(expected))
+                if restored is None:
+                    failures.append(f"cycle {cycle}: restored resources "
+                                    "unreadable after recovery")
+                    break
+                for rid, want in expected.items():
+                    got = restored.get(rid)
+                    if got != want:
+                        failures.append(
+                            f"cycle {cycle}: resource {rid} not restored "
+                            f"byte-identically (want {want[:2]}, "
+                            f"got {got[:2] if got else None})")
+
+            chaos_cmd = [args.loadgen, "--chaos", "--port", str(port),
+                         "--rps", str(args.rps),
+                         "--seconds", str(args.seconds),
+                         "--connections", "4"]
+            print("+", " ".join(chaos_cmd), flush=True)
+            chaos = subprocess.run(chaos_cmd)
+            if chaos.returncode != 0:
+                failures.append(f"cycle {cycle}: loadgen --chaos exited "
+                                f"{chaos.returncode} (malformed or "
+                                "inconsistent answers under fault storm)")
+
+            # The one crash allowed is the one we cause.
+            if server.poll() is not None:
+                failures.append(f"cycle {cycle}: server crashed on its own "
+                                f"(exit {server.poll()})")
+                server = None
+                break
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=10)
+            server = None
+            if failures:
+                break
+
+        # Final boot: graceful path — recovery after the last SIGKILL,
+        # then a clean SIGTERM drain must also exit 0.
+        if not failures and expected is not None:
+            server = spawn()
+            if not wait_ready(port, server):
+                failures.append("final restart never became ready")
+            else:
+                restored = snapshot_resources(port, list(expected))
+                if restored != expected:
+                    failures.append("final recovery lost or altered an "
+                                    "acknowledged resource")
+                server.send_signal(signal.SIGTERM)
+                try:
+                    code = server.wait(timeout=15)
+                    if code != 0:
+                        failures.append(f"graceful shutdown exited {code}")
+                except subprocess.TimeoutExpired:
+                    failures.append("graceful shutdown hung")
+                    server.kill()
+            server = None
+    finally:
+        if server is not None and server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"PASS: {args.cycles} kill/restart cycles, "
+          f"{len(expected or {})} resources restored byte-identically, "
+          "zero non-injected crashes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,15 +26,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/pipeline.hpp"
 #include "ft/parser.hpp"
 #include "gen/generator.hpp"
 #include "service/http_client.hpp"
@@ -61,6 +65,12 @@ struct LoadgenOptions {
   /// PATCH /v1/trees traffic, carved out before the cold remainder.
   double mutate_fraction = 0.0;
   std::string json_path;
+  /// Chaos mode: storm the server's failpoints via /v1/failz while the
+  /// load runs, tolerate injected faults and transport drops (the harness
+  /// SIGKILLs the server underneath us), and differentially validate
+  /// sampled answers against an in-process cold reference solve.
+  bool chaos = false;
+  double chaos_interval_seconds = 0.25;
 };
 
 struct WorkerResult {
@@ -71,6 +81,9 @@ struct WorkerResult {
   std::uint64_t server_error = 0; ///< 5xx other than 503/504 shedding.
   std::uint64_t transport = 0;    ///< Connect/send/recv failures.
   std::uint64_t malformed = 0;    ///< Responses that fail JSON validation.
+  std::uint64_t injected = 0;     ///< 500s attributed to armed failpoints.
+  std::uint64_t approximate = 0;  ///< 200-approximate (anytime) answers.
+  std::uint64_t differential = 0; ///< Answers contradicting the reference.
   std::vector<double> latencies;  ///< Seconds, successful requests only.
   std::vector<double> warm_latencies;    ///< Warm /v1/solve|topk subset.
   std::vector<double> mutate_latencies;  ///< PATCH /v1/trees subset.
@@ -110,11 +123,53 @@ bool response_well_formed(int status, const std::string& body, bool topk) {
   }
 }
 
+/// True when a 5xx body names an armed failpoint — chaos mode separates
+/// injected failures (expected) from organic ones (gate-fatal).
+bool is_injected_fault(const std::string& body) {
+  try {
+    const util::JsonValue doc = util::JsonValue::parse(body);
+    if (!doc.is_object()) return false;
+    if (doc.get_string("code", "") == "injected_fault") return true;
+    return doc.get_string("error", "").find("injected fault at failpoint") !=
+           std::string::npos;
+  } catch (const util::JsonError&) {
+    return false;
+  }
+}
+
+/// Differential check against the in-process cold reference solve of the
+/// warm tree. Optimal answers must match the reference cost exactly (to
+/// float tolerance); approximate answers must be consistent with their
+/// own certified bound AND no better than the true optimum.
+bool answer_consistent(const std::string& body, double ref_log_cost) {
+  try {
+    const util::JsonValue doc = util::JsonValue::parse(body);
+    const util::JsonValue* sol = doc.find("solution");
+    if (sol == nullptr || !sol->is_object()) return false;
+    const double log_cost = sol->get_number("logCost", -1.0);
+    const double tol = 1e-6 * std::max(1.0, std::abs(ref_log_cost));
+    if (doc.get_string("status", "optimal") == "approximate") {
+      const double prob = sol->get_number("probability", 0.0);
+      const double upper = sol->get_number("probabilityUpperBound", 0.0);
+      // The incumbent can't beat the optimum, and its own certified
+      // upper bound must dominate the true optimal probability
+      // (exp(-ref_log_cost) is the optimum's probability).
+      return log_cost >= ref_log_cost - tol &&
+             prob <= upper * (1.0 + 1e-9) + 1e-300 &&
+             upper >= std::exp(-ref_log_cost) * (1.0 - 1e-9);
+    }
+    return std::abs(log_cost - ref_log_cost) <= tol;
+  } catch (const util::JsonError&) {
+    return false;
+  }
+}
+
 void run_worker(const LoadgenOptions& opts, std::uint16_t port,
                 std::size_t worker_index, const std::string& warm_text,
                 const std::vector<std::string>& warm_events,
                 const std::vector<std::string>& cold_bodies,
-                std::atomic<std::uint64_t>& tick, std::uint64_t total_ticks,
+                double ref_log_cost, std::atomic<std::uint64_t>& tick,
+                std::uint64_t total_ticks,
                 std::atomic<std::uint64_t>& cold_cursor, WorkerResult& out) {
   service::HttpClient client(opts.host, port);
   util::Rng rng(0x10adull * (worker_index + 1) + 7);
@@ -196,9 +251,23 @@ void run_worker(const LoadgenOptions& opts, std::uint16_t port,
     }
 
     util::Timer timer;
-    const auto response =
-        mutate ? client.request("PATCH", "/v1/trees/" + tree_id, body, 30.0)
-               : client.post(topk ? "/v1/topk" : "/v1/solve", body, 30.0);
+    std::optional<service::ClientResponse> response;
+    if (opts.chaos && !mutate) {
+      // The chaos harness restarts the server underneath us; retry
+      // idempotent solves through the blip instead of recording every
+      // restart as a thousand transport errors.
+      service::RetryPolicy retry;
+      retry.max_attempts = 3;
+      retry.initial_backoff_seconds = 0.02;
+      retry.max_backoff_seconds = 0.25;
+      response = client.request_with_retry(
+          "POST", topk ? "/v1/topk" : "/v1/solve", body, retry, 30.0);
+    } else {
+      response =
+          mutate
+              ? client.request("PATCH", "/v1/trees/" + tree_id, body, 30.0)
+              : client.post(topk ? "/v1/topk" : "/v1/solve", body, 30.0);
+    }
     const double latency = timer.seconds();
     ++out.sent;
     if (!response) {
@@ -214,15 +283,79 @@ void run_worker(const LoadgenOptions& opts, std::uint16_t port,
       out.latencies.push_back(latency);
       if (warm) out.warm_latencies.push_back(latency);
       if (mutate) out.mutate_latencies.push_back(latency);
+      if (opts.chaos && warm && !topk) {
+        try {
+          const util::JsonValue doc = util::JsonValue::parse(response->body);
+          if (doc.get_string("status", "optimal") == "approximate") {
+            ++out.approximate;
+          }
+        } catch (const util::JsonError&) {
+        }
+        if (!answer_consistent(response->body, ref_log_cost)) {
+          ++out.differential;
+        }
+      }
     } else if (response->status == 429 || response->status == 503 ||
                response->status == 504) {
       ++out.rejected;
     } else if (response->status >= 500) {
-      ++out.server_error;
+      if (opts.chaos && is_injected_fault(response->body)) {
+        ++out.injected;
+      } else {
+        ++out.server_error;
+      }
     } else {
       ++out.client_error;
     }
   }
+}
+
+/// Blocks until GET /v1/readyz answers 200 (journal replay done) or the
+/// timeout passes. healthz is not enough: it answers the moment the
+/// listener is up, possibly mid-recovery.
+bool wait_ready(const std::string& host, std::uint16_t port,
+                double timeout_seconds) {
+  service::HttpClient probe(host, port);
+  util::Timer timer;
+  while (timer.seconds() < timeout_seconds) {
+    const auto r = probe.get("/v1/readyz", 2.0);
+    if (r && r->status == 200) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+/// Chaos storm: periodically re-arms a rotating set of failpoint specs on
+/// the server (and occasionally clears them), exercising injection sites
+/// across the journal, cache, session and service layers. A 501 means
+/// the server was built without failpoints — the storm silently stops.
+void run_chaos_storm(const LoadgenOptions& opts, std::uint16_t port,
+                     std::atomic<bool>& stop) {
+  static const char* kStorms[] = {
+      "service.request=error%0.02",
+      "journal.append=throw%0.05",
+      "journal.fsync=delay(5)%0.2",
+      "session.rebase=throw%0.2",
+      "cache.insert=error%0.1",
+      "arena.grow=throw%0.005",
+      "totalizer.build=throw%0.01",
+      "service.request=delay(10)%0.05",
+  };
+  service::HttpClient client(opts.host, port);
+  util::Rng rng(0xc4a05ull);
+  while (!stop.load(std::memory_order_relaxed)) {
+    const char* spec = kStorms[rng.below(std::size(kStorms))];
+    std::string body = std::string("{\"spec\": \"") + spec + "\"}";
+    const auto r = client.post("/v1/failz", body, 2.0);
+    if (r && r->status == 501) return;  // failpoints compiled out
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opts.chaos_interval_seconds));
+    if (rng.uniform() < 0.3) {
+      client.request("DELETE", "/v1/failz", "", 2.0);
+    }
+  }
+  // Leave the server clean for whatever runs next.
+  client.request("DELETE", "/v1/failz", "", 2.0);
 }
 
 double quantile(std::vector<double>& sorted, double q) {
@@ -237,8 +370,11 @@ int usage(const char* argv0) {
                "usage: %s [--port P] [--host H] [--rps N] [--seconds S]\n"
                "          [--connections C] [--warm-fraction F]\n"
                "          [--topk-fraction F] [--mutate-fraction F]\n"
-               "          [--json PATH]\n"
-               "With no --port a service is hosted in-process.\n",
+               "          [--json PATH] [--chaos]\n"
+               "With no --port a service is hosted in-process.\n"
+               "--chaos storms the server's failpoints (/v1/failz), retries\n"
+               "through restarts, and differentially validates sampled\n"
+               "answers against an in-process cold reference solve.\n",
                argv0);
   return 2;
 }
@@ -276,6 +412,10 @@ int main(int argc, char** argv) {
       opts.mutate_fraction = std::strtod(next(), nullptr);
     } else if (arg == "--json") {
       opts.json_path = next();
+    } else if (arg == "--chaos") {
+      opts.chaos = true;
+    } else if (arg == "--chaos-interval") {
+      opts.chaos_interval_seconds = std::strtod(next(), nullptr);
     } else {
       return usage(argv[0]);
     }
@@ -299,9 +439,26 @@ int main(int argc, char** argv) {
     port = server->port();
   }
 
+  // Against an external server, gate the whole run on readiness: a
+  // freshly (re)started server may still be replaying its journal.
+  if (opts.port != 0 && !wait_ready(opts.host, opts.port, 30.0)) {
+    std::fprintf(stderr, "server %s:%u never became ready\n",
+                 opts.host.c_str(), opts.port);
+    return 1;
+  }
+
   // The warm tree: a small ladder every request repeats verbatim.
   const ft::FaultTree warm_tree = gen::ladder_tree(3, 42);
   const std::string warm_text = ft::to_text(warm_tree);
+
+  // Chaos mode's ground truth: one cold, unbounded, in-process solve of
+  // the warm tree. Every warm answer from the server — optimal or
+  // approximate — is checked against it.
+  double ref_log_cost = 0.0;
+  if (opts.chaos) {
+    const core::MpmcsPipeline ref_pipeline{core::PipelineOptions{}};
+    ref_log_cost = ref_pipeline.solve(warm_tree).log_cost;
+  }
   std::vector<std::string> warm_events;
   warm_events.reserve(warm_tree.num_events());
   for (ft::EventIndex e = 0; e < warm_tree.num_events(); ++e) {
@@ -334,14 +491,22 @@ int main(int argc, char** argv) {
   std::vector<WorkerResult> results(opts.connections);
   std::vector<std::thread> workers;
   workers.reserve(opts.connections);
+  std::atomic<bool> storm_stop{false};
+  std::thread storm;
+  if (opts.chaos) {
+    storm = std::thread(
+        [&] { run_chaos_storm(opts, port, storm_stop); });
+  }
   util::Timer wall;
   for (std::size_t w = 0; w < opts.connections; ++w) {
     workers.emplace_back([&, w] {
-      run_worker(opts, port, w, warm_text, warm_events, cold_bodies, tick,
-                 total_ticks, cold_cursor, results[w]);
+      run_worker(opts, port, w, warm_text, warm_events, cold_bodies,
+                 ref_log_cost, tick, total_ticks, cold_cursor, results[w]);
     });
   }
   for (auto& t : workers) t.join();
+  storm_stop.store(true, std::memory_order_relaxed);
+  if (storm.joinable()) storm.join();
   const double elapsed = wall.seconds();
 
   WorkerResult total;
@@ -353,6 +518,9 @@ int main(int argc, char** argv) {
     total.server_error += r.server_error;
     total.transport += r.transport;
     total.malformed += r.malformed;
+    total.injected += r.injected;
+    total.approximate += r.approximate;
+    total.differential += r.differential;
     total.latencies.insert(total.latencies.end(), r.latencies.begin(),
                            r.latencies.end());
     total.warm_latencies.insert(total.warm_latencies.end(),
@@ -392,6 +560,13 @@ int main(int argc, char** argv) {
                 total.mutate_latencies.size(), mutate_p50 * 1e3,
                 mutate_p99 * 1e3, warm_p99 * 1e3);
   }
+  if (opts.chaos) {
+    std::printf("chaos     : injected %llu  approximate %llu  "
+                "differential failures %llu\n",
+                static_cast<unsigned long long>(total.injected),
+                static_cast<unsigned long long>(total.approximate),
+                static_cast<unsigned long long>(total.differential));
+  }
 
   if (!opts.json_path.empty()) {
     std::string json = "{\n";
@@ -408,6 +583,10 @@ int main(int argc, char** argv) {
     json += "  \"transportErrors\": " + std::to_string(total.transport) +
             ",\n";
     json += "  \"malformed\": " + std::to_string(total.malformed) + ",\n";
+    json += "  \"injected\": " + std::to_string(total.injected) + ",\n";
+    json += "  \"approximate\": " + std::to_string(total.approximate) + ",\n";
+    json += "  \"differentialFailures\": " +
+            std::to_string(total.differential) + ",\n";
     json += "  \"p50Seconds\": " + util::format_double(p50) + ",\n";
     json += "  \"p95Seconds\": " + util::format_double(p95) + ",\n";
     json += "  \"p99Seconds\": " + util::format_double(p99) + ",\n";
@@ -434,7 +613,15 @@ int main(int argc, char** argv) {
   }
   // Transport failures, raw 5xx and 4xx (a loadgen generator bug) are
   // failures of the serving contract; structured shedding (429/503/504)
-  // is not.
+  // is not. Chaos mode expects transport drops (server restarts) and
+  // injected 5xx — there the contract is: every answer that does arrive
+  // is well-formed and consistent with the reference solve.
+  if (opts.chaos) {
+    return total.malformed == 0 && total.client_error == 0 &&
+                   total.differential == 0 && total.server_error == 0
+               ? 0
+               : 1;
+  }
   return total.malformed == 0 && total.server_error == 0 &&
                  total.transport == 0 && total.client_error == 0
              ? 0

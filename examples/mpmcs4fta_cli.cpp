@@ -29,6 +29,10 @@
 //     API, GET /v1/healthz and /v1/statsz.
 //     --port P        listen port (default 8080; 0 = ephemeral)
 //     --bind ADDR     bind address (default 127.0.0.1)
+//     --journal-dir DIR  crash-safe /v1/trees persistence (replayed on boot)
+//     --no-journal-fsync journal without per-record durability (tests only)
+//     --failpoints SPEC  arm fault-injection sites; also honours the
+//                        FTA_FAILPOINTS environment variable
 //     plus --jobs and every pipeline option above as service defaults.
 //
 //   usage: mpmcs4fta_cli mutate [options] <tree.ft> --edits <script.json>
@@ -62,6 +66,7 @@
 #include "ft/tree_delta.hpp"
 #include "service/http_server.hpp"
 #include "service/solve_service.hpp"
+#include "util/failpoint.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -90,7 +95,14 @@ int usage(const char* argv0) {
                "  --quiet         no human-readable summary\n"
                "serve mode: %s serve [--port P] [--bind ADDR] [options]\n"
                "  long-running HTTP service: POST /v1/solve, POST /v1/topk,\n"
-               "  the /v1/trees resource API, GET /v1/healthz, GET /v1/statsz\n"
+               "  the /v1/trees resource API, GET /v1/healthz, GET /v1/readyz,\n"
+               "  GET /v1/statsz\n"
+               "  --journal-dir DIR  crash-safe /v1/trees persistence: every\n"
+               "                  acknowledged create/patch/delete is journaled\n"
+               "                  and replayed on the next boot\n"
+               "  --no-journal-fsync  journal without per-record durability\n"
+               "  --failpoints SPEC  arm fault-injection sites (also env\n"
+               "                  FTA_FAILPOINTS); needs -DMPMCS_FAILPOINTS=ON\n"
                "mutate mode: %s mutate [options] <tree.ft> --edits "
                "<script.json>\n"
                "  replay a JSON edit script (array of TreeDeltas) against\n"
@@ -549,11 +561,14 @@ void handle_stop_signal(int) { g_stop_requested.store(true); }
 /// Runs `serve` mode until SIGINT/SIGTERM, then drains gracefully.
 int run_serve(const std::string& bind_address, std::uint16_t port,
               std::size_t jobs, const fta::core::PipelineOptions& opts,
+              const std::string& journal_dir, bool journal_fsync,
               bool quiet) {
   using namespace fta;
   service::ServiceOptions sopts;
   sopts.engine_threads = jobs;
   sopts.pipeline = opts;
+  sopts.journal_dir = journal_dir;
+  sopts.journal_fsync = journal_fsync;
   service::SolveService svc(sopts);
 
   service::HttpServerOptions hopts;
@@ -576,6 +591,10 @@ int run_serve(const std::string& bind_address, std::uint16_t port,
     std::printf("serving   : http://%s:%u (threads %zu)\n",
                 bind_address.c_str(), server->port(),
                 svc.engine().num_threads());
+    if (!journal_dir.empty()) {
+      std::printf("journal   : %s (fsync %s)\n", journal_dir.c_str(),
+                  journal_fsync ? "on" : "off");
+    }
     std::fflush(stdout);
   }
   while (!g_stop_requested.load()) {
@@ -611,6 +630,12 @@ int main(int argc, char** argv) {
   bool mutate_mode = false;
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 8080;
+  std::string journal_dir;
+  bool journal_fsync = true;
+  std::string failpoints_spec;
+  if (const char* env = std::getenv("FTA_FAILPOINTS")) {
+    failpoints_spec = env;
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -670,6 +695,13 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--bind") {
       bind_address = next();
+    } else if (arg == "--journal-dir") {
+      journal_dir = next();
+    } else if (arg == "--no-journal-fsync") {
+      journal_fsync = false;
+    } else if (arg == "--failpoints") {
+      // CLI overrides the FTA_FAILPOINTS environment variable.
+      failpoints_spec = next();
     } else if (arg == "--edits") {
       edits_path = next();
     } else if (arg == "serve" && tree_path.empty() && !mutate_mode) {
@@ -684,9 +716,18 @@ int main(int argc, char** argv) {
       tree_path = arg;
     }
   }
+  if (!failpoints_spec.empty()) {
+    try {
+      util::configure_failpoints(failpoints_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad failpoint spec: %s\n", e.what());
+      return 2;
+    }
+  }
   if (serve_mode) {
     if (!tree_path.empty() || !batch_dir.empty()) return usage(argv[0]);
-    return run_serve(bind_address, port, jobs, opts, quiet);
+    return run_serve(bind_address, port, jobs, opts, journal_dir,
+                     journal_fsync, quiet);
   }
   if (mutate_mode) {
     if (tree_path.empty() || edits_path.empty() || !batch_dir.empty()) {

@@ -455,7 +455,14 @@ MpmcsSolution MpmcsPipeline::solve_simplified(
       r.cost + (pre && !r.solved_alternate ? pre->cost_offset : 0);
   sol.lineage = pre == nullptr || r.solved_alternate ? "raw" : "pre";
 
-  if (r.status == maxsat::MaxSatStatus::Optimal) {
+  // Anytime answers: an Unknown result that carries an incumbent model
+  // (LSU's best-so-far, or a portfolio race that ran out of deadline) is
+  // still a model of the hard clauses — the cut it encodes is valid, just
+  // not proven minimum-cost. Extract it exactly like an optimum and report
+  // the certified lower bound alongside so callers can bound the gap.
+  const bool incumbent_cut =
+      r.status == maxsat::MaxSatStatus::Unknown && r.has_model();
+  if (r.status == maxsat::MaxSatStatus::Optimal || incumbent_cut) {
     // Map the model back to the original variable space (fixed,
     // substituted and eliminated variables get their forced values),
     // then read the occurring events off it: they form the cut.
@@ -485,6 +492,21 @@ MpmcsSolution MpmcsPipeline::solve_simplified(
     sol.cut = cut;
     sol.probability = cut.probability(tree);
     sol.log_cost = cut.log_cost(tree);
+    if (incumbent_cut) {
+      sol.approximate = true;
+      // The bound was certified in the result's own model space; lift it
+      // into the reporting space the same way as scaled_cost.
+      sol.scaled_lower_bound =
+          r.lower_bound + (pre && !r.solved_alternate ? pre->cost_offset : 0);
+      sol.probability_upper_bound =
+          std::exp(-static_cast<double>(sol.scaled_lower_bound) /
+                   opts_.weight_scale);
+      if (sol.scaled_cost > 0) {
+        sol.optimality_gap =
+            static_cast<double>(sol.scaled_cost - sol.scaled_lower_bound) /
+            static_cast<double>(sol.scaled_cost);
+      }
+    }
   }
   sol.total_seconds = total.seconds();
   return sol;

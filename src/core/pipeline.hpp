@@ -156,6 +156,22 @@ struct MpmcsSolution {
   /// member won the race), "pre" (the Step 3.5 simplified instance), or
   /// "strata" (recombined from per-module sub-solves).
   std::string lineage;
+  /// Anytime answer: `status` is Unknown (budget/deadline expired before
+  /// an optimality proof) but `cut` holds the best incumbent found — a
+  /// valid (minimal if shrinking) cut set whose cost may exceed the
+  /// optimum. The fields below bound how far off it can be.
+  bool approximate = false;
+  /// Certified lower bound on the *optimal* scaled-integer cost, in the
+  /// same space as `scaled_cost` (Step 3.5 offset included). Invariant:
+  /// scaled_lower_bound <= optimal scaled cost <= scaled_cost.
+  maxsat::Weight scaled_lower_bound = 0;
+  /// exp(-scaled_lower_bound / weight_scale): no cut set can be more
+  /// probable than this (advisory — inherits the llround quantisation of
+  /// Step 3's weights).
+  double probability_upper_bound = 0.0;
+  /// (scaled_cost - scaled_lower_bound) / scaled_cost, in [0, 1]; 0 when
+  /// the incumbent is provably optimal in scaled space.
+  double optimality_gap = 0.0;
 };
 
 /// Memoized per-stratum optima of a stratified artefact: keyed by the

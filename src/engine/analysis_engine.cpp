@@ -1,7 +1,9 @@
 #include "engine/analysis_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -25,9 +27,112 @@ AnalysisEngine::AnalysisEngine(EngineOptions opts)
     : opts_(opts),
       cache_(opts.cache_capacity),
       lifetime_(std::make_shared<util::CancelToken>()),
-      pool_(opts.num_threads) {}
+      pool_(opts.num_threads) {
+  if (opts_.watchdog_interval_seconds > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
 
-AnalysisEngine::~AnalysisEngine() = default;
+AnalysisEngine::~AnalysisEngine() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+// --- watchdog ------------------------------------------------------------
+
+/// RAII registration of one running solve with the watchdog. No-op when
+/// the watchdog is disabled.
+class AnalysisEngine::WatchScope {
+ public:
+  WatchScope(AnalysisEngine& engine, const util::CancelTokenPtr& token,
+             const std::string& tree_id)
+      : engine_(engine),
+        active_(engine.opts_.watchdog_interval_seconds > 0.0),
+        id_(active_ ? engine.watch_begin(token, tree_id) : 0) {}
+  ~WatchScope() {
+    if (active_) engine_.watch_end(id_);
+  }
+  WatchScope(const WatchScope&) = delete;
+  WatchScope& operator=(const WatchScope&) = delete;
+
+ private:
+  AnalysisEngine& engine_;
+  bool active_;
+  std::uint64_t id_;
+};
+
+std::uint64_t AnalysisEngine::watch_begin(const util::CancelTokenPtr& token,
+                                          const std::string& tree_id) {
+  std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  const std::uint64_t id = ++next_watch_id_;
+  WatchedSolve w;
+  w.token = token;
+  w.tree_id = tree_id;
+  w.last_progress = token->progress();
+  watched_.emplace(id, std::move(w));
+  return id;
+}
+
+void AnalysisEngine::watch_end(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  watched_.erase(id);
+}
+
+void AnalysisEngine::watchdog_loop() {
+  const auto interval = std::chrono::duration<double>(
+      opts_.watchdog_interval_seconds);
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, interval);
+    if (watchdog_stop_) break;
+    std::vector<std::string> to_quarantine;
+    for (auto& [id, w] : watched_) {
+      if (w.cancelled) continue;
+      const std::uint64_t p = w.token->progress();
+      if (p != w.last_progress) {
+        w.last_progress = p;
+        w.stalled_scans = 0;
+        continue;
+      }
+      if (++w.stalled_scans < opts_.watchdog_stall_intervals) continue;
+      // Frozen across the full stall window: the solve is wedged (or so
+      // far regressed it makes no conflicts). Cancel it; if it was a
+      // warm resource solve, reset the resource to cold state so the
+      // wedge cannot recur from the same session.
+      w.token->cancel();
+      w.cancelled = true;
+      watchdog_cancels_.fetch_add(1, std::memory_order_relaxed);
+      if (!w.tree_id.empty()) to_quarantine.push_back(w.tree_id);
+    }
+    if (!to_quarantine.empty()) {
+      // Outside the registry lock ordering concerns: quarantine only
+      // touches trees_mutex_ and an atomic flag, never resource mutexes
+      // (the wedged solve still holds those).
+      lock.unlock();
+      for (const std::string& id : to_quarantine) quarantine_tree(id);
+      lock.lock();
+    }
+  }
+}
+
+void AnalysisEngine::quarantine_tree(const std::string& id) {
+  std::shared_ptr<TreeResource> res;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    const auto it = trees_.find(id);
+    if (it == trees_.end()) return;
+    res = it->second;
+  }
+  if (!res->quarantined.exchange(true, std::memory_order_relaxed)) {
+    quarantines_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
 AnalysisTicket AnalysisEngine::analyze(AnalysisRequest request) {
   util::CancelTokenPtr token;
@@ -79,6 +184,9 @@ EngineStats AnalysisEngine::stats() const {
   s.session_evictions = cache_.session_evictions();
   s.trees_active = num_trees();
   s.tree_edits = tree_edits_.load(std::memory_order_relaxed);
+  s.watchdog_cancels = watchdog_cancels_.load(std::memory_order_relaxed);
+  s.quarantines = quarantines_.load(std::memory_order_relaxed);
+  s.session_resets = session_resets_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -101,6 +209,46 @@ std::string AnalysisEngine::create_tree(ft::FaultTree tree,
   std::lock_guard<std::mutex> lock(trees_mutex_);
   trees_.emplace(id, std::move(res));
   return id;
+}
+
+void AnalysisEngine::restore_tree(const std::string& id, ft::FaultTree tree,
+                                  core::PipelineOptions pipeline,
+                                  std::uint64_t version, std::uint64_t edits) {
+  tree.validate();
+  auto res = std::make_shared<TreeResource>();
+  res->pipeline = pipeline;
+  const core::MpmcsPipeline p(pipeline);
+  res->prepared = p.prepare(tree);
+  res->tree = std::move(tree);
+  res->version = version;
+  res->edits = edits;
+  res->last_used = use_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    if (!trees_.emplace(id, std::move(res)).second) {
+      throw std::invalid_argument("restore_tree: duplicate id '" + id + "'");
+    }
+  }
+  // Keep the id allocator ahead of every restored "tN" id so post-restart
+  // creates never collide with recovered resources.
+  if (id.size() > 1 && id[0] == 't') {
+    std::uint64_t n = 0;
+    bool numeric = true;
+    for (std::size_t i = 1; i < id.size(); ++i) {
+      if (id[i] < '0' || id[i] > '9') {
+        numeric = false;
+        break;
+      }
+      n = n * 10 + static_cast<std::uint64_t>(id[i] - '0');
+    }
+    if (numeric) {
+      std::uint64_t cur = next_tree_id_.load(std::memory_order_relaxed);
+      while (cur < n &&
+             !next_tree_id_.compare_exchange_weak(cur, n,
+                                                  std::memory_order_relaxed)) {
+      }
+    }
+  }
 }
 
 bool AnalysisEngine::release_tree(const std::string& id) {
@@ -232,6 +380,7 @@ void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
   const bool cacheable =
       cache_.capacity() > 0 && !request.pipeline.decompose_top_or;
   if (!cacheable) {
+    WatchScope watch(*this, token, "");
     result.mpmcs = pipeline.solve(request.tree, std::move(token));
   } else {
     PreparedTreePtr prepared = prepared_for(pipeline, request, base, result);
@@ -258,8 +407,11 @@ void AnalysisEngine::run_mpmcs(const AnalysisRequest& request,
         return;
       }
     }
-    result.mpmcs = pipeline.solve_prepared(request.tree, prepared->prepared,
-                                           std::move(token));
+    {
+      WatchScope watch(*this, token, "");
+      result.mpmcs = pipeline.solve_prepared(request.tree, prepared->prepared,
+                                             token);
+    }
     if (opts_.memoize_results &&
         result.mpmcs.status != maxsat::MaxSatStatus::Unknown) {
       std::lock_guard<std::mutex> lock(prepared->memo_mutex);
@@ -276,6 +428,7 @@ void AnalysisEngine::run_top_k(const AnalysisRequest& request,
   const core::MpmcsPipeline pipeline(request.pipeline);
   maxsat::MaxSatStatus final_status = maxsat::MaxSatStatus::Optimal;
   if (cache_.capacity() == 0) {
+    WatchScope watch(*this, token, "");
     result.top =
         pipeline.top_k(request.tree, request.top_k, token, &final_status);
   } else {
@@ -303,8 +456,12 @@ void AnalysisEngine::run_top_k(const AnalysisRequest& request,
         return;
       }
     }
-    result.top = pipeline.top_k_prepared(request.tree, prepared->prepared,
-                                         request.top_k, token, &final_status);
+    {
+      WatchScope watch(*this, token, "");
+      result.top = pipeline.top_k_prepared(request.tree, prepared->prepared,
+                                           request.top_k, token,
+                                           &final_status);
+    }
     // Memoize only completed enumerations: Optimal (k found) or
     // Unsatisfiable (the tree ran out of MCSs — the list is exhaustive).
     if (opts_.memoize_results &&
@@ -361,6 +518,15 @@ void AnalysisEngine::run_resource(const AnalysisRequest& request,
   // The resource's pipeline configuration shaped its artefact; a
   // per-request override would silently mismatch the two.
   const core::MpmcsPipeline pipeline(res->pipeline);
+  if (res->quarantined.exchange(false, std::memory_order_relaxed)) {
+    // The watchdog killed a wedged solve on this resource: drop the warm
+    // artefact (and the session it carries) and rebuild cold before
+    // touching it again.
+    res->prepared = pipeline.prepare(res->tree, token);
+    res->solutions.clear();
+    res->fresh_artefact = true;
+    session_resets_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (request.delta && !request.delta->empty()) {
     // Throws ft::DeltaError on bad edits — reported via result.error
     // with the resource untouched.
@@ -394,8 +560,48 @@ void AnalysisEngine::run_resource(const AnalysisRequest& request,
           return;
         }
       }
-      result.mpmcs =
-          pipeline.solve_prepared(res->tree, res->prepared, token);
+      WatchScope watch(*this, token, request.tree_id);
+      const bool fresh = res->fresh_artefact;
+      const bool warm_budgeted =
+          !fresh && opts_.warm_reset_multiple > 0.0 &&
+          res->cold_solve_ewma > 0.0 && res->prepared.session != nullptr;
+      if (warm_budgeted) {
+        // Self-reset heuristic: give the warm (rebased-session) re-solve
+        // a budget of N x the cold estimate. A healthy warm path beats
+        // cold by construction; one that regresses past the budget is
+        // abandoned — drop the session, rebuild the artefact, and
+        // re-descend cold with the remaining request deadline.
+        const double budget =
+            opts_.warm_reset_multiple *
+            std::max(res->cold_solve_ewma, opts_.warm_reset_floor_seconds);
+        auto sub = util::make_child_token(token);
+        sub->set_deadline_after(budget);
+        result.mpmcs = pipeline.solve_prepared(res->tree, res->prepared, sub);
+        if (result.mpmcs.status == maxsat::MaxSatStatus::Unknown &&
+            !token->cancelled()) {
+          res->prepared = pipeline.prepare(res->tree, token);
+          res->solutions.clear();
+          session_resets_.fetch_add(1, std::memory_order_relaxed);
+          util::Timer cold_timer;
+          result.mpmcs =
+              pipeline.solve_prepared(res->tree, res->prepared, token);
+          res->cold_solve_ewma =
+              0.7 * res->cold_solve_ewma + 0.3 * cold_timer.seconds();
+          res->fresh_artefact = false;
+        }
+      } else {
+        util::Timer cold_timer;
+        result.mpmcs =
+            pipeline.solve_prepared(res->tree, res->prepared, token);
+        if (fresh && result.mpmcs.status != maxsat::MaxSatStatus::Unknown) {
+          // First solve on a fresh artefact: the cold reference estimate.
+          res->cold_solve_ewma =
+              res->cold_solve_ewma == 0.0
+                  ? cold_timer.seconds()
+                  : 0.7 * res->cold_solve_ewma + 0.3 * cold_timer.seconds();
+          res->fresh_artefact = false;
+        }
+      }
       if (opts_.memoize_results &&
           result.mpmcs.status != maxsat::MaxSatStatus::Unknown) {
         res->solutions.emplace(memo_key, result.mpmcs);
@@ -404,6 +610,7 @@ void AnalysisEngine::run_resource(const AnalysisRequest& request,
       break;
     }
     case AnalysisKind::TopK: {
+      WatchScope watch(*this, token, request.tree_id);
       maxsat::MaxSatStatus final_status = maxsat::MaxSatStatus::Optimal;
       result.top = pipeline.top_k_prepared(res->tree, res->prepared,
                                            request.top_k, token,

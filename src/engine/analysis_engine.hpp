@@ -19,12 +19,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -125,6 +127,21 @@ struct EngineOptions {
   /// flight for a deterministic interval regardless of how fast the
   /// solver is. 0 = off; never set in production configurations.
   double debug_solve_delay_seconds = 0.0;
+  /// Solver watchdog: scan interval for in-flight MaxSAT solves. A solve
+  /// whose liveness counter (one tick per SAT conflict/call, aggregated
+  /// through its cancel token) stays frozen for `watchdog_stall_intervals`
+  /// consecutive scans is cancelled; if it ran against a registered tree
+  /// resource, the resource is quarantined and reset to cold state (fresh
+  /// artefact, no warm session) before its next solve. 0 = watchdog off.
+  double watchdog_interval_seconds = 0.0;
+  std::size_t watchdog_stall_intervals = 3;
+  /// Warm-session self-reset: a warm re-solve on a tree resource gets a
+  /// sub-deadline of `warm_reset_multiple` x the resource's EWMA cold-solve
+  /// estimate (floored at `warm_reset_floor_seconds`); tripping it abandons
+  /// the rebased session and re-descends cold instead of letting a
+  /// regressed warm path burn the whole request deadline. 0 disables.
+  double warm_reset_multiple = 8.0;
+  double warm_reset_floor_seconds = 0.05;
 };
 
 struct EngineStats {
@@ -141,6 +158,9 @@ struct EngineStats {
   std::uint64_t session_evictions = 0;     ///< Entries shed by the cap.
   std::uint64_t trees_active = 0;   ///< Registered tree resources alive.
   std::uint64_t tree_edits = 0;     ///< Deltas applied to resources.
+  std::uint64_t watchdog_cancels = 0;  ///< Solves killed for frozen liveness.
+  std::uint64_t quarantines = 0;       ///< Resources flagged for cold reset.
+  std::uint64_t session_resets = 0;    ///< Warm artefacts rebuilt cold.
 };
 
 /// A registered tree resource's public face (the service renders these).
@@ -196,6 +216,16 @@ class AnalysisEngine {
   /// invalid tree.
   std::string create_tree(ft::FaultTree tree, core::PipelineOptions pipeline);
 
+  /// Journal recovery: re-registers a resource under its *original* id
+  /// with its recorded version/edit counters, so restored resources are
+  /// byte-identical to their pre-crash selves (same etag). The id
+  /// allocator is advanced past any numeric id restored this way. Throws
+  /// ft::ValidationError on an invalid tree, std::invalid_argument on a
+  /// duplicate id.
+  void restore_tree(const std::string& id, ft::FaultTree tree,
+                    core::PipelineOptions pipeline, std::uint64_t version,
+                    std::uint64_t edits);
+
   /// Destroys a resource (its artefact and sessions die with the last
   /// in-flight request). Returns false for an unknown id.
   bool release_tree(const std::string& id);
@@ -242,7 +272,29 @@ class AnalysisEngine {
     std::uint64_t edits = 0;
     std::uint64_t last_used = 0;
     std::unordered_map<std::string, core::MpmcsSolution> solutions;
+    /// Set by the watchdog (outside `mutex` — the wedged solve holds it);
+    /// the next solve observes it and rebuilds the artefact cold.
+    std::atomic<bool> quarantined{false};
+    /// EWMA of cold-solve wall seconds (solves on a freshly prepared
+    /// artefact); the warm self-reset heuristic budgets against it.
+    double cold_solve_ewma = 0.0;
+    /// True until the first solve after create/restore/reset: that solve
+    /// is the cold reference the EWMA learns from.
+    bool fresh_artefact = true;
   };
+
+  /// One watched in-flight MaxSAT solve (registered while the solver
+  /// actually runs — never while queued or waiting on a resource lock,
+  /// so lock convoys cannot read as stalls).
+  struct WatchedSolve {
+    util::CancelTokenPtr token;
+    std::string tree_id;
+    std::uint64_t last_progress = 0;
+    std::size_t stalled_scans = 0;
+    bool cancelled = false;
+  };
+
+  class WatchScope;
 
   AnalysisResult execute(AnalysisRequest request, util::CancelTokenPtr token);
   /// Cache lookup-or-build of the Step 1-4/3.5 artefact for the
@@ -268,6 +320,12 @@ class AnalysisEngine {
   void run_quantitative(const ft::FaultTree& tree,
                         AnalysisResult& result) const;
 
+  void watchdog_loop();
+  void quarantine_tree(const std::string& id);
+  std::uint64_t watch_begin(const util::CancelTokenPtr& token,
+                            const std::string& tree_id);
+  void watch_end(std::uint64_t id);
+
   EngineOptions opts_;
   TreeCache cache_;
 
@@ -285,6 +343,16 @@ class AnalysisEngine {
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> watchdog_cancels_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> session_resets_{0};
+
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::uint64_t next_watch_id_ = 0;
+  std::unordered_map<std::uint64_t, WatchedSolve> watched_;
+  std::thread watchdog_;
 
   /// Declared last: its destructor joins the workers while every member
   /// they touch is still alive.

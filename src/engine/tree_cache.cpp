@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/failpoint.hpp"
+
 namespace fta::engine {
 
 namespace {
@@ -80,6 +82,12 @@ std::string structural_key(const ft::FaultTree& tree,
 }
 
 PreparedTreePtr TreeCache::find(const std::string& key) {
+  // "error" action forces a miss (the engine re-prepares cold, which
+  // must stay correct); "throw" models a failing lookup.
+  if (FTA_FAILPOINT_BRANCH("cache.lookup")) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -102,6 +110,9 @@ PreparedTreePtr TreeCache::find_base(const std::string& key) {
 
 PreparedTreePtr TreeCache::insert(const std::string& key,
                                   PreparedTreePtr value) {
+  // "error" action drops the insert (caller keeps its own copy — a
+  // correctness-neutral cache failure); "throw" models a hard failure.
+  if (FTA_FAILPOINT_BRANCH("cache.insert")) return value;
   if (capacity_ == 0) return value;
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);

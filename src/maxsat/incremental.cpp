@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace fta::maxsat {
@@ -219,6 +220,7 @@ MaxSatResult IncrementalOll::run(State& st, std::span<const Lit> context,
                        sat_.model().begin() + inst_->num_vars());
       res.cost = inst_->cost_of(res.model);
       assert(res.cost == st.lower_bound && "OLL invariant: model cost == lb");
+      res.lower_bound = st.lower_bound;
       res.seconds = timer.seconds();
       return res;
     }
@@ -298,6 +300,10 @@ MaxSatResult IncrementalOll::run(State& st, std::span<const Lit> context,
   }
 
   res.status = MaxSatStatus::Unknown;
+  // Every core charged so far is certified even though the search did not
+  // finish: st.lower_bound is a sound bound on the optimum under this
+  // context, and callers use it for anytime optimality-gap reporting.
+  res.lower_bound = st.lower_bound;
   res.seconds = timer.seconds();
   return res;
 }
@@ -361,6 +367,7 @@ MaxSatResult IncrementalLsu::solve(std::span<const Lit> context,
                        sat_.model().begin() + inst_->num_vars());
       res.cost = inst_->cost_of(res.model);
       assert(res.cost == base_cost_);
+      res.lower_bound = res.cost;
       res.seconds = timer.seconds();
       return res;
     }
@@ -386,6 +393,7 @@ MaxSatResult IncrementalLsu::solve(std::span<const Lit> context,
       if (res.has_model()) {
         // The incumbent could not be improved: optimal (for this context).
         res.status = MaxSatStatus::Optimal;
+        res.lower_bound = res.cost;
         if (!ctx) {
           base_proved_ = true;
           base_cost_ = res.cost;
@@ -476,6 +484,10 @@ IncrementalSolveSession::Guard IncrementalSolveSession::try_acquire() {
 
 bool IncrementalSolveSession::rebase(
     std::shared_ptr<const WcnfInstance> instance) {
+  // "error" action refuses the rebase (the caller falls back to a cold
+  // re-prepare — the same path as an incompatible delta); "throw" models
+  // a failure mid-rebase.
+  if (FTA_FAILPOINT_BRANCH("session.rebase")) return false;
   std::lock_guard<std::mutex> lock(mutex_);
   if (in_context_) return false;
   inst_ = std::move(instance);

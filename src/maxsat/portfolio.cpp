@@ -58,6 +58,10 @@ MaxSatResult PortfolioSolver::solve(const WcnfInstance& instance,
   std::condition_variable cv;
   std::optional<MaxSatResult> winner;
   std::optional<MaxSatResult> incumbent;  // best Unknown-with-model
+  // Best certified lower bound per model space (index: solved_alternate).
+  // Bounds only compose within one space — a raw member's costs include
+  // the UP-forced soft weights a simplified member's exclude.
+  Weight best_lb[2] = {0, 0};
   std::size_t finished = 0;
 
   std::vector<std::thread> threads;
@@ -73,6 +77,8 @@ MaxSatResult PortfolioSolver::solve(const WcnfInstance& instance,
       {
         std::lock_guard<std::mutex> lock(mutex);
         ++finished;
+        const int space = r.solved_alternate ? 1 : 0;
+        best_lb[space] = std::max(best_lb[space], r.lower_bound);
         if (r.status != MaxSatStatus::Unknown && !winner) {
           winner = std::move(r);
           shared_token->cancel();
@@ -115,8 +121,16 @@ MaxSatResult PortfolioSolver::solve(const WcnfInstance& instance,
     res = std::move(*winner);
   } else if (incumbent) {
     res = std::move(*incumbent);  // status stays Unknown: not proven optimal
+    // The incumbent's own bound may lag a core-guided sibling racing the
+    // same space; take the best bound certified for that space so the
+    // reported optimality gap is as tight as the race allows.
+    const int space = res.solved_alternate ? 1 : 0;
+    res.lower_bound = std::max(res.lower_bound, best_lb[space]);
   } else {
     res.solver_name = name();
+    // No model anywhere, but the bound certified on the handed-in
+    // (simplified) instance still stands.
+    res.lower_bound = best_lb[0];
   }
   res.seconds = timer.seconds();
   return res;

@@ -35,6 +35,12 @@ struct MaxSatResult {
   /// instance handed to solve(). The model then lives in the original
   /// variable space already — no Step 3.5 reconstruction, no cost offset.
   bool solved_alternate = false;
+  /// Certified lower bound on the optimal cost *in this result's own
+  /// model space* (i.e. the instance the producing member actually
+  /// solved — see `solved_alternate`). Core-guided solvers certify every
+  /// extracted core; solution-improving solvers leave 0, which is always
+  /// sound. For Optimal results, cost == lower_bound.
+  Weight lower_bound = 0;
 
   bool has_model() const noexcept { return !model.empty(); }
 };

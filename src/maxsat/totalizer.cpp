@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/failpoint.hpp"
+
 namespace fta::maxsat {
 
 using logic::Lit;
@@ -24,6 +26,10 @@ std::optional<GeneralizedTotalizer> GeneralizedTotalizer::build(
     std::size_t max_outputs, std::size_t max_clauses,
     const util::CancelToken* cancel) {
   assert(!inputs.empty());
+  // Failpoint "totalizer.build" models construction failure in the
+  // clause-heavy cardinality encoding (the other allocation hot spot
+  // besides the clause arena).
+  FTA_FAILPOINT("totalizer.build");
   using Node = std::map<Weight, Lit>;
   std::vector<Node> nodes;
   nodes.reserve(inputs.size());

@@ -1,8 +1,16 @@
 #include "sat/clause_arena.hpp"
 
+#include "util/failpoint.hpp"
+
 namespace fta::sat {
 
 ClauseRef ClauseArena::alloc(std::span<const Lit> lits, bool learnt) {
+  // Failpoint "arena.grow" models allocation failure in the hottest
+  // growth path of the solver: fired only when this alloc would extend
+  // the buffer's capacity (i.e. a real reallocation), not on every clause.
+  if (buf_.size() + 2 + lits.size() > buf_.capacity()) {
+    FTA_FAILPOINT("arena.grow");
+  }
   const auto ref = static_cast<ClauseRef>(buf_.size());
   buf_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
                  (learnt ? 1u : 0u));

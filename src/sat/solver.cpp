@@ -6,6 +6,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "util/failpoint.hpp"
 #include "util/luby.hpp"
 
 namespace fta::sat {
@@ -594,6 +595,13 @@ std::uint64_t Solver::global_solve_calls() noexcept {
 
 SolveResult Solver::solve(std::span<const Lit> assumptions) {
   g_solve_calls.fetch_add(1, std::memory_order_relaxed);
+  // Wedge site for watchdog tests: sits BEFORE the liveness tick so an
+  // armed delay is a genuine progress-free stall, exactly what a hung
+  // solve looks like from the engine's side.
+  FTA_FAILPOINT("sat.solve");
+  // Conflict-free solves (common in core-guided inner loops) must still
+  // register as liveness, or a fast-churning session looks wedged.
+  if (cancel_) cancel_->note_progress();
   if (!ok_) {
     core_.clear();
     return SolveResult::Unsat;
@@ -613,6 +621,9 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
     const ClauseRef conflict = propagate();
     if (conflict != kNoClause) {
       ++stats_.conflicts;
+      // One liveness tick per conflict: the engine watchdog distinguishes
+      // a hard instance (conflicts keep flowing) from a wedged solve.
+      if (cancel_) cancel_->note_progress();
       if (decision_level() == 0) {
         ok_ = false;
         backtrack(0);

@@ -6,8 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "util/strings.hpp"
 
@@ -184,6 +187,38 @@ std::optional<ClientResponse> HttpClient::request(std::string_view method,
     return response;
   }
   return std::nullopt;
+}
+
+std::optional<ClientResponse> HttpClient::request_with_retry(
+    std::string_view method, std::string_view path, std::string_view body,
+    const RetryPolicy& policy, double timeout_seconds) {
+  if (jitter_state_ == 0) {
+    // Seed once per client from the wall clock; different clients desync
+    // their retry storms instead of hammering the server in lockstep.
+    jitter_state_ = static_cast<std::uint64_t>(
+                        std::chrono::steady_clock::now().time_since_epoch()
+                            .count()) |
+                    1u;
+  }
+  const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  double backoff = policy.initial_backoff_seconds;
+  for (std::size_t attempt = 0;; ++attempt) {
+    auto response = request(method, path, body, timeout_seconds);
+    const bool retryable =
+        !response || (policy.retry_on_503 && response->status == 503);
+    if (!retryable || attempt + 1 >= attempts) return response;
+    // Full jitter: sleep uniform(0, backoff] — decorrelates clients that
+    // failed together (e.g. all cut off by one server restart).
+    jitter_state_ ^= jitter_state_ << 13;
+    jitter_state_ ^= jitter_state_ >> 7;
+    jitter_state_ ^= jitter_state_ << 17;
+    const double unit =
+        static_cast<double>(jitter_state_ >> 11) / 9007199254740992.0;
+    const double sleep_s = std::min(backoff, policy.max_backoff_seconds) *
+                           std::max(unit, 0.1);
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    backoff *= policy.backoff_multiplier;
+  }
 }
 
 }  // namespace fta::service

@@ -16,6 +16,18 @@ struct ClientResponse {
   bool keep_alive = false;
 };
 
+/// Bounded exponential backoff with full jitter for request_with_retry.
+/// Transport failures always retry; 503 (overload/draining) only when
+/// `retry_on_503` is set — safe for idempotent requests, a duty-cycle
+/// question for effectful ones, so the caller decides.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;         ///< Total tries, including the first.
+  double initial_backoff_seconds = 0.05;
+  double max_backoff_seconds = 1.0;     ///< Backoff ceiling per attempt.
+  double backoff_multiplier = 2.0;
+  bool retry_on_503 = false;
+};
+
 /// One persistent client connection. Not thread-safe; use one per thread.
 class HttpClient {
  public:
@@ -45,6 +57,14 @@ class HttpClient {
     return request("POST", path, body, timeout_seconds);
   }
 
+  /// `request` plus bounded retries: reconnect-and-retry on transport
+  /// failure (full-jitter exponential backoff between attempts), and on
+  /// 503 when the policy opts in. Anything else — including 4xx/5xx —
+  /// returns immediately; those are answers, not transport faults.
+  std::optional<ClientResponse> request_with_retry(
+      std::string_view method, std::string_view path, std::string_view body,
+      const RetryPolicy& policy, double timeout_seconds = 30.0);
+
   void disconnect();
   bool connected() const noexcept { return fd_ >= 0; }
 
@@ -55,6 +75,7 @@ class HttpClient {
   std::uint16_t port_;
   int fd_ = -1;
   std::string residue_;  ///< Bytes past the previous response.
+  std::uint64_t jitter_state_ = 0;  ///< Lazily seeded backoff PRNG.
 };
 
 }  // namespace fta::service

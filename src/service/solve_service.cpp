@@ -8,6 +8,7 @@
 #include "ft/parser.hpp"
 #include "ft/openpsa.hpp"
 #include "ft/tree_delta.hpp"
+#include "util/failpoint.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -61,14 +62,24 @@ std::string cut_to_json_array(const ft::FaultTree& tree,
   return out + "]";
 }
 
-/// Identical shape to the batch CLI's per-solution JSON.
+/// Identical shape to the batch CLI's per-solution JSON. Approximate
+/// (anytime) answers additionally carry the certified optimality bounds.
 std::string solution_json(const ft::FaultTree& tree,
                           const core::MpmcsSolution& sol) {
-  return "{\"probability\": " + util::format_double(sol.probability) +
-         ", \"logCost\": " + util::format_double(sol.log_cost) +
-         ", \"solver\": \"" + util::json_escape(sol.solver_name) +
-         "\", \"lineage\": \"" + util::json_escape(sol.lineage) +
-         "\", \"mpmcs\": " + cut_to_json_array(tree, sol.cut) + "}";
+  std::string j = "{\"probability\": " + util::format_double(sol.probability) +
+                  ", \"logCost\": " + util::format_double(sol.log_cost) +
+                  ", \"solver\": \"" + util::json_escape(sol.solver_name) +
+                  "\", \"lineage\": \"" + util::json_escape(sol.lineage) +
+                  "\", \"mpmcs\": " + cut_to_json_array(tree, sol.cut);
+  if (sol.approximate) {
+    j += ", \"approximate\": true";
+    j += ", \"scaledCost\": " + std::to_string(sol.scaled_cost);
+    j += ", \"scaledLowerBound\": " + std::to_string(sol.scaled_lower_bound);
+    j += ", \"probabilityUpperBound\": " +
+         util::format_double(sol.probability_upper_bound);
+    j += ", \"optimalityGap\": " + util::format_double(sol.optimality_gap);
+  }
+  return j + "}";
 }
 
 /// Strong etag over a resource revision: "<id>-v<version>".
@@ -131,6 +142,7 @@ std::string tenant_json(const std::string& name, const TenantCounters& t,
        ", ";
   j += "\"deadlineExceeded\": " + std::to_string(t.deadline_exceeded.load()) +
        ", ";
+  j += "\"degraded\": " + std::to_string(t.degraded.load()) + ", ";
   j += "\"badRequests\": " + std::to_string(t.bad_requests.load()) + ", ";
   j += "\"errors\": " + std::to_string(t.errors.load()) + ", ";
   j += "\"queueDepth\": " + std::to_string(queue_depth) + ", ";
@@ -145,6 +157,8 @@ std::string tenant_json(const std::string& name, const TenantCounters& t,
 
 SolveService::SolveService(ServiceOptions opts)
     : opts_(std::move(opts)),
+      journal_({opts_.journal_dir, opts_.journal_fsync,
+                opts_.journal_compact_threshold_bytes}),
       engine_([&] {
         engine::EngineOptions e;
         e.num_threads = opts_.engine_threads;
@@ -152,10 +166,39 @@ SolveService::SolveService(ServiceOptions opts)
         e.memoize_results = opts_.memoize_results;
         e.session_memory_cap_bytes = opts_.session_memory_cap_bytes;
         e.debug_solve_delay_seconds = opts_.debug_solve_delay_seconds;
+        e.watchdog_interval_seconds = opts_.watchdog_interval_seconds;
+        e.watchdog_stall_intervals = opts_.watchdog_stall_intervals;
+        e.warm_reset_multiple = opts_.warm_reset_multiple;
         return e;
-      }()) {}
+      }()) {
+  replay_journal();
+  ready_.store(true, std::memory_order_release);
+}
 
 SolveService::~SolveService() = default;
+
+void SolveService::replay_journal() {
+  if (!journal_.enabled()) return;
+  for (const JournalEntry& e : journal_.recover()) {
+    // Per-entry isolation: one unparsable resource (e.g. written by a
+    // newer schema) must not take down the rest of the recovery.
+    try {
+      ft::FaultTree tree = parse_tree_text(e.tree_text);
+      tree.validate();
+      core::PipelineOptions popts = opts_.pipeline;
+      if (!e.solver.empty()) parse_solver_name(e.solver, &popts.solver);
+      engine_.restore_tree(e.id, std::move(tree), popts, e.version, e.edits);
+      {
+        std::lock_guard<std::mutex> lock(trees_mutex_);
+        tree_owners_.emplace(e.id, e.tenant.empty() ? "default" : e.tenant);
+      }
+      ++restored_trees_;
+    } catch (const std::exception&) {
+      // Skip: the journal itself stays intact, so a fixed binary can
+      // still recover the record later.
+    }
+  }
+}
 
 void SolveService::begin_shutdown() {
   draining_.store(true, std::memory_order_relaxed);
@@ -178,6 +221,20 @@ void SolveService::observe_service_time(double seconds) {
 }
 
 HttpResponse SolveService::handle(const HttpRequest& request) {
+  // Chaos boundary: an injected (or real) exception escaping any handler
+  // becomes a structured 500, never a dead connection or a crash.
+  if (FTA_FAILPOINT_BRANCH("service.request")) {
+    return error_response(500, "injected_fault",
+                          "failpoint service.request fired");
+  }
+  try {
+    return handle_routed(request);
+  } catch (const std::exception& e) {
+    return error_response(500, "internal", e.what());
+  }
+}
+
+HttpResponse SolveService::handle_routed(const HttpRequest& request) {
   std::string path = request.path;
   const auto query = path.find('?');
   if (query != std::string::npos) path.resize(query);
@@ -186,6 +243,15 @@ HttpResponse SolveService::handle(const HttpRequest& request) {
       return error_response(405, "bad_request", "healthz is GET-only");
     }
     return handle_healthz();
+  }
+  if (path == "/v1/readyz") {
+    if (request.method != "GET") {
+      return error_response(405, "bad_request", "readyz is GET-only");
+    }
+    return handle_readyz();
+  }
+  if (path == "/v1/failz") {
+    return handle_failz(request);
   }
   if (path == "/v1/statsz") {
     if (request.method != "GET") {
@@ -223,7 +289,7 @@ HttpResponse SolveService::handle(const HttpRequest& request) {
   return error_response(404, "not_found",
                         "unknown path " + request.path +
                             " (try /v1/solve, /v1/topk, /v1/trees, "
-                            "/v1/healthz, /v1/statsz)");
+                            "/v1/healthz, /v1/readyz, /v1/statsz)");
 }
 
 HttpResponse SolveService::handle_healthz() {
@@ -232,6 +298,55 @@ HttpResponse SolveService::handle_healthz() {
   r.body = std::string("{\"ok\": true, \"status\": \"") +
            (draining ? "draining" : "serving") + "\"}";
   return r;
+}
+
+HttpResponse SolveService::handle_readyz() {
+  // Ready = journal replay finished and not draining. Load balancers and
+  // the chaos harness gate traffic on this, not healthz (which answers
+  // 200 the moment the listener is up, possibly mid-recovery).
+  const bool ready = ready_.load(std::memory_order_acquire) &&
+                     !draining_.load(std::memory_order_relaxed);
+  HttpResponse r;
+  r.status = ready ? 200 : 503;
+  r.body = std::string("{\"ok\": ") + (ready ? "true" : "false") +
+           ", \"ready\": " + (ready ? "true" : "false") +
+           ", \"restoredTrees\": " + std::to_string(restored_trees_) +
+           ", \"journal\": " + (journal_.enabled() ? "true" : "false") + "}";
+  return r;
+}
+
+HttpResponse SolveService::handle_failz(const HttpRequest& request) {
+  if (!util::failpoints_compiled()) {
+    return error_response(501, "not_compiled",
+                          "failpoints are compiled out; rebuild with "
+                          "-DMPMCS_FAILPOINTS=ON");
+  }
+  if (request.method == "GET") {
+    HttpResponse r;
+    r.body = "{\"ok\": true, \"failpoints\": " + util::failpoints_json() + "}";
+    return r;
+  }
+  if (request.method == "DELETE") {
+    util::clear_failpoints();
+    HttpResponse r;
+    r.body = "{\"ok\": true, \"failpoints\": []}";
+    return r;
+  }
+  if (request.method == "POST") {
+    try {
+      const util::JsonValue doc = util::JsonValue::parse(request.body);
+      if (!doc.is_object()) {
+        throw util::JsonError(0, "request body must be a JSON object");
+      }
+      util::configure_failpoints(doc.get_string("spec", ""));
+    } catch (const std::exception& e) {
+      return error_response(400, "bad_request", e.what());
+    }
+    HttpResponse r;
+    r.body = "{\"ok\": true, \"failpoints\": " + util::failpoints_json() + "}";
+    return r;
+  }
+  return error_response(405, "bad_request", "failz accepts GET, POST, DELETE");
 }
 
 HttpResponse SolveService::handle_solve(const HttpRequest& request,
@@ -416,6 +531,29 @@ HttpResponse SolveService::handle_solve(const HttpRequest& request,
     return seconds;
   };
 
+  // Graceful degradation: an MPMCS solve that ends without an optimality
+  // proof but carries a feasible incumbent — deadline expiry, or an
+  // anytime solver exhausting its bound-encoding budget — answers 200
+  // with the incumbent and its certified optimality bound instead of a
+  // bare 504/500. Followers that timed out locally (`timed_out`) never
+  // fetched the result, so they still 504.
+  if (!timed_out && !result.ok && result.error.empty() &&
+      kind == AnalysisKind::Mpmcs && result.mpmcs.approximate &&
+      !result.mpmcs.cut.empty()) {
+    anon.degraded.fetch_add(1, std::memory_order_relaxed);
+    tenant.degraded.fetch_add(1, std::memory_order_relaxed);
+    anon.ok.fetch_add(1, std::memory_order_relaxed);
+    tenant.ok.fetch_add(1, std::memory_order_relaxed);
+    std::string body = "{\"ok\": true, \"status\": \"approximate\", ";
+    body += "\"tenant\": \"" + util::json_escape(tenant_name) + "\", ";
+    body += std::string("\"kind\": \"") +
+            analysis_kind_name(result.kind) + "\", ";
+    body += "\"seconds\": " + util::format_double(finish_latency()) + ", ";
+    body += "\"solution\": " + solution_json(tree, result.mpmcs) + "}";
+    HttpResponse r;
+    r.body = std::move(body);
+    return r;
+  }
   if (timed_out || result.cancelled) {
     finish_latency();
     anon.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
@@ -445,7 +583,7 @@ HttpResponse SolveService::handle_solve(const HttpRequest& request,
   anon.ok.fetch_add(1, std::memory_order_relaxed);
   tenant.ok.fetch_add(1, std::memory_order_relaxed);
 
-  std::string body = "{\"ok\": true, ";
+  std::string body = "{\"ok\": true, \"status\": \"optimal\", ";
   body += "\"tenant\": \"" + util::json_escape(tenant_name) + "\", ";
   body += std::string("\"kind\": \"") + analysis_kind_name(result.kind) +
           "\", ";
@@ -550,6 +688,7 @@ HttpResponse SolveService::handle_tree_create(const HttpRequest& request) {
           }
         }
         if (victim.empty()) break;
+        journal_.record_delete(victim);
         engine_.release_tree(victim);
         tree_owners_.erase(victim);
         trees_evicted_.fetch_add(1, std::memory_order_relaxed);
@@ -568,6 +707,31 @@ HttpResponse SolveService::handle_tree_create(const HttpRequest& request) {
   {
     std::lock_guard<std::mutex> lock(trees_mutex_);
     tree_owners_.emplace(id, tenant_name);
+  }
+  // Durability before acknowledgement: the 201 promises the resource
+  // survives a crash, so the journal append (and its fsync) must land
+  // first. On journal failure the create is rolled back — the client
+  // sees 503 and retries against a consistent store.
+  if (journal_.enabled()) {
+    try {
+      JournalEntry je;
+      je.id = id;
+      je.tenant = tenant_name;
+      je.solver = core::solver_choice_name(popts.solver);
+      je.tree_text = engine_.tree_text(id).value_or("");
+      je.version = 1;
+      je.edits = 0;
+      journal_.record_put(je);
+    } catch (const std::exception& e) {
+      engine_.release_tree(id);
+      {
+        std::lock_guard<std::mutex> lock(trees_mutex_);
+        tree_owners_.erase(id);
+      }
+      anon.errors.fetch_add(1, std::memory_order_relaxed);
+      tenant.errors.fetch_add(1, std::memory_order_relaxed);
+      return error_response(503, "persistence_failed", e.what());
+    }
   }
   trees_created_.fetch_add(1, std::memory_order_relaxed);
 
@@ -678,7 +842,17 @@ HttpResponse SolveService::handle_tree_delete(const HttpRequest& request,
       return error_response(404, "not_found",
                             "unknown tree id \"" + id + "\"");
     }
-    tree_owners_.erase(it);
+  }
+  // Journal before the in-memory delete: an acknowledged deletion must
+  // not resurrect on restart. Failure leaves the resource intact (503).
+  try {
+    journal_.record_delete(id);
+  } catch (const std::exception& e) {
+    return error_response(503, "persistence_failed", e.what());
+  }
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    tree_owners_.erase(id);
   }
   engine_.release_tree(id);
   std::string body = "{\"ok\": true, \"id\": \"" + util::json_escape(id) +
@@ -828,6 +1002,27 @@ HttpResponse SolveService::handle_tree_patch(const HttpRequest& request,
     tenant.engine_solves.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // The edit mutates the resource BEFORE the solve runs, so the post-image
+  // must be journaled whenever the delta landed — even if the solve then
+  // timed out or failed. Otherwise a restart would revert an edit the
+  // client can already observe via GET. Solver omitted: the journal
+  // inherits it from the live (create) entry.
+  if (result.delta_applied && journal_.enabled()) {
+    try {
+      JournalEntry je;
+      je.id = id;
+      je.tenant = tenant_name;
+      je.tree_text = engine_.tree_text(id).value_or("");
+      je.version = result.tree_version;
+      const auto info = engine_.tree_info(id);
+      je.edits = info ? info->edits : 0;
+      journal_.record_put(je);
+    } catch (const std::exception&) {
+      // The in-memory edit already happened and cannot be unwound here;
+      // surviving journal records still replay cleanly (post-images).
+    }
+  }
+
   const auto finish_latency = [&] {
     const double seconds = arrival.seconds();
     anon.latency.record_seconds(seconds);
@@ -835,6 +1030,33 @@ HttpResponse SolveService::handle_tree_patch(const HttpRequest& request,
     return seconds;
   };
 
+  // Same graceful degradation as /v1/solve: a proof-less re-solve whose
+  // incumbent survived (deadline expiry or anytime-budget exhaustion)
+  // answers 200-approximate with its certified gap.
+  if (!result.ok && result.error.empty() && result.mpmcs.approximate &&
+      !result.mpmcs.cut.empty()) {
+    const auto snap = engine_.tree_snapshot(id);
+    if (snap) {
+      anon.degraded.fetch_add(1, std::memory_order_relaxed);
+      tenant.degraded.fetch_add(1, std::memory_order_relaxed);
+      anon.ok.fetch_add(1, std::memory_order_relaxed);
+      tenant.ok.fetch_add(1, std::memory_order_relaxed);
+      std::string body = "{\"ok\": true, \"status\": \"approximate\", ";
+      body += "\"tenant\": \"" + util::json_escape(tenant_name) + "\", ";
+      body += "\"id\": \"" + util::json_escape(id) + "\", ";
+      body += "\"etag\": \"" +
+              util::json_escape(make_etag(id, result.tree_version)) + "\", ";
+      body += "\"version\": " + std::to_string(result.tree_version) + ", ";
+      body += std::string("\"deltaApplied\": ") +
+              (result.delta_applied ? "true" : "false") + ", ";
+      body += "\"delta\": " + delta_application_json(result.delta) + ", ";
+      body += "\"seconds\": " + util::format_double(finish_latency()) + ", ";
+      body += "\"solution\": " + solution_json(*snap, result.mpmcs) + "}";
+      HttpResponse r;
+      r.body = std::move(body);
+      return r;
+    }
+  }
   if (result.cancelled) {
     finish_latency();
     anon.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
@@ -872,7 +1094,7 @@ HttpResponse SolveService::handle_tree_patch(const HttpRequest& request,
   anon.ok.fetch_add(1, std::memory_order_relaxed);
   tenant.ok.fetch_add(1, std::memory_order_relaxed);
 
-  std::string body = "{\"ok\": true, ";
+  std::string body = "{\"ok\": true, \"status\": \"optimal\", ";
   body += "\"tenant\": \"" + util::json_escape(tenant_name) + "\", ";
   body += "\"id\": \"" + util::json_escape(id) + "\", ";
   body += "\"etag\": \"" +
@@ -917,6 +1139,20 @@ std::string SolveService::statsz_json() {
        std::to_string(trees_evicted_.load(std::memory_order_relaxed)) + ", ";
   j += "\"etagConflicts\": " +
        std::to_string(etag_conflicts_.load(std::memory_order_relaxed));
+  j += "},\n  \"resilience\": {";
+  j += "\"journalEnabled\": " +
+       std::string(journal_.enabled() ? "true" : "false") + ", ";
+  j += "\"restoredTrees\": " + std::to_string(restored_trees_) + ", ";
+  j += "\"journalAppends\": " + std::to_string(journal_.appended_records()) +
+       ", ";
+  j += "\"journalCompactions\": " + std::to_string(journal_.compactions()) +
+       ", ";
+  j += "\"journalFsyncs\": " + std::to_string(journal_.fsyncs()) + ", ";
+  j += "\"watchdogCancels\": " + std::to_string(es.watchdog_cancels) + ", ";
+  j += "\"quarantines\": " + std::to_string(es.quarantines) + ", ";
+  j += "\"sessionResets\": " + std::to_string(es.session_resets) + ", ";
+  j += "\"failpointsCompiled\": " +
+       std::string(util::failpoints_compiled() ? "true" : "false");
   j += "},\n  \"tenants\": [";
   bool sep = false;
   for (const std::string& name : stats_.tenant_names()) {

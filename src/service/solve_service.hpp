@@ -60,6 +60,7 @@
 
 #include "engine/analysis_engine.hpp"
 #include "service/http_server.hpp"
+#include "service/journal.hpp"
 #include "service/stats.hpp"
 
 namespace fta::service {
@@ -97,6 +98,20 @@ struct ServiceOptions {
   /// Fault injection forwarded to the engine (see
   /// EngineOptions::debug_solve_delay_seconds); test-only.
   double debug_solve_delay_seconds = 0.0;
+  /// Crash-safe /v1/trees persistence: directory for the append-only
+  /// journal + snapshot (see service/journal). Empty = in-memory only.
+  std::string journal_dir;
+  /// fsync the journal before acknowledging each tree mutation.
+  bool journal_fsync = true;
+  std::size_t journal_compact_threshold_bytes = 4u << 20;
+  /// Solver watchdog (EngineOptions::watchdog_*): scan interval for
+  /// in-flight solves; a solve with no SAT-level progress across
+  /// `watchdog_stall_intervals` scans is cancelled and its resource
+  /// quarantined for a cold reset. 0 = off.
+  double watchdog_interval_seconds = 1.0;
+  std::size_t watchdog_stall_intervals = 5;
+  /// Warm-session self-reset multiple (EngineOptions::warm_reset_multiple).
+  double warm_reset_multiple = 8.0;
   /// Base pipeline configuration; requests may override the solver.
   core::PipelineOptions pipeline;
 };
@@ -133,9 +148,17 @@ class SolveService {
   };
   using FlightPtr = std::shared_ptr<Flight>;
 
+  HttpResponse handle_routed(const HttpRequest& request);
   HttpResponse handle_solve(const HttpRequest& request,
                             engine::AnalysisKind kind);
   HttpResponse handle_healthz();
+  HttpResponse handle_readyz();
+  /// Test-only fault-injection control plane (/v1/failz); answers 501
+  /// unless the build compiled the failpoint registry in.
+  HttpResponse handle_failz(const HttpRequest& request);
+  /// Journal replay on boot: re-registers every recovered resource under
+  /// its original id/version (identical etags) and owner.
+  void replay_journal();
 
   // --- the /v1/trees resource API --------------------------------------
   HttpResponse handle_tree_create(const HttpRequest& request);
@@ -176,6 +199,12 @@ class SolveService {
   mutable std::mutex estimate_mutex_;
   double ewma_seconds_ = 0.0;
   bool ewma_primed_ = false;
+
+  /// Durable tree-resource store; declared before engine_ so recovered
+  /// state outlives every in-flight engine request on shutdown.
+  TreeJournal journal_;
+  std::atomic<bool> ready_{false};
+  std::uint64_t restored_trees_ = 0;  ///< Written once in the constructor.
 
   /// Declared last so its destructor (which joins the pool) runs first.
   engine::AnalysisEngine engine_;

@@ -81,6 +81,8 @@ struct TenantCounters {
   std::atomic<std::uint64_t> rejected_capacity{0};  ///< 503: global queue full.
   std::atomic<std::uint64_t> rejected_deadline{0};  ///< 503: unmeetable.
   std::atomic<std::uint64_t> deadline_exceeded{0};  ///< 504: expired in flight.
+  std::atomic<std::uint64_t> degraded{0};  ///< 200-approximate: incumbent
+                                           ///< returned after deadline expiry.
   std::atomic<std::uint64_t> bad_requests{0};       ///< 4xx parse/validation.
   std::atomic<std::uint64_t> errors{0};             ///< 5xx analysis failures.
   std::atomic<std::int64_t> outstanding{0};  ///< Admitted, not yet answered.

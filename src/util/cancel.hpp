@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <utility>
 
@@ -52,6 +53,21 @@ class CancelToken {
 
   bool has_deadline() const noexcept { return has_deadline_; }
 
+  /// Liveness signal for watchdogs: solvers bump this at their existing
+  /// poll points (one tick per SAT conflict), and it propagates up the
+  /// parent chain so a request-level token aggregates progress across
+  /// every portfolio member derived from it. A watchdog that sees the
+  /// counter frozen across intervals is looking at a wedged solve, not a
+  /// hard one.
+  void note_progress() noexcept {
+    progress_.fetch_add(1, std::memory_order_relaxed);
+    if (parent_) parent_->note_progress();
+  }
+
+  std::uint64_t progress() const noexcept {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
   void reset() noexcept {
     flag_.store(false, std::memory_order_relaxed);
     has_deadline_ = false;
@@ -61,6 +77,7 @@ class CancelToken {
   using Clock = std::chrono::steady_clock;
 
   mutable std::atomic<bool> flag_{false};
+  std::atomic<std::uint64_t> progress_{0};
   CancelTokenPtr parent_;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;

@@ -1,0 +1,271 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace fta::util {
+
+#if defined(MPMCS_FAILPOINTS)
+
+namespace failpoint {
+namespace {
+
+enum class Action : std::uint8_t { Throw, Delay, Error };
+
+struct Site {
+  Action action = Action::Throw;
+  double probability = 1.0;
+  std::uint64_t delay_ms = 0;
+  std::uint64_t after_hits = 0;
+  std::uint64_t max_fires = 0;  // 0 = unlimited
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  std::uint64_t rng = 0;  // xorshift64 state, seeded at arm time
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<std::uint64_t> g_generation{0};
+std::atomic<bool> g_any_armed{false};
+
+/// Deterministic per-site PRNG: xorshift64. Seeded from the site name so
+/// two runs arming the same spec draw the same sequence.
+std::uint64_t seed_from_name(const std::string& name) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0xff51afd7ed558ccdull;
+  }
+  return h == 0 ? 1 : h;
+}
+
+double next_uniform(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  // 53-bit mantissa draw in [0,1).
+  return static_cast<double>(state >> 11) * 0x1.0p-53;
+}
+
+const char* action_name(Action a) {
+  switch (a) {
+    case Action::Throw: return "throw";
+    case Action::Delay: return "delay";
+    case Action::Error: return "error";
+  }
+  return "?";
+}
+
+/// Parses one `name=action[(arg)][%p][@n][*m]` spec; "off" removes.
+void apply_one(const std::string& spec) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("failpoint spec missing '=': " + spec);
+  }
+  const std::string name = spec.substr(0, eq);
+  std::string rest = spec.substr(eq + 1);
+
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (rest == "off") {
+    reg.sites.erase(name);
+  } else {
+    Site site;
+    std::size_t pos = 0;
+    if (rest.compare(0, 5, "throw") == 0) {
+      site.action = Action::Throw;
+      pos = 5;
+    } else if (rest.compare(0, 5, "error") == 0) {
+      site.action = Action::Error;
+      pos = 5;
+    } else if (rest.compare(0, 5, "delay") == 0) {
+      site.action = Action::Delay;
+      pos = 5;
+      if (pos < rest.size() && rest[pos] == '(') {
+        const auto close = rest.find(')', pos);
+        if (close == std::string::npos) {
+          throw std::invalid_argument("unterminated delay(...): " + spec);
+        }
+        site.delay_ms = std::strtoull(rest.c_str() + pos + 1, nullptr, 10);
+        pos = close + 1;
+      }
+    } else {
+      throw std::invalid_argument("unknown failpoint action: " + spec);
+    }
+    while (pos < rest.size()) {
+      const char mod = rest[pos++];
+      char* end = nullptr;
+      switch (mod) {
+        case '%':
+          site.probability = std::strtod(rest.c_str() + pos, &end);
+          if (site.probability < 0.0 || site.probability > 1.0) {
+            throw std::invalid_argument("probability outside [0,1]: " + spec);
+          }
+          break;
+        case '@':
+          site.after_hits = std::strtoull(rest.c_str() + pos, &end, 10);
+          break;
+        case '*':
+          site.max_fires = std::strtoull(rest.c_str() + pos, &end, 10);
+          break;
+        default:
+          throw std::invalid_argument("unknown failpoint modifier '" +
+                                      std::string(1, mod) + "': " + spec);
+      }
+      if (end == rest.c_str() + pos) {
+        throw std::invalid_argument("missing modifier value: " + spec);
+      }
+      pos = static_cast<std::size_t>(end - rest.c_str());
+    }
+    site.rng = seed_from_name(name);
+    reg.sites[name] = site;
+  }
+  g_any_armed.store(!reg.sites.empty(), std::memory_order_release);
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace
+
+void configure(const std::string& spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string one = spec.substr(start, end - start);
+    // Skip empty segments (trailing separators, blank spec).
+    if (one.find_first_not_of(" \t") != std::string::npos) {
+      std::string trimmed = one;
+      const auto first = trimmed.find_first_not_of(" \t");
+      const auto last = trimmed.find_last_not_of(" \t");
+      apply_one(trimmed.substr(first, last - first + 1));
+    }
+    start = end + 1;
+  }
+}
+
+void clear() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.sites.clear();
+  g_any_armed.store(false, std::memory_order_release);
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::vector<SiteInfo> list() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<SiteInfo> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [name, site] : reg.sites) {
+    SiteInfo info;
+    info.name = name;
+    info.action = action_name(site.action);
+    info.probability = site.probability;
+    info.delay_ms = site.delay_ms;
+    info.after_hits = site.after_hits;
+    info.max_fires = site.max_fires;
+    info.hits = site.hits;
+    info.fires = site.fires;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::uint64_t generation() noexcept {
+  return g_generation.load(std::memory_order_acquire);
+}
+
+bool any_armed() noexcept {
+  return g_any_armed.load(std::memory_order_relaxed);
+}
+
+bool evaluate(const char* name) {
+  Registry& reg = registry();
+  Action action;
+  std::uint64_t delay_ms;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.sites.find(name);
+    if (it == reg.sites.end()) return false;
+    Site& site = it->second;
+    const std::uint64_t hit = site.hits++;
+    if (hit < site.after_hits) return false;
+    if (site.max_fires != 0 && site.fires >= site.max_fires) return false;
+    if (site.probability < 1.0 &&
+        next_uniform(site.rng) >= site.probability) {
+      return false;
+    }
+    ++site.fires;
+    action = site.action;
+    delay_ms = site.delay_ms;
+  }
+  // Act outside the lock: a throw must not leave it held via longjmp-like
+  // paths and a delay must not serialize every other site.
+  switch (action) {
+    case Action::Throw:
+      throw FailpointInjected(name);
+    case Action::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;
+    case Action::Error:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace failpoint
+
+bool failpoints_compiled() noexcept { return true; }
+
+void configure_failpoints(const std::string& spec) {
+  failpoint::configure(spec);
+}
+
+void clear_failpoints() { failpoint::clear(); }
+
+std::string failpoints_json() {
+  std::string json = "[";
+  bool sep = false;
+  for (const auto& site : failpoint::list()) {
+    if (sep) json += ", ";
+    sep = true;
+    json += "{\"name\": \"" + site.name + "\", \"action\": \"" + site.action +
+            "\", \"probability\": " + std::to_string(site.probability) +
+            ", \"delayMs\": " + std::to_string(site.delay_ms) +
+            ", \"afterHits\": " + std::to_string(site.after_hits) +
+            ", \"maxFires\": " + std::to_string(site.max_fires) +
+            ", \"hits\": " + std::to_string(site.hits) +
+            ", \"fires\": " + std::to_string(site.fires) + "}";
+  }
+  return json + "]";
+}
+
+#else  // !MPMCS_FAILPOINTS
+
+bool failpoints_compiled() noexcept { return false; }
+
+void configure_failpoints(const std::string& spec) {
+  (void)spec;
+  throw std::runtime_error(
+      "failpoints not compiled in (build with -DMPMCS_FAILPOINTS=ON)");
+}
+
+void clear_failpoints() {}
+
+std::string failpoints_json() { return "[]"; }
+
+#endif  // MPMCS_FAILPOINTS
+
+}  // namespace fta::util

@@ -1,0 +1,140 @@
+// Deterministic fault-injection registry ("failpoints").
+//
+// A failpoint is a named site in production code where a test or chaos
+// harness can inject a failure: an exception, an artificial delay, or an
+// error branch the site chooses to honour. Sites are compiled out
+// entirely unless the build defines MPMCS_FAILPOINTS (CMake option
+// -DMPMCS_FAILPOINTS=ON): in a normal build FTA_FAILPOINT(...) expands to
+// ((void)0) and the registry below is never linked into hot paths.
+//
+// With failpoints compiled in, a *disarmed* site costs one relaxed atomic
+// load of a global generation counter — near-zero overhead — so an
+// instrumented binary behaves like production until a failpoint is armed.
+//
+// Configuration forms (env var FTA_FAILPOINTS, CLI --failpoints, or the
+// service's test-only POST /v1/failz endpoint) use a compact spec string:
+//
+//   name=action[(arg)][%probability][@after_hits][*max_fires]
+//
+//   actions:  off            disarm the site
+//             throw          throw util::FailpointInjected at the site
+//             delay(MS)      sleep MS milliseconds at the site
+//             error          make FTA_FAILPOINT_BRANCH(name) taken
+//   modifiers (all optional, any order after the action):
+//             %P             fire with probability P in [0,1] (deterministic
+//                            per-site xorshift sequence, not wall clock)
+//             @N             skip the first N hits, then start firing
+//             *M             fire at most M times, then disarm
+//
+// Multiple specs are separated by ';' or ','. Examples:
+//   journal.append=throw*1            first append throws, then clean
+//   arena.grow=throw%0.01             1% of arena growths throw
+//   session.rebase=delay(50)@3        hits 4+ sleep 50 ms
+//
+// Determinism: probability draws come from a per-site PRNG seeded at arm
+// time, and hit counting is per-site — two runs with the same spec and
+// the same execution order inject at the same sites.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fta::util {
+
+/// Thrown by sites armed with the `throw` action. Distinguishable from
+/// organic failures so harnesses can tell injected faults from real bugs.
+class FailpointInjected : public std::runtime_error {
+ public:
+  explicit FailpointInjected(const std::string& site)
+      : std::runtime_error("injected fault at failpoint '" + site + "'"),
+        site_(site) {}
+  const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+#if defined(MPMCS_FAILPOINTS)
+
+namespace failpoint {
+
+/// Snapshot of one armed site (for /v1/failz GET and diagnostics).
+struct SiteInfo {
+  std::string name;
+  std::string action;       ///< "throw" | "delay" | "error"
+  double probability = 1.0;
+  std::uint64_t delay_ms = 0;
+  std::uint64_t after_hits = 0;
+  std::uint64_t max_fires = 0;  ///< 0 = unlimited.
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Arms/updates/disarms sites from a spec string (see file comment).
+/// Throws std::invalid_argument on a malformed spec; valid prefixes of a
+/// multi-spec string are still applied.
+void configure(const std::string& spec);
+
+/// Disarms every site and clears all counters.
+void clear();
+
+/// Armed-site snapshots (hit/fire counters included).
+std::vector<SiteInfo> list();
+
+/// Generation counter bumped by every configure()/clear(); lets the
+/// FTA_FAILPOINT macro skip the registry lock while nothing is armed.
+std::uint64_t generation() noexcept;
+
+/// True when at least one site is armed (fast path check).
+bool any_armed() noexcept;
+
+/// Evaluates the named site: counts the hit and, if the site is armed
+/// and its trigger condition holds, performs the action (throws or
+/// sleeps) and returns true for `error`-action sites. Returns false when
+/// nothing fired.
+bool evaluate(const char* name);
+
+}  // namespace failpoint
+
+/// Statement-form site: throws or delays when armed; `error` action is a
+/// no-op here (use FTA_FAILPOINT_BRANCH for that).
+#define FTA_FAILPOINT(name)                                   \
+  do {                                                        \
+    if (::fta::util::failpoint::any_armed()) {                \
+      (void)::fta::util::failpoint::evaluate(name);           \
+    }                                                         \
+  } while (false)
+
+/// Expression-form site: true when the site is armed with the `error`
+/// action and fires, so code can take an explicit failure branch:
+///   if (FTA_FAILPOINT_BRANCH("cache.insert")) return false;
+#define FTA_FAILPOINT_BRANCH(name)              \
+  (::fta::util::failpoint::any_armed() &&       \
+   ::fta::util::failpoint::evaluate(name))
+
+#else  // !MPMCS_FAILPOINTS
+
+#define FTA_FAILPOINT(name) ((void)0)
+#define FTA_FAILPOINT_BRANCH(name) (false)
+
+#endif  // MPMCS_FAILPOINTS
+
+/// True when this binary was built with failpoint support (regardless of
+/// whether anything is armed). The service uses it to decide whether
+/// /v1/failz exists.
+bool failpoints_compiled() noexcept;
+
+/// Forwards to failpoint::configure when compiled in; throws
+/// std::runtime_error("failpoints not compiled in") otherwise (so CLI
+/// --failpoints on a production binary is a loud error, not silence).
+void configure_failpoints(const std::string& spec);
+
+/// Forwards to failpoint::clear when compiled in; no-op otherwise.
+void clear_failpoints();
+
+/// JSON array of armed sites ("[]" when none or not compiled in).
+std::string failpoints_json();
+
+}  // namespace fta::util
