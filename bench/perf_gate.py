@@ -3,17 +3,19 @@
 
 Runs the fixed-seed benchmark binaries (bench_engine_batch,
 fig1_fps_mpmcs, ablation_preprocess, ablation_incremental,
-voting_gates, ablation_stratified, ablation_mutation), takes
-per-metric medians over a few runs, writes the combined report (BENCH_pr5.json) and fails when a
-throughput metric regresses more than --tolerance below the committed
+voting_gates, ablation_stratified, ablation_mutation,
+ablation_structure), takes per-metric medians over a few runs, writes
+the combined report (BENCH_pr9.json) and fails when a throughput
+metric regresses more than --tolerance below the committed
 bench/baseline.json.
 
     python3 bench/perf_gate.py --build-dir build            # gate
     python3 bench/perf_gate.py --build-dir build --update   # refresh baseline
 
 Correctness flags (fig1 allOk, the ablations' resultsMatch, the
-voting-gate >= 40% wide-vote clause-reduction bar) are hard failures
-regardless of tolerance.
+voting-gate >= 40% wide-vote clause-reduction bar, the structure
+ablation's identical-optima / engagement / non-regression gates) are
+hard failures regardless of tolerance.
 """
 
 import argparse
@@ -30,6 +32,7 @@ ABLATION_INCREMENTAL_ARGS = ["8"]
 VOTING_GATES_ARGS = ["1"]
 ABLATION_STRATIFIED_ARGS = ["4"]
 ABLATION_MUTATION_ARGS = ["4"]
+ABLATION_STRUCTURE_ARGS = ["3"]
 
 
 def run_bench(binary, args, runs):
@@ -150,6 +153,27 @@ def collect_metrics(build_dir, runs):
     flags["mutation.splice_strata_ok"] = all(
         d["spliceStrataOk"] for d in mutation)
 
+    structure = run_bench(os.path.join(build_dir, "ablation_structure"),
+                          ABLATION_STRUCTURE_ARGS, runs)
+    # The speedup ratios sit near 1.0 (the layer is worth ~1.05-1.15x
+    # cold, up to ~1.2x warm on card-rich ladders), so the tolerance
+    # band effectively asserts "hints never became a slowdown" rather
+    # than a headline number; the bench's own per-tree/median floors
+    # carry the hard line via speedupOk.
+    metrics["structure.cold_median_speedup_hints"] = median_of(
+        structure, lambda d: d["coldMedianSpeedupHints"])
+    metrics["structure.warm_median_speedup_hints"] = median_of(
+        structure, lambda d: d["warmMedianSpeedupHints"])
+    flags["structure.results_match"] = all(
+        d["resultsMatch"] for d in structure)
+    flags["structure.engaged"] = all(
+        d["structureEngaged"] for d in structure)
+    # any(): the floors already sit at the noise boundary; one clean run
+    # out of `runs` proves the layer is not a regression, while a single
+    # drift-flapped run must not fail CI.
+    flags["structure.speedup_ok"] = any(
+        d["speedupOk"] for d in structure)
+
     return metrics, flags
 
 
@@ -157,7 +181,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--baseline", default="bench/baseline.json")
-    parser.add_argument("--out", default="BENCH_pr5.json")
+    parser.add_argument("--out", default="BENCH_pr9.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
     parser.add_argument("--runs", type=int, default=3,

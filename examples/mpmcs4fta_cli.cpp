@@ -85,6 +85,7 @@ int usage(const char* argv0) {
                "  --scale S       weight scale (default 1e6)\n"
                "  --card-lowering MODE  vote-gate encoding: expand|totalizer|"
                "auto\n"
+               "  --sat-structure MODE  gate-map SAT hints: off|hints|full\n"
                "  --no-preprocess skip the Step 3.5 WCNF simplification\n"
                "  --no-incremental stateless solving (no SAT sessions)\n"
                "  --no-hedge      don't race the raw instance against the\n"
@@ -304,7 +305,13 @@ int run_batch(const std::string& dir, std::size_t jobs,
                ", \"logCost\": " + util::format_double(sol.log_cost) +
                ", \"solver\": \"" + util::json_escape(sol.solver_name) +
                "\", \"lineage\": \"" + util::json_escape(sol.lineage) +
-               "\", \"mpmcs\": " + cut_to_json_array(event_names[i], sol.cut) +
+               "\", \"satDecisions\": " + std::to_string(sol.sat_decisions) +
+               ", \"satPropagations\": " +
+               std::to_string(sol.sat_propagations) +
+               ", \"satConflicts\": " + std::to_string(sol.sat_conflicts) +
+               ", \"satBinaryPropagations\": " +
+               std::to_string(sol.sat_binary_propagations) +
+               ", \"mpmcs\": " + cut_to_json_array(event_names[i], sol.cut) +
                "}";
       };
       if (r.kind == engine::AnalysisKind::TopK) {
@@ -674,6 +681,17 @@ int main(int argc, char** argv) {
         opts.card_lowering = logic::CardinalityLowering::Totalizer;
       } else if (mode == "auto") {
         opts.card_lowering = logic::CardinalityLowering::Auto;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--sat-structure") {
+      const std::string mode = next();
+      if (mode == "off") {
+        opts.sat_structure = logic::StructureMode::Off;
+      } else if (mode == "hints") {
+        opts.sat_structure = logic::StructureMode::Hints;
+      } else if (mode == "full") {
+        opts.sat_structure = logic::StructureMode::Full;
       } else {
         return usage(argv[0]);
       }

@@ -169,6 +169,19 @@ maxsat::WcnfInstance MpmcsPipeline::instance_for_formula(
   instance.add_hard_cnf(ts.cnf);
   instance.set_cards(std::move(ts.cards));
 
+  // Package the gate map as structure hints riding with the instance.
+  // This raw artefact is *exact* — the hints describe precisely the
+  // clauses just emitted, so structure-derived inprocessing clauses are
+  // sound; Step 3.5 downgrades its copy to advisory (preprocess.cpp).
+  if (opts_.sat_structure != logic::StructureMode::Off) {
+    instance.set_structure(
+        std::make_shared<const logic::StructureHints>(
+            logic::make_structure_hints(std::move(ts.gates), ts.root,
+                                        ts.num_input_vars,
+                                        ts.cnf.num_vars())),
+        /*exact=*/true);
+  }
+
   // Step 3 (probabilities into log-space) + Step 4 (soft clauses).
   // Scaled-integer weights; events with p == 1 cost nothing (no soft
   // clause; the shrink pass removes gratuitous members), events with
@@ -179,23 +192,63 @@ maxsat::WcnfInstance MpmcsPipeline::instance_for_formula(
   return instance;
 }
 
+namespace {
+
+/// The structure-enabled race members: the same OLL and LSU engines with
+/// the gate-map layer installed (seeding, phases, binary watch layer, and
+/// — on exact instances under Full — inprocessing). They solve `raw`
+/// (the Step 1-4 artefact whose hints are exact) when hedging provides
+/// it, else the default working instance. Distinct seeds diversify them
+/// from the flat-CNF twins; Off appends nothing, keeping the race
+/// byte-identical to the legacy lineup (the ablation baseline).
+void append_structure_members(std::vector<maxsat::PortfolioMember>& members,
+                              logic::StructureMode mode,
+                              const maxsat::WcnfInstance* raw) {
+  if (mode == logic::StructureMode::Off) return;
+  members.push_back({"oll-circ",
+                     [mode] {
+                       maxsat::OllOptions o;
+                       o.sat.seed = 0xc142c017;
+                       o.structure = mode;
+                       return std::make_unique<maxsat::OllSolver>(o);
+                     },
+                     raw});
+  members.push_back({"lsu-circ",
+                     [mode] {
+                       maxsat::LsuOptions o;
+                       o.sat.seed = 0x51a7ca7e;
+                       o.structure = mode;
+                       return std::make_unique<maxsat::LsuSolver>(o);
+                     },
+                     raw});
+}
+
+}  // namespace
+
 maxsat::MaxSatSolverPtr MpmcsPipeline::make_solver() const {
   switch (opts_.solver) {
     // Stratified falls back to the portfolio whenever the tree does not
     // decompose (or a session/hedge path is unavailable).
     case SolverChoice::Portfolio:
     case SolverChoice::Stratified: {
+      auto members = maxsat::PortfolioSolver::default_members();
+      append_structure_members(members, opts_.sat_structure, nullptr);
       maxsat::PortfolioOptions po;
       po.timeout_seconds = opts_.timeout_seconds;
-      return std::make_unique<maxsat::PortfolioSolver>(
-          maxsat::PortfolioSolver::make_default(po));
+      return std::make_unique<maxsat::PortfolioSolver>(std::move(members), po);
     }
-    case SolverChoice::Oll:
-      return std::make_unique<maxsat::OllSolver>();
+    case SolverChoice::Oll: {
+      maxsat::OllOptions o;
+      o.structure = opts_.sat_structure;
+      return std::make_unique<maxsat::OllSolver>(o);
+    }
     case SolverChoice::FuMalik:
       return std::make_unique<maxsat::FuMalikSolver>();
-    case SolverChoice::Lsu:
-      return std::make_unique<maxsat::LsuSolver>();
+    case SolverChoice::Lsu: {
+      maxsat::LsuOptions o;
+      o.structure = opts_.sat_structure;
+      return std::make_unique<maxsat::LsuSolver>(o);
+    }
     case SolverChoice::BruteForce:
       return std::make_unique<maxsat::BruteForceSolver>();
   }
@@ -385,6 +438,8 @@ maxsat::MaxSatResult MpmcsPipeline::solve_with_session(
       // Preprocessing-aware hedging: the raw Step 1-4 artefact races the
       // simplified one the members above are solving.
       if (raw_working != nullptr) append_raw_members(members, raw_working);
+      // Structure-enabled members race on the raw artefact (exact hints).
+      append_structure_members(members, opts_.sat_structure, raw_working);
       maxsat::PortfolioOptions po;
       po.timeout_seconds = opts_.timeout_seconds;
       maxsat::PortfolioSolver portfolio(std::move(members), po);
@@ -436,6 +491,7 @@ MpmcsSolution MpmcsPipeline::solve_simplified(
     // plus the raw-lineage members on the untouched one.
     auto members = maxsat::PortfolioSolver::default_members();
     append_raw_members(members, raw_working);
+    append_structure_members(members, opts_.sat_structure, raw_working);
     maxsat::PortfolioOptions po;
     po.timeout_seconds = opts_.timeout_seconds;
     maxsat::PortfolioSolver portfolio(std::move(members), po);
@@ -449,6 +505,10 @@ MpmcsSolution MpmcsPipeline::solve_simplified(
   sol.solve_seconds = solving.seconds();
   sol.status = r.status;
   sol.solver_name = r.solver_name;
+  sol.sat_decisions = r.decisions;
+  sol.sat_propagations = r.propagations;
+  sol.sat_conflicts = r.conflicts;
+  sol.sat_binary_propagations = r.binary_propagations;
   // A raw-lineage win already pays the UP-forced soft weights inside its
   // own cost; only pre-lineage models add the Step 3.5 offset.
   sol.scaled_cost =
@@ -627,6 +687,10 @@ void MpmcsPipeline::build_monolithic(const ft::FaultTree& tree,
     }
     maxsat::IncrementalOptions inc;
     inc.memory_cap_bytes = opts_.incremental_memory_cap_bytes;
+    // The session engines install the instance's structure hints (exact
+    // on a raw instance, advisory on a preprocessed one).
+    inc.oll.structure = opts_.sat_structure;
+    inc.lsu.structure = opts_.sat_structure;
     prepared.session = std::make_shared<maxsat::IncrementalSolveSession>(
         std::move(instance), inc);
   }
@@ -705,6 +769,8 @@ void MpmcsPipeline::reweight_prepared(const ft::FaultTree& tree,
     } else {
       maxsat::IncrementalOptions inc;
       inc.memory_cap_bytes = opts_.incremental_memory_cap_bytes;
+      inc.oll.structure = opts_.sat_structure;
+      inc.lsu.structure = opts_.sat_structure;
       prepared.session = std::make_shared<maxsat::IncrementalSolveSession>(
           std::move(instance), inc);
     }

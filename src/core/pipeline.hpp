@@ -118,6 +118,16 @@ struct PipelineOptions {
   /// idle); --no-hedge is the escape hatch. Ignored when preprocessing
   /// is off or the configured solver is not a portfolio.
   bool hedge_raw = true;
+  /// Structure-aware SAT core (tentpole of the gate-map work): the
+  /// Tseitin gate map rides along with the instance as StructureHints and
+  /// the solving layers install it — root-biased activity seeding,
+  /// forced-polarity phases and the dedicated binary watch layer under
+  /// `Hints`, plus gate-structural inprocessing (chain collapse /
+  /// equivalent-gate merging, exact instances only) under `Full`.
+  /// Incremental sessions and the oll-circ/lsu-circ portfolio members
+  /// consume it; `Off` reproduces the flat-CNF pipeline bit for bit (the
+  /// ablation baseline). The CLI exposes --sat-structure.
+  logic::StructureMode sat_structure = logic::StructureMode::Full;
   /// Extension beyond the paper: when the top gate is an OR, solve one
   /// MaxSAT instance per child and take the probability argmax — sound
   /// because MCS(f1 | f2) ⊆ minimize(MCS(f1) ∪ MCS(f2)) and dropping
@@ -172,6 +182,15 @@ struct MpmcsSolution {
   /// (scaled_cost - scaled_lower_bound) / scaled_cost, in [0, 1]; 0 when
   /// the incumbent is provably optimal in scaled space.
   double optimality_gap = 0.0;
+  /// SAT effort behind the winning result (the producing member's own
+  /// counters: per-solve deltas on session engines, absolutes on
+  /// stateless ones). sat_binary_propagations counts implications served
+  /// by the structure layer's dedicated binary watch layer — 0 whenever
+  /// the winner ran without structure hints.
+  std::uint64_t sat_decisions = 0;
+  std::uint64_t sat_propagations = 0;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_binary_propagations = 0;
 };
 
 /// Memoized per-stratum optima of a stratified artefact: keyed by the

@@ -41,6 +41,11 @@ std::string structural_key(const ft::FaultTree& tree,
   // invalidate the entry (an incremental-off artefact has no session and
   // would silently pin the cached hot path to stateless solving).
   key.push_back(opts.incremental ? 'I' : 'i');
+  // Structure hints ride with the instance and are installed into the
+  // session engines at construction; artefacts built under different
+  // structure modes must not share an entry (an Off artefact carries no
+  // hints, a Full session has inprocessing clauses an Hints one lacks).
+  key.push_back(static_cast<char>('0' + static_cast<int>(opts.sat_structure)));
   // The stratified choice attaches the decomposition plan and its
   // per-module sub-artefacts to the PreparedInstance; an artefact built
   // under any other solver lacks them (and vice versa pays for them), so

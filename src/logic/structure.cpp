@@ -1,0 +1,59 @@
+#include "logic/structure.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace fta::logic {
+
+const char* structure_mode_name(StructureMode mode) noexcept {
+  switch (mode) {
+    case StructureMode::Off: return "off";
+    case StructureMode::Hints: return "hints";
+    case StructureMode::Full: return "full";
+  }
+  return "?";
+}
+
+StructureHints make_structure_hints(std::vector<GateDef> gates, Lit root,
+                                    std::uint32_t num_input_vars,
+                                    std::uint32_t num_vars) {
+  StructureHints h;
+  h.gates = std::move(gates);
+  h.root = root;
+  h.num_input_vars = num_input_vars;
+  h.num_vars = num_vars;
+  h.depth.assign(num_vars, StructureHints::kNoDepth);
+
+  // Var -> defining gate, for the BFS over fan-ins. Hash-consing makes
+  // gate outputs unique, so a plain index works.
+  std::vector<std::uint32_t> def(num_vars, 0xffffffffu);
+  for (std::uint32_t i = 0; i < h.gates.size(); ++i) {
+    assert(h.gates[i].out < num_vars);
+    def[h.gates[i].out] = i;
+  }
+
+  // Shortest gate-hop distance from the root: a shared subterm is as
+  // shallow as its shallowest use, which is where deciding it pays most.
+  std::deque<Var> queue;
+  if (root != kNoLit && root.var() < num_vars) {
+    h.depth[root.var()] = 0;
+    queue.push_back(root.var());
+  }
+  while (!queue.empty()) {
+    const Var v = queue.front();
+    queue.pop_front();
+    const std::uint32_t gi = def[v];
+    if (gi == 0xffffffffu) continue;  // an event: no fan-in to descend
+    const std::uint32_t d = h.depth[v] + 1;
+    for (const Lit l : h.gates[gi].fanin) {
+      const Var c = l.var();
+      if (c < num_vars && d < h.depth[c]) {
+        h.depth[c] = d;
+        queue.push_back(c);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace fta::logic

@@ -1,0 +1,80 @@
+// Gate-map structure hints for the SAT core (circuit-aware solving).
+//
+// The fault tree *is* a circuit, but after Tseitin the solver sees flat
+// CNF. This header carries the gate fan-in DAG out of the transformation
+// as a first-class artefact: which variables are gate outputs, which
+// halves of each definition were emitted (Plaisted–Greenbaum may drop
+// one), each gate's depth below the asserted root, and which gates hold
+// in every model. sat::Solver consumes it (install_structure) for
+// root-biased depth-weighted activity seeding, forced-polarity phase
+// initialization, a dedicated binary watch layer for the two-literal
+// definition halves, and — when the hints exactly describe the clause
+// set — gate-structural inprocessing (single-fanout chain collapse and
+// equivalent-gate merging) before the first conflict.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "logic/lit.hpp"
+
+namespace fta::logic {
+
+/// How much of the gate map the SAT core may exploit. `Hints` covers the
+/// always-sound heuristics (activity seeding, phase init, binary watch
+/// layer); `Full` additionally runs gate-structural inprocessing, which
+/// adds implied clauses and therefore requires hints that exactly match
+/// the clause set (raw Tseitin output, not a preprocessed instance).
+enum class StructureMode : std::uint8_t { Off, Hints, Full };
+
+const char* structure_mode_name(StructureMode mode) noexcept;
+
+/// One Tseitin gate definition. `pos_half` means the clauses for
+/// g -> definition were emitted, `neg_half` the converse; polarity-aware
+/// encoding may omit either. For Card gates the halves map to the
+/// totalizer directions: pos = downward (g enforces the count),
+/// neg = upward (the count implies g).
+struct GateDef {
+  enum class Kind : std::uint8_t { And, Or, Card };
+  Var out = 0;
+  Kind kind = Kind::And;
+  bool pos_half = false;
+  bool neg_half = false;
+  /// True in every model of the asserted encoding (AND-only path from
+  /// the asserted root).
+  bool forced = false;
+  /// AtLeast threshold (Card only).
+  std::uint32_t k = 0;
+  /// Child literals, in definition order.
+  std::vector<Lit> fanin;
+};
+
+/// The packaged gate map, ready for sat::Solver::install_structure.
+struct StructureHints {
+  static constexpr std::uint32_t kNoDepth = 0xffffffffu;
+
+  /// Gates in topological children-first order.
+  std::vector<GateDef> gates;
+  /// The asserted root literal (may be negative for a NOT root).
+  Lit root = kNoLit;
+  /// Formula variables are < this; gate/counting auxiliaries above.
+  std::uint32_t num_input_vars = 0;
+  /// Variable count of the emitted CNF (hint arrays are sized to it).
+  std::uint32_t num_vars = 0;
+  /// Per-variable depth below the root gate (root = 0, its fanin = 1,
+  /// ...); kNoDepth for variables outside the gate DAG (e.g. totalizer
+  /// counting auxiliaries).
+  std::vector<std::uint32_t> depth;
+};
+
+using StructureHintsPtr = std::shared_ptr<const StructureHints>;
+
+/// Packages a recorded gate list into hints: computes per-variable
+/// depths by BFS over the fan-in DAG from the root. `gates` must be in
+/// children-first order with `out` vars < `num_vars`.
+StructureHints make_structure_hints(std::vector<GateDef> gates, Lit root,
+                                    std::uint32_t num_input_vars,
+                                    std::uint32_t num_vars);
+
+}  // namespace fta::logic

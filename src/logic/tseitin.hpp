@@ -27,6 +27,7 @@
 #include "logic/cardinality.hpp"
 #include "logic/cnf.hpp"
 #include "logic/formula.hpp"
+#include "logic/structure.hpp"
 
 namespace fta::logic {
 
@@ -76,6 +77,10 @@ struct TseitinResult {
   std::uint32_t num_input_vars = 0;
   /// One entry per totalizer-lowered AtLeast gate (empty under Expand).
   std::vector<CardinalityBlock> cards;
+  /// The gate fan-in DAG, children-first — one entry per auxiliary the
+  /// translation introduced. Package with make_structure_hints for the
+  /// SAT core's structure-aware layer.
+  std::vector<GateDef> gates;
 };
 
 /// Translates `root` to CNF. If `assert_root`, a unit clause forces the

@@ -56,6 +56,28 @@ class AssumptionBuffer {
     }
   }
 
+  /// Sets the weight of `l` to exactly `w`: appends when new, updates in
+  /// place when present, removes (stable compact) when `w` == 0. Used by
+  /// the weight-only rebase patch, which rewrites residuals directly
+  /// instead of replaying the charge history.
+  void set_weight(logic::Lit l, Weight w) {
+    if (w == 0) {
+      if (weight_.erase(l) == 0) return;
+      std::size_t kept = 0;
+      for (const logic::Lit x : lits_) {
+        if (weight_.count(x) != 0) lits_[kept++] = x;
+      }
+      lits_.resize(kept);
+      return;
+    }
+    auto [it, inserted] = weight_.try_emplace(l, w);
+    if (inserted) {
+      lits_.push_back(l);
+    } else {
+      it->second = w;
+    }
+  }
+
   /// Subtracts `w` from every literal in `core_softs` (each must carry at
   /// least `w`), then compacts exhausted entries out of the buffer in one
   /// stable pass.

@@ -18,6 +18,12 @@ IncrementalOll::IncrementalOll(std::shared_ptr<const WcnfInstance> instance,
     : inst_(std::move(instance)), opts_(opts), sat_(opts.sat) {
   sat_.ensure_vars(inst_->num_vars());
   for (logic::Var v = 0; v < inst_->num_vars(); ++v) sat_.set_frozen(v, true);
+  // Structure hints must land before any clause: the binary watch layer
+  // routes two-literal clauses at attach time.
+  if (inst_->structure() && opts_.structure != logic::StructureMode::Off) {
+    sat_.install_structure(*inst_->structure(), opts_.structure,
+                           inst_->structure_exact());
+  }
   for (const auto& c : inst_->hard()) {
     if (!sat_.add_clause(c)) {
       dead_ = true;
@@ -42,6 +48,7 @@ IncrementalOll::IncrementalOll(std::shared_ptr<const WcnfInstance> instance,
     }
     merged[assume] += s.weight;
   }
+  orig_weight_ = merged;  // pre-charge weights; the rebase patch diffs these
   apply_card_blocks(merged);
   base_.pending.assign(merged.begin(), merged.end());
   std::sort(base_.pending.begin(), base_.pending.end(),
@@ -118,13 +125,60 @@ bool IncrementalOll::rebase(std::shared_ptr<const WcnfInstance> instance) {
   inst_ = std::move(instance);
   sat_.ensure_vars(inst_->num_vars());
   if (dead_) return true;  // hard side unchanged: still unsatisfiable
+  std::unordered_map<Lit, Weight> merged;
+  for (const auto& s : inst_->soft()) merged[s.lits[0]] += s.weight;
+
+  // In-place patch. The transformation invariant is an identity over all
+  // models M:  cost_old(M) = lower_bound + Σ_{l active} w(l)·[l false in M]
+  // — guards (totalizer outputs) are defined variables, so both sides are
+  // functions of the original variables. Reweighting soft l from w_old to
+  // w_new adds (w_new − w_old)·[l false] to the left side; adding exactly
+  // that delta to l's *active residual* restores the identity without
+  // touching the lower bound, guard weights, or any encoded totalizer —
+  // i.e. the entire charge history survives and the next solve resumes
+  // from the transformed state. The patch is infeasible only when a soft
+  // already charged more than its new weight covers (residual would go
+  // negative); then — or while strata are still pending, where residuals
+  // split between active and pending — fall back to rebuilding the
+  // transformation state (the SAT solver still survives either way).
+  if (!opts_.stratified && base_.pending.empty()) {
+    bool feasible = true;
+    bool changed = false;
+    std::vector<std::pair<Lit, Weight>> patch;  // (lit, new residual)
+    const auto consider = [&](Lit l, Weight w_new) {
+      const auto it = orig_weight_.find(l);
+      const Weight w_old = it == orig_weight_.end() ? 0 : it->second;
+      if (w_new == w_old) return;
+      changed = true;
+      const Weight residual = base_.active.weight(l);
+      if (w_new >= w_old) {
+        patch.emplace_back(l, residual + (w_new - w_old));
+      } else if (residual >= w_old - w_new) {
+        patch.emplace_back(l, residual - (w_old - w_new));
+      } else {
+        feasible = false;  // charged beyond the new weight
+      }
+    };
+    for (const auto& [l, w] : merged) consider(l, w);
+    for (const auto& [l, w] : orig_weight_) {
+      if (merged.find(l) == merged.end()) consider(l, 0);
+    }
+    if (feasible) {
+      for (const auto& [l, w] : patch) base_.active.set_weight(l, w);
+      if (changed) base_optimal_ = false;
+      fragmented_ = false;
+      orig_weight_ = std::move(merged);
+      ++patched_rebases_;
+      return true;
+    }
+  }
+
   base_ = State{};
   base_optimal_ = false;
   // Fragmentation is weight-dependent; give OLL a fresh chance under the
   // new weights (the core ceiling re-latches if the pathology persists).
   fragmented_ = false;
-  std::unordered_map<Lit, Weight> merged;
-  for (const auto& s : inst_->soft()) merged[s.lits[0]] += s.weight;
+  orig_weight_ = merged;
   apply_card_blocks(merged);
   base_.pending.assign(merged.begin(), merged.end());
   std::sort(base_.pending.begin(), base_.pending.end(),
@@ -165,23 +219,28 @@ Totalizer& IncrementalOll::core_totalizer(const std::vector<Lit>& violated) {
 MaxSatResult IncrementalOll::solve(std::span<const Lit> context,
                                    util::CancelTokenPtr cancel) {
   sat_.set_cancel_token(cancel);
+  const sat::SolverStats snap = sat_.stats();
+  MaxSatResult res;
   if (dead_) {
-    MaxSatResult res;
     res.solver_name = "oll-inc";
     res.status = MaxSatStatus::Unsatisfiable;
-    return res;
-  }
-  if (context.empty()) {
+  } else if (context.empty()) {
     // Context-free solves advance the persistent transformation state:
     // once it converges, re-solves are a single verification SAT call.
-    MaxSatResult res = run(base_, context, cancel);
+    res = run(base_, context, cancel);
     if (res.status == MaxSatStatus::Optimal) base_optimal_ = true;
-    return res;
+  } else {
+    // Cores discovered under context selectors may depend on them, so the
+    // blocked solve works on a copy of the base state.
+    State local = base_;
+    res = run(local, context, cancel);
   }
-  // Cores discovered under context selectors may depend on them, so the
-  // blocked solve works on a copy of the base state.
-  State local = base_;
-  return run(local, context, cancel);
+  const sat::SolverStats& now = sat_.stats();
+  res.decisions = now.decisions - snap.decisions;
+  res.propagations = now.propagations - snap.propagations;
+  res.conflicts = now.conflicts - snap.conflicts;
+  res.binary_propagations = now.binary_propagations - snap.binary_propagations;
+  return res;
 }
 
 MaxSatResult IncrementalOll::run(State& st, std::span<const Lit> context,
@@ -315,6 +374,10 @@ IncrementalLsu::IncrementalLsu(std::shared_ptr<const WcnfInstance> instance,
     : inst_(std::move(instance)), opts_(opts), sat_(opts.sat) {
   sat_.ensure_vars(inst_->num_vars());
   for (logic::Var v = 0; v < inst_->num_vars(); ++v) sat_.set_frozen(v, true);
+  if (inst_->structure() && opts_.structure != logic::StructureMode::Off) {
+    sat_.install_structure(*inst_->structure(), opts_.structure,
+                           inst_->structure_exact());
+  }
   for (const auto& c : inst_->hard()) {
     if (!sat_.add_clause(c)) {
       dead_ = true;
@@ -338,6 +401,18 @@ IncrementalLsu::IncrementalLsu(std::shared_ptr<const WcnfInstance> instance,
 
 MaxSatResult IncrementalLsu::solve(std::span<const Lit> context,
                                    util::CancelTokenPtr cancel) {
+  const sat::SolverStats snap = sat_.stats();
+  MaxSatResult res = solve_impl(context, cancel);
+  const sat::SolverStats& now = sat_.stats();
+  res.decisions = now.decisions - snap.decisions;
+  res.propagations = now.propagations - snap.propagations;
+  res.conflicts = now.conflicts - snap.conflicts;
+  res.binary_propagations = now.binary_propagations - snap.binary_propagations;
+  return res;
+}
+
+MaxSatResult IncrementalLsu::solve_impl(std::span<const Lit> context,
+                                        const util::CancelTokenPtr& cancel) {
   util::Timer timer;
   MaxSatResult res;
   res.solver_name = "lsu-inc";
@@ -495,7 +570,14 @@ bool IncrementalSolveSession::rebase(
   // let the next solve rebuild it (and re-judge its budget) lazily.
   lsu_.reset();
   lsu_failed_.store(false);
-  if (oll_ && !oll_->rebase(inst_)) oll_.reset();
+  if (oll_) {
+    const std::uint64_t patched_before = oll_->patched_rebases();
+    if (!oll_->rebase(inst_)) {
+      oll_.reset();
+    } else if (oll_->patched_rebases() != patched_before) {
+      patched_rebases_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   rebases_.fetch_add(1, std::memory_order_relaxed);
   maybe_shed_memory();
   return true;
@@ -509,6 +591,7 @@ SessionStats IncrementalSolveSession::stats() const {
   s.contexts = contexts_.load(std::memory_order_relaxed);
   s.resets = resets_.load(std::memory_order_relaxed);
   s.rebases = rebases_.load(std::memory_order_relaxed);
+  s.patched_rebases = patched_rebases_.load(std::memory_order_relaxed);
   s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
   return s;
 }

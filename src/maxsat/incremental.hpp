@@ -71,11 +71,19 @@ class IncrementalOll {
   /// Re-targets the engine at an instance with identical hard clauses and
   /// cardinality blocks but different soft weights (a weight-only tree
   /// delta). The SAT solver — learnt clauses and every totalizer already
-  /// encoded — survives; only the core-transformation state (remaining
-  /// weights + lower bound) is rebuilt, so no clause is re-encoded.
-  /// Returns false when the new softs are not all unit (relaxer wiring
-  /// cannot be re-linked); the caller should rebuild the engine instead.
+  /// encoded — survives. When every changed soft can absorb its delta in
+  /// the residual it still carries, the core-transformation state is
+  /// *patched in place* (lower bound, totalizer guards and charge history
+  /// all survive; see rebase's soundness note), so the next solve resumes
+  /// from the transformed state instead of re-discovering every core.
+  /// Otherwise the transformation state alone is rebuilt (the pre-patch
+  /// behaviour). Returns false when the new softs are not all unit
+  /// (relaxer wiring cannot be re-linked); the caller should rebuild the
+  /// engine instead.
   bool rebase(std::shared_ptr<const WcnfInstance> instance);
+
+  /// Rebases that took the in-place patch path (kept the charge history).
+  std::uint64_t patched_rebases() const noexcept { return patched_rebases_; }
 
   /// Hard clauses were refuted at level 0 (construction or later).
   bool hard_unsat() const noexcept { return dead_; }
@@ -129,6 +137,11 @@ class IncrementalOll {
   std::map<std::vector<logic::Lit>, std::size_t> totalizer_cache_;
   std::unordered_map<logic::Lit, OutputInfo> output_info_;
   std::vector<logic::Lit> assumption_scratch_;
+  /// Each original soft assumption's *full* weight under the current
+  /// instance (captured before card-block charging). The rebase patch
+  /// derives charged(l) = orig_weight_[l] - active residual from it.
+  std::unordered_map<logic::Lit, Weight> orig_weight_;
+  std::uint64_t patched_rebases_ = 0;
 };
 
 /// Solution-improving LSU over a persistent SAT solver with a retractable
@@ -150,6 +163,9 @@ class IncrementalLsu {
   std::size_t memory_bytes() const noexcept { return sat_.memory_bytes(); }
 
  private:
+  MaxSatResult solve_impl(std::span<const logic::Lit> context,
+                          const util::CancelTokenPtr& cancel);
+
   std::shared_ptr<const WcnfInstance> inst_;
   LsuOptions opts_;
   sat::Solver sat_;
@@ -183,6 +199,8 @@ struct SessionStats {
   std::uint64_t contexts = 0;     ///< Retired blocking contexts.
   std::uint64_t resets = 0;       ///< Memory-cap engine rebuilds.
   std::uint64_t rebases = 0;      ///< Weight-only instance swaps.
+  std::uint64_t patched_rebases = 0;  ///< Rebases that kept the OLL charge
+                                      ///< history (in-place weight patch).
   std::uint64_t fallbacks = 0;    ///< try_acquire lost to a concurrent owner.
 };
 
@@ -302,6 +320,7 @@ class IncrementalSolveSession {
   std::atomic<std::uint64_t> contexts_{0};
   std::atomic<std::uint64_t> resets_{0};
   std::atomic<std::uint64_t> rebases_{0};
+  std::atomic<std::uint64_t> patched_rebases_{0};
   std::atomic<std::uint64_t> fallbacks_{0};
 };
 

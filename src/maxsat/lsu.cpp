@@ -13,12 +13,17 @@ using logic::Lit;
 
 MaxSatResult LsuSolver::solve(const WcnfInstance& instance,
                               util::CancelTokenPtr cancel) {
+  sat::Solver sat(opts_.sat);
+  MaxSatResult out = [&]() -> MaxSatResult {
   util::Timer timer;
   MaxSatResult res;
   res.solver_name = name();
 
-  sat::Solver sat(opts_.sat);
   sat.set_cancel_token(cancel);
+  if (instance.structure() && opts_.structure != logic::StructureMode::Off) {
+    sat.install_structure(*instance.structure(), opts_.structure,
+                          instance.structure_exact());
+  }
   sat.ensure_vars(instance.num_vars());
   for (const auto& c : instance.hard()) {
     if (!sat.add_clause(c)) {
@@ -106,6 +111,14 @@ MaxSatResult LsuSolver::solve(const WcnfInstance& instance,
   res.status = MaxSatStatus::Unknown;
   res.seconds = timer.seconds();
   return res;
+  }();
+
+  const sat::SolverStats& st = sat.stats();
+  out.decisions = st.decisions;
+  out.propagations = st.propagations;
+  out.conflicts = st.conflicts;
+  out.binary_propagations = st.binary_propagations;
+  return out;
 }
 
 }  // namespace fta::maxsat

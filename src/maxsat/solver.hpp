@@ -41,6 +41,13 @@ struct MaxSatResult {
   /// extracted core; solution-improving solvers leave 0, which is always
   /// sound. For Optimal results, cost == lower_bound.
   Weight lower_bound = 0;
+  /// Per-solve SAT effort, summed over every SAT call this result made
+  /// (deltas for session engines, absolutes for stateless ones). The
+  /// binary count is the structure layer's dedicated watch-layer hits.
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t binary_propagations = 0;
 
   bool has_model() const noexcept { return !model.empty(); }
 };

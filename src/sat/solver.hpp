@@ -26,6 +26,7 @@
 
 #include "logic/cnf.hpp"
 #include "logic/lit.hpp"
+#include "logic/structure.hpp"
 #include "sat/clause_arena.hpp"
 #include "util/cancel.hpp"
 
@@ -49,6 +50,23 @@ struct SolverStats {
   std::uint64_t learnt_clauses = 0;
   std::uint64_t removed_clauses = 0;
   std::uint64_t minimized_literals = 0;
+  /// Implications/conflicts served by the dedicated binary watch layer
+  /// (only counts once structure hints enabled it).
+  std::uint64_t binary_propagations = 0;
+  /// Implied clauses added by gate-structural inprocessing.
+  std::uint64_t inprocess_clauses = 0;
+};
+
+/// Process-wide SAT effort across every Solver instance, accumulated at
+/// each solve() exit. The service's /v1/statsz "sat" block reports these
+/// so operators can see the structure layer working (binaryPropagations
+/// stays 0 when it never engages) without per-request plumbing.
+struct GlobalSatCounters {
+  std::uint64_t solves = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t binary_propagations = 0;
 };
 
 struct SolverOptions {
@@ -94,6 +112,9 @@ class Solver {
   /// Tests diff it around an operation to prove a path did zero SAT work
   /// (e.g. a memoized repeat request).
   static std::uint64_t global_solve_calls() noexcept;
+
+  /// Process-wide effort aggregates (see GlobalSatCounters).
+  static GlobalSatCounters global_counters() noexcept;
 
   /// After Sat: the satisfying assignment (index = variable).
   const std::vector<bool>& model() const noexcept { return model_; }
@@ -157,11 +178,33 @@ class Solver {
   /// Suggests a polarity to try first for `v` (overrides saved phase once).
   void set_polarity_hint(Var v, bool value) { polarity_[v] = value; }
 
+  // --- structure-aware layer --------------------------------------------
+  //
+  /// Installs gate-map structure hints (logic/structure) ahead of clause
+  /// loading: seeds activities root-first with depth decay, initialises
+  /// saved phases from forced gate polarities, and enables the dedicated
+  /// binary watch layer so the two-literal gate-definition halves
+  /// propagate without a full clause dereference. Under StructureMode::Full
+  /// with `exact` hints (the clause set is the untouched Tseitin output)
+  /// it additionally runs gate-structural inprocessing — equivalent-gate
+  /// merging and single-fanout chain collapse — adding the implied
+  /// binaries before the first conflict. Must be called while the clause
+  /// database is still empty; a no-op under StructureMode::Off.
+  void install_structure(const logic::StructureHints& hints,
+                         logic::StructureMode mode, bool exact);
+
  private:
   struct Watcher {
     ClauseRef cref;
     Lit blocker;
   };
+  /// Inline binary watches (the structure layer's compact binary form):
+  /// size-2 clauses are tagged with kBinRef in the shared watch lists and
+  /// carry the implied literal as the blocker, so the hot path resolves
+  /// them without an arena dereference, a watch migration, or a second
+  /// per-literal list. Clause refs are arena word offsets and stay well
+  /// below the tag bit.
+  static constexpr ClauseRef kBinRef = 0x80000000u;
 
   // Core search.
   ClauseRef propagate();
@@ -202,10 +245,15 @@ class Solver {
   SolverOptions opts_;
   bool ok_ = true;
 
+  void inprocess_structure(const logic::StructureHints& hints);
+
   ClauseArena arena_;
   std::vector<ClauseRef> problem_clauses_;
   std::vector<ClauseRef> learnt_clauses_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+  // Inline binary watch tagging, enabled by install_structure
+  // (off = byte-identical legacy behaviour).
+  bool bin_enabled_ = false;
 
   std::vector<LBool> assigns_;
   std::vector<bool> frozen_;         // session-pinned variables

@@ -8,6 +8,7 @@
 #include "ft/parser.hpp"
 #include "ft/openpsa.hpp"
 #include "ft/tree_delta.hpp"
+#include "sat/solver.hpp"
 #include "util/failpoint.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
@@ -70,7 +71,14 @@ std::string solution_json(const ft::FaultTree& tree,
                   ", \"logCost\": " + util::format_double(sol.log_cost) +
                   ", \"solver\": \"" + util::json_escape(sol.solver_name) +
                   "\", \"lineage\": \"" + util::json_escape(sol.lineage) +
-                  "\", \"mpmcs\": " + cut_to_json_array(tree, sol.cut);
+                  "\", \"satDecisions\": " +
+                  std::to_string(sol.sat_decisions) +
+                  ", \"satPropagations\": " +
+                  std::to_string(sol.sat_propagations) +
+                  ", \"satConflicts\": " + std::to_string(sol.sat_conflicts) +
+                  ", \"satBinaryPropagations\": " +
+                  std::to_string(sol.sat_binary_propagations) +
+                  ", \"mpmcs\": " + cut_to_json_array(tree, sol.cut);
   if (sol.approximate) {
     j += ", \"approximate\": true";
     j += ", \"scaledCost\": " + std::to_string(sol.scaled_cost);
@@ -1153,6 +1161,15 @@ std::string SolveService::statsz_json() {
   j += "\"sessionResets\": " + std::to_string(es.session_resets) + ", ";
   j += "\"failpointsCompiled\": " +
        std::string(util::failpoints_compiled() ? "true" : "false");
+  j += "},\n  \"sat\": {";
+  // Process-wide SAT effort: binaryPropagations > 0 proves the structure
+  // layer's dedicated binary watch layer is engaging in production.
+  const sat::GlobalSatCounters sc = sat::Solver::global_counters();
+  j += "\"solves\": " + std::to_string(sc.solves) + ", ";
+  j += "\"decisions\": " + std::to_string(sc.decisions) + ", ";
+  j += "\"propagations\": " + std::to_string(sc.propagations) + ", ";
+  j += "\"conflicts\": " + std::to_string(sc.conflicts) + ", ";
+  j += "\"binaryPropagations\": " + std::to_string(sc.binary_propagations);
   j += "},\n  \"tenants\": [";
   bool sep = false;
   for (const std::string& name : stats_.tenant_names()) {

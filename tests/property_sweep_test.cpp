@@ -12,6 +12,7 @@
 #include "analysis/quantitative.hpp"
 #include "bdd/fta_bdd.hpp"
 #include "core/pipeline.hpp"
+#include "ft/tree_delta.hpp"
 #include "gen/generator.hpp"
 #include "logic/eval.hpp"
 #include "mocus/mocus.hpp"
@@ -175,6 +176,12 @@ std::vector<FuzzMember> fuzz_members() {
     o.preprocess = pre;
     return o;
   };
+  const auto with_structure = [&with](SolverChoice c, bool pre,
+                                      logic::StructureMode m) {
+    core::PipelineOptions o = with(c, true, pre);
+    o.sat_structure = m;
+    return o;
+  };
   return {
       {"oll", with(SolverChoice::Oll, false, true)},
       {"lsu", with(SolverChoice::Lsu, false, true)},
@@ -183,6 +190,18 @@ std::vector<FuzzMember> fuzz_members() {
       {"portfolio", with(SolverChoice::Portfolio, false, true)},
       {"hedged", with(SolverChoice::Portfolio, true, true)},
       {"oll-raw", with(SolverChoice::Oll, false, false)},
+      // The structure-ablation axis: the gate-map SAT layer at each level
+      // must leave every optimum bit-identical (it only reorders search).
+      {"structure-off",
+       with_structure(SolverChoice::Portfolio, true, logic::StructureMode::Off)},
+      {"structure-hints", with_structure(SolverChoice::Portfolio, true,
+                                         logic::StructureMode::Hints)},
+      {"structure-full", with_structure(SolverChoice::Portfolio, true,
+                                        logic::StructureMode::Full)},
+      // Raw monolithic OLL under Full: the hints are *exact* here, so the
+      // session engine runs gate-structural inprocessing too.
+      {"oll-full-raw",
+       with_structure(SolverChoice::Oll, false, logic::StructureMode::Full)},
   };
 }
 
@@ -335,6 +354,53 @@ TEST_P(DifferentialFuzz, VoteCombinedLaddersMatchLsuReference) {
   EXPECT_NEAR(b.probability, bdd_best->second,
               1e-9 * bdd_best->second + 1e-300);
   EXPECT_TRUE(ft::is_minimal_cut_set(tree, b.cut));
+}
+
+TEST_P(DifferentialFuzz, ReweightRebaseMatchesOracleAcrossStructureModes) {
+  // Warm-session reweighting: prepare once, then push a weight-only
+  // TreeDelta through apply_delta so the incremental OLL session takes
+  // its in-place rebase patch path (satellite of the structure PR). The
+  // re-solved optimum must match the exhaustive oracle on the *new*
+  // tree bit for bit, with and without the structure layer.
+  const auto base_tree = fuzz_tree(GetParam());
+  for (const logic::StructureMode mode :
+       {logic::StructureMode::Off, logic::StructureMode::Full}) {
+    ft::FaultTree tree = base_tree;
+    core::PipelineOptions opts;
+    opts.solver = core::SolverChoice::Oll;
+    opts.sat_structure = mode;
+    core::MpmcsPipeline pipeline(opts);
+    core::PreparedInstance prepared = pipeline.prepare(tree);
+
+    const auto cold = pipeline.solve_prepared(tree, prepared);
+    ASSERT_EQ(cold.status, maxsat::MaxSatStatus::Optimal);
+    EXPECT_DOUBLE_EQ(cold.probability, brute_mpmcs_probability(tree));
+
+    util::Rng rng(GetParam() * 271828 + 17);
+    for (int round = 0; round < 2; ++round) {
+      ft::TreeDelta delta;
+      for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+        if (!rng.chance(0.5)) continue;
+        delta.ops.push_back(
+            ft::TreeDelta::weight(tree.event(e).name, rng.uniform(0.02, 0.98)));
+      }
+      if (delta.ops.empty()) {
+        delta.ops.push_back(ft::TreeDelta::weight(tree.event(0).name,
+                                                  rng.uniform(0.02, 0.98)));
+      }
+      ft::FaultTree next = ft::apply_delta(tree, delta);
+      pipeline.apply_delta(next, delta, prepared);
+      tree = std::move(next);
+
+      const auto warm = pipeline.solve_prepared(tree, prepared);
+      ASSERT_EQ(warm.status, maxsat::MaxSatStatus::Optimal)
+          << "mode " << static_cast<int>(mode) << " round " << round;
+      EXPECT_DOUBLE_EQ(warm.probability, brute_mpmcs_probability(tree))
+          << "mode " << static_cast<int>(mode) << " round " << round;
+      EXPECT_TRUE(ft::is_minimal_cut_set(tree, warm.cut))
+          << "mode " << static_cast<int>(mode) << " round " << round;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,

@@ -1,0 +1,256 @@
+// Unit tests for the structure-aware SAT layer (logic/structure +
+// sat::Solver::install_structure): the dedicated binary watch layer,
+// gate-structural inprocessing (single-fanout chain collapse and
+// equivalent-gate merging), the IncrementalOll in-place rebase patch,
+// and end-to-end pipeline agreement across StructureMode levels.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "gen/generator.hpp"
+#include "logic/structure.hpp"
+#include "maxsat/incremental.hpp"
+#include "maxsat/instance.hpp"
+#include "maxsat/oll.hpp"
+#include "sat/solver.hpp"
+#include "util/failpoint.hpp"
+
+namespace fta {
+namespace {
+
+using logic::GateDef;
+using logic::Lit;
+using logic::StructureMode;
+
+TEST(SatStructure, BinaryWatchLayerPropagatesAndAgreesWithLegacy) {
+  // g = AND(a, b, c), positive half only: the definition clauses are the
+  // three binaries g -> a, g -> b, g -> c. With hints installed they live
+  // in the dedicated binary watch layer; asserting g must imply the whole
+  // fanin through it.
+  std::vector<GateDef> gates(1);
+  gates[0].out = 3;
+  gates[0].kind = GateDef::Kind::And;
+  gates[0].pos_half = true;
+  gates[0].fanin = {Lit::pos(0), Lit::pos(1), Lit::pos(2)};
+  const logic::StructureHints hints = logic::make_structure_hints(
+      gates, Lit::pos(3), /*num_input_vars=*/3, /*num_vars=*/4);
+
+  sat::Solver on;
+  on.install_structure(hints, StructureMode::Hints, /*exact=*/true);
+  sat::Solver off;
+  off.ensure_vars(4);
+  for (sat::Solver* s : {&on, &off}) {
+    ASSERT_TRUE(s->add_clause({Lit::neg(3), Lit::pos(0)}));
+    ASSERT_TRUE(s->add_clause({Lit::neg(3), Lit::pos(1)}));
+    ASSERT_TRUE(s->add_clause({Lit::neg(3), Lit::pos(2)}));
+    ASSERT_TRUE(s->add_clause({Lit::pos(3)}));
+  }
+  ASSERT_EQ(on.solve(), sat::SolveResult::Sat);
+  ASSERT_EQ(off.solve(), sat::SolveResult::Sat);
+  for (logic::Var v = 0; v < 4; ++v) {
+    EXPECT_TRUE(on.model()[v]) << "var " << v;
+    EXPECT_TRUE(off.model()[v]) << "var " << v;
+  }
+  // All three implications were served by the binary layer; the legacy
+  // solver never touches it.
+  EXPECT_GE(on.stats().binary_propagations, 3u);
+  EXPECT_EQ(off.stats().binary_propagations, 0u);
+  // Hints mode never adds clauses.
+  EXPECT_EQ(on.stats().inprocess_clauses, 0u);
+}
+
+TEST(SatStructure, InprocessingCollapsesSingleFanoutAndChain) {
+  // G = AND(h, c) over the single-fanout h = AND(a, b); both positive
+  // halves emitted. Inprocessing must add the two missing definition
+  // halves ((a & b) -> h and (h & c) -> G) plus exactly the two chain
+  // shortcuts G -> a and G -> b, all before any clause is seen.
+  std::vector<GateDef> gates(2);
+  gates[0].out = 3;  // h
+  gates[0].kind = GateDef::Kind::And;
+  gates[0].pos_half = true;
+  gates[0].fanin = {Lit::pos(0), Lit::pos(1)};
+  gates[1].out = 4;  // G
+  gates[1].kind = GateDef::Kind::And;
+  gates[1].pos_half = true;
+  gates[1].fanin = {Lit::pos(3), Lit::pos(2)};
+  const logic::StructureHints hints = logic::make_structure_hints(
+      gates, Lit::pos(4), /*num_input_vars=*/3, /*num_vars=*/5);
+
+  sat::Solver full;
+  full.install_structure(hints, StructureMode::Full, /*exact=*/true);
+  EXPECT_EQ(full.stats().inprocess_clauses, 4u);
+
+  sat::Solver off;
+  off.ensure_vars(5);
+  for (sat::Solver* s : {&full, &off}) {
+    ASSERT_TRUE(s->add_clause({Lit::neg(3), Lit::pos(0)}));
+    ASSERT_TRUE(s->add_clause({Lit::neg(3), Lit::pos(1)}));
+    ASSERT_TRUE(s->add_clause({Lit::neg(4), Lit::pos(3)}));
+    ASSERT_TRUE(s->add_clause({Lit::neg(4), Lit::pos(2)}));
+    ASSERT_TRUE(s->add_clause({Lit::pos(4)}));
+  }
+  ASSERT_EQ(full.solve(), sat::SolveResult::Sat);
+  ASSERT_EQ(off.solve(), sat::SolveResult::Sat);
+  for (logic::Var v = 0; v < 5; ++v) {
+    EXPECT_TRUE(full.model()[v]) << "var " << v;
+    EXPECT_TRUE(off.model()[v]) << "var " << v;
+  }
+  // Under Hints the same gate map adds nothing.
+  sat::Solver hints_only;
+  hints_only.install_structure(hints, StructureMode::Hints, /*exact=*/true);
+  EXPECT_EQ(hints_only.stats().inprocess_clauses, 0u);
+  // Inexact hints (preprocessed clause set) must also suppress it.
+  sat::Solver inexact;
+  inexact.install_structure(hints, StructureMode::Full, /*exact=*/false);
+  EXPECT_EQ(inexact.stats().inprocess_clauses, 0u);
+}
+
+TEST(SatStructure, InprocessFailpointInjectsAndDisarms) {
+  if (!util::failpoints_compiled()) {
+    GTEST_SKIP() << "build without MPMCS_FAILPOINTS";
+  }
+  // Same two-gate chain as above; the sat.inprocess site sits at the top
+  // of the inprocessing pass, so arming it makes install_structure throw
+  // before any derived clause lands.
+  std::vector<GateDef> gates(2);
+  gates[0].out = 3;
+  gates[0].kind = GateDef::Kind::And;
+  gates[0].pos_half = true;
+  gates[0].fanin = {Lit::pos(0), Lit::pos(1)};
+  gates[1].out = 4;
+  gates[1].kind = GateDef::Kind::And;
+  gates[1].pos_half = true;
+  gates[1].fanin = {Lit::pos(3), Lit::pos(2)};
+  const logic::StructureHints hints = logic::make_structure_hints(
+      gates, Lit::pos(4), /*num_input_vars=*/3, /*num_vars=*/5);
+
+  util::configure_failpoints("sat.inprocess=throw*1");
+  {
+    sat::Solver victim;
+    EXPECT_THROW(
+        victim.install_structure(hints, StructureMode::Full, /*exact=*/true),
+        util::FailpointInjected);
+  }
+  util::clear_failpoints();
+
+  // *1 disarmed the site after the single fire: a fresh install runs the
+  // full pass and derives its clauses as if nothing happened.
+  sat::Solver clean;
+  clean.install_structure(hints, StructureMode::Full, /*exact=*/true);
+  EXPECT_EQ(clean.stats().inprocess_clauses, 4u);
+}
+
+TEST(SatStructure, InprocessingLinksEquivalentGatePairs) {
+  // g1 and g2 are both OR(a, b) with both halves emitted: the gate map
+  // alone justifies g1 <-> g2, two derived binaries.
+  std::vector<GateDef> gates(2);
+  for (int i = 0; i < 2; ++i) {
+    gates[i].out = static_cast<logic::Var>(2 + i);
+    gates[i].kind = GateDef::Kind::Or;
+    gates[i].pos_half = true;
+    gates[i].neg_half = true;
+    gates[i].fanin = {Lit::pos(0), Lit::pos(1)};
+  }
+  const logic::StructureHints hints = logic::make_structure_hints(
+      gates, Lit::pos(2), /*num_input_vars=*/2, /*num_vars=*/4);
+
+  sat::Solver full;
+  full.install_structure(hints, StructureMode::Full, /*exact=*/true);
+  EXPECT_EQ(full.stats().inprocess_clauses, 2u);
+
+  sat::Solver off;
+  off.ensure_vars(4);
+  for (sat::Solver* s : {&full, &off}) {
+    for (logic::Var g = 2; g < 4; ++g) {
+      ASSERT_TRUE(s->add_clause({Lit::neg(g), Lit::pos(0), Lit::pos(1)}));
+      ASSERT_TRUE(s->add_clause({Lit::neg(0), Lit::pos(g)}));
+      ASSERT_TRUE(s->add_clause({Lit::neg(1), Lit::pos(g)}));
+    }
+  }
+  // The derived equivalence only ever rules out models both solvers
+  // already reject: g1 = true, g2 = false is UNSAT either way, and the
+  // consistent polarity stays SAT.
+  const std::vector<Lit> split = {Lit::pos(2), Lit::neg(3)};
+  const std::vector<Lit> both = {Lit::pos(2), Lit::pos(3)};
+  EXPECT_EQ(full.solve(split), sat::SolveResult::Unsat);
+  EXPECT_EQ(off.solve(split), sat::SolveResult::Unsat);
+  EXPECT_EQ(full.solve(both), sat::SolveResult::Sat);
+  EXPECT_EQ(off.solve(both), sat::SolveResult::Sat);
+}
+
+std::shared_ptr<const maxsat::WcnfInstance> pick_one_instance(
+    maxsat::Weight w0, maxsat::Weight w1, maxsat::Weight w2) {
+  auto inst = std::make_shared<maxsat::WcnfInstance>(3);
+  inst->add_hard({Lit::pos(0), Lit::pos(1), Lit::pos(2)});
+  inst->add_soft_unit(Lit::neg(0), w0);
+  inst->add_soft_unit(Lit::neg(1), w1);
+  inst->add_soft_unit(Lit::neg(2), w2);
+  return inst;
+}
+
+TEST(SatStructure, RebasePatchKeepsChargeHistoryAndStaysOptimal) {
+  // "Pick at least one of three" with per-pick costs: the optimum is the
+  // cheapest pick. The first solve discovers the single core and charges
+  // its minimum weight; a feasible reweight must patch residuals in
+  // place (patched_rebases advances) and still land on the new optimum.
+  maxsat::IncrementalOll engine(pick_one_instance(3, 5, 7),
+                                maxsat::OllOptions{});
+  const auto first = engine.solve({}, nullptr);
+  ASSERT_EQ(first.status, maxsat::MaxSatStatus::Optimal);
+  EXPECT_EQ(first.cost, 3u);
+  EXPECT_TRUE(engine.base_converged());
+
+  // Converged base: a context-free re-solve is one verification SAT call.
+  const std::uint64_t calls_before = sat::Solver::global_solve_calls();
+  const auto again = engine.solve({}, nullptr);
+  EXPECT_EQ(again.status, maxsat::MaxSatStatus::Optimal);
+  EXPECT_EQ(again.cost, 3u);
+  EXPECT_EQ(sat::Solver::global_solve_calls() - calls_before, 1u);
+
+  // Every changed soft can absorb its delta: in-place patch.
+  EXPECT_EQ(engine.patched_rebases(), 0u);
+  ASSERT_TRUE(engine.rebase(pick_one_instance(10, 4, 7)));
+  EXPECT_EQ(engine.patched_rebases(), 1u);
+  const auto patched = engine.solve({}, nullptr);
+  ASSERT_EQ(patched.status, maxsat::MaxSatStatus::Optimal);
+  EXPECT_EQ(patched.cost, 4u);
+  const auto fresh = maxsat::OllSolver().solve(*pick_one_instance(10, 4, 7));
+  ASSERT_EQ(fresh.status, maxsat::MaxSatStatus::Optimal);
+  EXPECT_EQ(patched.cost, fresh.cost);
+
+  // Weights dropping below what the cores already charged cannot be
+  // patched; the fallback rebuild must still reach the new optimum.
+  ASSERT_TRUE(engine.rebase(pick_one_instance(1, 1, 1)));
+  EXPECT_EQ(engine.patched_rebases(), 1u);
+  const auto rebuilt = engine.solve({}, nullptr);
+  ASSERT_EQ(rebuilt.status, maxsat::MaxSatStatus::Optimal);
+  EXPECT_EQ(rebuilt.cost, 1u);
+}
+
+TEST(SatStructure, PipelineModesAgreeAndReportPerSolveCounters) {
+  const auto tree = gen::ladder_tree(gen::LadderOptions{}, 42);
+  double reference = -1.0;
+  for (const StructureMode mode :
+       {StructureMode::Off, StructureMode::Hints, StructureMode::Full}) {
+    core::PipelineOptions opts;
+    opts.solver = core::SolverChoice::Oll;
+    opts.sat_structure = mode;
+    const auto sol = core::MpmcsPipeline(opts).solve(tree);
+    ASSERT_EQ(sol.status, maxsat::MaxSatStatus::Optimal)
+        << logic::structure_mode_name(mode);
+    if (reference < 0.0) {
+      reference = sol.probability;
+    } else {
+      EXPECT_DOUBLE_EQ(sol.probability, reference)
+          << logic::structure_mode_name(mode);
+    }
+    // The per-solve effort counters are wired through every path.
+    EXPECT_GT(sol.sat_decisions + sol.sat_propagations, 0u)
+        << logic::structure_mode_name(mode);
+  }
+}
+
+}  // namespace
+}  // namespace fta
