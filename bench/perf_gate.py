@@ -4,9 +4,9 @@
 Runs the fixed-seed benchmark binaries (bench_engine_batch,
 fig1_fps_mpmcs, ablation_preprocess, ablation_incremental,
 voting_gates, ablation_stratified, ablation_mutation,
-ablation_structure), takes per-metric medians over a few runs, writes
-the combined report (BENCH_pr9.json) and fails when a throughput
-metric regresses more than --tolerance below the committed
+ablation_structure, corpus_repro), takes per-metric medians over a few
+runs, writes the combined report (BENCH_pr10.json) and fails when a
+throughput metric regresses more than --tolerance below the committed
 bench/baseline.json.
 
     python3 bench/perf_gate.py --build-dir build            # gate
@@ -14,8 +14,10 @@ bench/baseline.json.
 
 Correctness flags (fig1 allOk, the ablations' resultsMatch, the
 voting-gate >= 40% wide-vote clause-reduction bar, the structure
-ablation's identical-optima / engagement / non-regression gates) are
-hard failures regardless of tolerance.
+ablation's identical-optima / engagement / non-regression gates, and
+the corpus harness's optimality / differential / cross-format /
+round-trip / paper-anchor gates) are hard failures regardless of
+tolerance.
 """
 
 import argparse
@@ -174,6 +176,23 @@ def collect_metrics(build_dir, runs):
     flags["structure.speedup_ok"] = any(
         d["speedupOk"] for d in structure)
 
+    corpus = run_bench(os.path.join(build_dir, "corpus_repro"), [], runs)
+    metrics["corpus.solves_per_second"] = median_of(
+        corpus, lambda d: d["corpusSolvesPerSecond"])
+    metrics["corpus.parse_events_per_second"] = median_of(
+        corpus, lambda d: d["parseEventsPerSecond"])
+    # Every instance optimal, every portfolio member / structure mode on
+    # the same optimum, BDD oracle and WCNF re-import identities, the
+    # Galileo/Open-PSA twins agreeing, generator round-trips at up to
+    # 10^5 events, and the paper's Fig. 1 anchor ({x1, x2}, P = 0.02).
+    flags["corpus.all_optimal"] = all(d["allOptimal"] for d in corpus)
+    flags["corpus.results_match"] = all(d["resultsMatch"] for d in corpus)
+    flags["corpus.cross_format_match"] = all(
+        d["crossFormatMatch"] for d in corpus)
+    flags["corpus.roundtrip_ok"] = all(d["roundtripOk"] for d in corpus)
+    flags["corpus.fig1_reproduced"] = all(
+        d["fig1Reproduced"] for d in corpus)
+
     return metrics, flags
 
 
@@ -181,7 +200,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--baseline", default="bench/baseline.json")
-    parser.add_argument("--out", default="BENCH_pr9.json")
+    parser.add_argument("--out", default="BENCH_pr10.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
     parser.add_argument("--runs", type=int, default=3,

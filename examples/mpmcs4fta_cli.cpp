@@ -18,10 +18,17 @@
 //     --no-hedge      don't race the raw instance against the
 //                     preprocessed one in portfolio solves
 //     --timeout SEC   per-tree wall-clock cap
-//     --batch DIR     analyse every tree file (*.ft, *.xml, *.opsa) in DIR
-//                     concurrently and emit one JSON summary
+//     --format F      input format: auto (default) | json | galileo | openpsa
+//     --mission-time T  horizon for Galileo `lambda=` basic events
+//     --batch DIR     analyse every tree file (*.ft, *.dft, *.xml, *.opsa,
+//                     *.json) in DIR concurrently and emit one JSON summary
 //     --jobs N        batch worker threads (default: hardware concurrency)
 //     --quiet         suppress the human-readable summary
+//
+//   usage: mpmcs4fta_cli export-wcnf [options] <tree> [--wcnf PATH]
+//     Emits the Step 1-4 Weighted Partial MaxSAT instance in standard
+//     WCNF with an event-variable map in the comment header, for
+//     external MaxSAT solvers ('-' or no --wcnf = stdout).
 //
 //   usage: mpmcs4fta_cli serve [options]
 //     Long-running analysis service (src/service): POST /v1/solve and
@@ -60,6 +67,8 @@
 
 #include "core/pipeline.hpp"
 #include "engine/analysis_engine.hpp"
+#include "format/format.hpp"
+#include "format/wcnf_export.hpp"
 #include "ft/dot_writer.hpp"
 #include "ft/openpsa.hpp"
 #include "ft/parser.hpp"
@@ -91,9 +100,17 @@ int usage(const char* argv0) {
                "  --no-hedge      don't race the raw instance against the\n"
                "                  preprocessed one in portfolio solves\n"
                "  --timeout SEC   per-tree time limit\n"
+               "  --format F      input format: auto (default) | json |\n"
+               "                  galileo | openpsa\n"
+               "  --mission-time T  horizon for Galileo lambda= events\n"
+               "                  (p = 1 - exp(-lambda*T); default 1)\n"
                "  --batch DIR     analyse every tree file in DIR\n"
                "  --jobs N        batch worker threads\n"
                "  --quiet         no human-readable summary\n"
+               "export-wcnf mode: %s export-wcnf [options] <tree> "
+               "[--wcnf PATH]\n"
+               "  emit the Step 1-4 Weighted Partial MaxSAT instance with an\n"
+               "  event-variable map in the comment header ('-' = stdout)\n"
                "serve mode: %s serve [--port P] [--bind ADDR] [options]\n"
                "  long-running HTTP service: POST /v1/solve, POST /v1/topk,\n"
                "  the /v1/trees resource API, GET /v1/healthz, GET /v1/readyz,\n"
@@ -108,22 +125,22 @@ int usage(const char* argv0) {
                "<script.json>\n"
                "  replay a JSON edit script (array of TreeDeltas) against\n"
                "  the tree, reporting per-edit re-solve latency + lineage\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
-fta::ft::FaultTree parse_tree_text(const std::string& text) {
-  // Auto-detect format: Open-PSA MEF documents start with '<'.
-  const auto first = text.find_first_not_of(" \t\r\n");
-  if (first != std::string::npos && text[first] == '<') {
-    return fta::ft::parse_open_psa(text);
-  }
-  return fta::ft::parse_fault_tree(text);
+/// Format selection shared by every mode (--format / --mission-time).
+fta::format::ParseOptions g_parse_opts;
+
+fta::ft::FaultTree parse_tree_text(const std::string& text,
+                                   const std::string& filename = "") {
+  return fta::format::parse_tree(text, g_parse_opts, filename);
 }
 
 bool is_tree_file(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
-  return ext == ".ft" || ext == ".xml" || ext == ".opsa" || ext == ".mef";
+  return ext == ".ft" || ext == ".dft" || ext == ".xml" || ext == ".opsa" ||
+         ext == ".mef" || ext == ".json";
 }
 
 std::string cut_to_json_array(const std::vector<std::string>& event_names,
@@ -174,7 +191,8 @@ int run_batch(const std::string& dir, std::size_t jobs,
     return 1;
   }
   if (files.empty()) {
-    std::fprintf(stderr, "no tree files (*.ft, *.xml, *.opsa) in %s\n",
+    std::fprintf(stderr,
+                 "no tree files (*.ft, *.dft, *.xml, *.opsa, *.json) in %s\n",
                  dir.c_str());
     return 1;
   }
@@ -191,7 +209,7 @@ int run_batch(const std::string& dir, std::size_t jobs,
     try {
       engine::AnalysisRequest req;
       req.id = file.filename().string();
-      req.tree = parse_tree_text(buffer.str());
+      req.tree = parse_tree_text(buffer.str(), file.string());
       req.kind = top_k > 0 ? engine::AnalysisKind::TopK
                            : engine::AnalysisKind::Mpmcs;
       req.top_k = top_k;
@@ -379,7 +397,7 @@ int run_mutate(const std::string& tree_path, const std::string& edits_path,
   try {
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    tree = parse_tree_text(buffer.str());
+    tree = parse_tree_text(buffer.str(), tree_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", tree_path.c_str(), e.what());
     return 1;
@@ -635,6 +653,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool serve_mode = false;
   bool mutate_mode = false;
+  bool export_mode = false;
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 8080;
   std::string journal_dir;
@@ -722,10 +741,27 @@ int main(int argc, char** argv) {
       failpoints_spec = next();
     } else if (arg == "--edits") {
       edits_path = next();
-    } else if (arg == "serve" && tree_path.empty() && !mutate_mode) {
+    } else if (arg == "--format") {
+      if (!fta::format::parse_format_name(next(), &g_parse_opts.format)) {
+        std::fprintf(stderr,
+                     "--format must be auto, json, galileo, or openpsa\n");
+        return 2;
+      }
+    } else if (arg == "--mission-time") {
+      g_parse_opts.mission_time = std::strtod(next(), nullptr);
+      if (!(g_parse_opts.mission_time > 0)) {
+        std::fprintf(stderr, "--mission-time must be positive\n");
+        return 2;
+      }
+    } else if (arg == "serve" && tree_path.empty() && !mutate_mode &&
+               !export_mode) {
       serve_mode = true;
-    } else if (arg == "mutate" && tree_path.empty() && !serve_mode) {
+    } else if (arg == "mutate" && tree_path.empty() && !serve_mode &&
+               !export_mode) {
       mutate_mode = true;
+    } else if (arg == "export-wcnf" && tree_path.empty() && !serve_mode &&
+               !mutate_mode) {
+      export_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -757,6 +793,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--edits requires the mutate subcommand\n");
     return 2;
   }
+  if (export_mode && (tree_path.empty() || !batch_dir.empty())) {
+    return usage(argv[0]);
+  }
   if (!batch_dir.empty()) {
     if (!tree_path.empty()) return usage(argv[0]);
     if (!dot_path.empty() || !wcnf_path.empty()) {
@@ -778,10 +817,22 @@ int main(int argc, char** argv) {
   try {
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    tree = parse_tree_text(buffer.str());
+    tree = parse_tree_text(buffer.str(), tree_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", tree_path.c_str(), e.what());
     return 1;
+  }
+
+  if (export_mode) {
+    const std::string wcnf = format::export_wcnf(tree, opts);
+    if (wcnf_path.empty() || wcnf_path == "-") {
+      std::fputs(wcnf.c_str(), stdout);
+    } else {
+      std::ofstream out(wcnf_path);
+      out << wcnf;
+      if (!quiet) std::printf("WCNF      : %s\n", wcnf_path.c_str());
+    }
+    return 0;
   }
 
   const core::MpmcsPipeline pipeline(opts);
@@ -825,8 +876,7 @@ int main(int argc, char** argv) {
   }
   if (!wcnf_path.empty()) {
     std::ofstream out(wcnf_path);
-    maxsat::write_wcnf(out, pipeline.build_instance(tree),
-                       "mpmcs4fta instance for " + tree_path);
+    out << format::export_wcnf(tree, pipeline);
     if (!quiet) std::printf("WCNF      : %s\n", wcnf_path.c_str());
   }
   return 0;

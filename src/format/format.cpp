@@ -1,0 +1,377 @@
+#include "format/format.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "format/galileo.hpp"
+#include "ft/openpsa.hpp"
+#include "ft/parser.hpp"
+#include "ft/xml.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace fta::format {
+
+namespace {
+
+/// Maps a byte offset into 1-based (line, column) for JSON diagnostics.
+std::pair<std::size_t, std::size_t> offset_position(const std::string& text,
+                                                    std::size_t offset) {
+  std::size_t line = 1, column = 1;
+  const std::size_t end = offset < text.size() ? offset : text.size();
+  for (std::size_t i = 0; i < end; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return {line, column};
+}
+
+std::string lower_ext(const std::string& filename) {
+  const std::size_t dot = filename.find_last_of('.');
+  if (dot == std::string::npos) return "";
+  return util::to_lower(filename.substr(dot));
+}
+
+[[noreturn]] void fail_json(std::size_t line, std::size_t column,
+                            const std::string& detail) {
+  throw ParseError(TreeFormat::Json, line, column, detail);
+}
+
+/// Parses the ft::to_json tree document shape.
+ft::FaultTree parse_json_tree_impl(const std::string& text) {
+  util::JsonValue doc = util::JsonValue::make_null();
+  try {
+    doc = util::JsonValue::parse(text);
+  } catch (const util::JsonError& e) {
+    const auto [line, column] = offset_position(text, e.offset());
+    fail_json(line, column, e.what());
+  }
+  if (!doc.is_object()) {
+    fail_json(1, 1, "tree document must be a JSON object");
+  }
+  const std::string top_name = doc.get_string("top", "");
+  if (top_name.empty()) {
+    fail_json(1, 1, "missing required member \"top\"");
+  }
+  const util::JsonValue* nodes = doc.find("nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    fail_json(1, 1, "missing required array \"nodes\"");
+  }
+
+  struct GateDecl {
+    ft::NodeType type = ft::NodeType::Or;
+    std::uint32_t k = 0;
+    std::vector<std::string> children;
+  };
+  // Events inserted in nodes-array order => deterministic EventIndex.
+  std::vector<std::pair<std::string, double>> events;
+  std::vector<std::string> gate_order;
+  std::unordered_map<std::string, GateDecl> gates;
+  std::unordered_set<std::string> names;
+
+  for (const util::JsonValue& node : nodes->items()) {
+    if (!node.is_object()) {
+      fail_json(1, 1, "every entry of \"nodes\" must be an object");
+    }
+    const std::string id = node.get_string("id", "");
+    if (id.empty()) fail_json(1, 1, "node without an \"id\"");
+    if (!names.insert(id).second) {
+      fail_json(1, 1, "duplicate node id '" + id + "'");
+    }
+    const std::string type = node.get_string("type", "");
+    if (type == "event" || type == "basic-event" || type == "basic") {
+      events.emplace_back(id, node.get_number("prob", 0.0));
+      continue;
+    }
+    GateDecl g;
+    if (type == "and") {
+      g.type = ft::NodeType::And;
+    } else if (type == "or") {
+      g.type = ft::NodeType::Or;
+    } else if (type == "vote" || type == "atleast") {
+      g.type = ft::NodeType::Vote;
+      const double k = node.get_number("k", 0.0);
+      if (!(k >= 1.0) || k != static_cast<double>(
+                                  static_cast<std::uint32_t>(k))) {
+        fail_json(1, 1, "gate '" + id + "': bad vote threshold \"k\"");
+      }
+      g.k = static_cast<std::uint32_t>(k);
+    } else {
+      fail_json(1, 1, "node '" + id + "': unknown type '" + type + "'");
+    }
+    const util::JsonValue* children = node.find("children");
+    if (children == nullptr || !children->is_array()) {
+      fail_json(1, 1, "gate '" + id + "' needs a \"children\" array");
+    }
+    for (const util::JsonValue& c : children->items()) {
+      if (!c.is_string()) {
+        fail_json(1, 1, "gate '" + id + "': children must be node ids");
+      }
+      g.children.push_back(c.as_string());
+    }
+    gate_order.push_back(id);
+    gates.emplace(id, std::move(g));
+  }
+
+  ft::FaultTree tree;
+  std::unordered_map<std::string, ft::NodeIndex> index;
+  try {
+    for (const auto& [name, p] : events) {
+      index.emplace(name, tree.add_basic_event(name, p));
+    }
+    // Gates children-first with cycle detection.
+    std::unordered_set<std::string> inserting;
+    std::vector<std::pair<std::string, bool>> stack;
+    for (auto it = gate_order.rbegin(); it != gate_order.rend(); ++it) {
+      stack.push_back({*it, false});
+    }
+    while (!stack.empty()) {
+      auto [name, expanded] = stack.back();
+      stack.pop_back();
+      if (index.count(name)) continue;
+      const GateDecl& g = gates.at(name);
+      if (expanded) {
+        inserting.erase(name);
+        std::vector<ft::NodeIndex> children;
+        children.reserve(g.children.size());
+        for (const auto& c : g.children) children.push_back(index.at(c));
+        index.emplace(name,
+                      g.type == ft::NodeType::Vote
+                          ? tree.add_vote_gate(name, g.k, std::move(children))
+                          : tree.add_gate(name, g.type, std::move(children)));
+        continue;
+      }
+      if (!inserting.insert(name).second) {
+        fail_json(1, 1, "cycle through gate '" + name + "'");
+      }
+      stack.push_back({name, true});
+      for (const auto& c : g.children) {
+        if (index.count(c)) continue;
+        if (!gates.count(c)) {
+          fail_json(1, 1,
+                    "gate '" + name + "': undefined child '" + c + "'");
+        }
+        stack.push_back({c, false});
+      }
+    }
+    const auto top = index.find(top_name);
+    if (top == index.end()) {
+      fail_json(1, 1, "top '" + top_name + "' is not a defined node");
+    }
+    tree.set_top(top->second);
+    tree.validate();
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception& e) {
+    fail_json(1, 1, e.what());
+  }
+  return tree;
+}
+
+/// The typed JsonValue getters throw util::JsonError on wrong-typed
+/// members; every such schema defect must still surface as ParseError.
+ft::FaultTree parse_json_tree(const std::string& text) {
+  try {
+    return parse_json_tree_impl(text);
+  } catch (const ParseError&) {
+    throw;
+  } catch (const util::JsonError& e) {
+    fail_json(1, 1, e.what());
+  }
+}
+
+ft::FaultTree parse_open_psa_checked(const std::string& text) {
+  try {
+    return ft::parse_open_psa(text);
+  } catch (const ft::xml::XmlError& e) {
+    throw ParseError(TreeFormat::OpenPsa, e.line(), e.column(), e.what());
+  } catch (const ft::ParseError& e) {
+    throw ParseError(TreeFormat::OpenPsa, e.line(), 0, e.what());
+  } catch (const std::exception& e) {
+    throw ParseError(TreeFormat::OpenPsa, 0, 0, e.what());
+  }
+}
+
+}  // namespace
+
+const char* format_name(TreeFormat f) noexcept {
+  switch (f) {
+    case TreeFormat::Auto: return "auto";
+    case TreeFormat::Json: return "json";
+    case TreeFormat::Galileo: return "galileo";
+    case TreeFormat::OpenPsa: return "openpsa";
+  }
+  return "?";
+}
+
+bool parse_format_name(const std::string& name, TreeFormat* out) noexcept {
+  const std::string n = util::to_lower(name);
+  if (n == "auto") *out = TreeFormat::Auto;
+  else if (n == "json") *out = TreeFormat::Json;
+  else if (n == "galileo" || n == "dft" || n == "ft") *out = TreeFormat::Galileo;
+  else if (n == "openpsa" || n == "open-psa" || n == "mef" || n == "opsa")
+    *out = TreeFormat::OpenPsa;
+  else return false;
+  return true;
+}
+
+ParseError::ParseError(TreeFormat format, std::size_t line,
+                       std::size_t column, const std::string& detail)
+    : std::runtime_error(
+          std::string(format_name(format)) + ": line " +
+          std::to_string(line) + ", column " + std::to_string(column) +
+          ": " + detail),
+      format_(format),
+      line_(line),
+      column_(column),
+      detail_(detail) {}
+
+TreeFormat detect_format(const std::string& filename,
+                         const std::string& content) noexcept {
+  const std::string ext = lower_ext(filename);
+  if (ext == ".dft" || ext == ".ft") return TreeFormat::Galileo;
+  if (ext == ".xml" || ext == ".opsa" || ext == ".mef") {
+    return TreeFormat::OpenPsa;
+  }
+  if (ext == ".json") return TreeFormat::Json;
+  const std::size_t first = content.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos) {
+    if (content[first] == '<') return TreeFormat::OpenPsa;
+    if (content[first] == '{') return TreeFormat::Json;
+  }
+  return TreeFormat::Galileo;
+}
+
+ft::FaultTree parse_tree(const std::string& text, const ParseOptions& opts,
+                         const std::string& filename) {
+  TreeFormat format = opts.format;
+  if (format == TreeFormat::Auto) format = detect_format(filename, text);
+  switch (format) {
+    case TreeFormat::Json:
+      return parse_json_tree(text);
+    case TreeFormat::OpenPsa:
+      return parse_open_psa_checked(text);
+    case TreeFormat::Galileo: {
+      GalileoOptions gopts;
+      gopts.mission_time = opts.mission_time;
+      return parse_galileo(text, gopts);
+    }
+    case TreeFormat::Auto:
+      break;
+  }
+  throw ParseError(TreeFormat::Auto, 0, 0, "unresolvable format");
+}
+
+std::string to_galileo(const ft::FaultTree& tree) {
+  return write_galileo(tree);
+}
+
+std::string to_open_psa(const ft::FaultTree& tree,
+                        const std::string& tree_name) {
+  tree.validate();
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\"?>\n<opsa-mef>\n";
+  os << "  <define-fault-tree name=\"" << ft::xml::escape(tree_name)
+     << "\">\n";
+  // Top gate first (reader convention), then the rest in DFS order —
+  // the ft::to_open_psa layout with round-trip float precision.
+  std::vector<ft::NodeIndex> order;
+  std::unordered_set<ft::NodeIndex> seen;
+  std::vector<ft::NodeIndex> stack{tree.top()};
+  while (!stack.empty()) {
+    const ft::NodeIndex id = stack.back();
+    stack.pop_back();
+    if (!seen.insert(id).second) continue;
+    const ft::Node& n = tree.node(id);
+    if (n.type == ft::NodeType::BasicEvent) continue;
+    order.push_back(id);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  for (const ft::NodeIndex id : order) {
+    const ft::Node& n = tree.node(id);
+    os << "    <define-gate name=\"" << ft::xml::escape(n.name) << "\">\n";
+    if (n.type == ft::NodeType::Vote) {
+      os << "      <atleast min=\"" << n.k << "\">\n";
+    } else {
+      os << "      <" << ft::node_type_name(n.type) << ">\n";
+    }
+    for (const ft::NodeIndex c : n.children) {
+      const ft::Node& child = tree.node(c);
+      const char* tag =
+          child.type == ft::NodeType::BasicEvent ? "basic-event" : "gate";
+      os << "        <" << tag << " name=\"" << ft::xml::escape(child.name)
+         << "\"/>\n";
+    }
+    os << (n.type == ft::NodeType::Vote
+               ? "      </atleast>\n"
+               : std::string("      </") + ft::node_type_name(n.type) +
+                     ">\n");
+    os << "    </define-gate>\n";
+  }
+  os << "  </define-fault-tree>\n";
+  os << "  <model-data>\n";
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    const ft::Node& n = tree.event(e);
+    os << "    <define-basic-event name=\"" << ft::xml::escape(n.name)
+       << "\">\n      <float value=\"" << format_probability(n.probability)
+       << "\"/>\n    </define-basic-event>\n";
+  }
+  os << "  </model-data>\n</opsa-mef>\n";
+  return os.str();
+}
+
+std::string to_json(const ft::FaultTree& tree) {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"mpmcs4fta-cpp\",\n  \"top\": \""
+     << util::json_escape(tree.node(tree.top()).name)
+     << "\",\n  \"nodes\": [";
+  for (ft::NodeIndex i = 0; i < tree.num_nodes(); ++i) {
+    const ft::Node& n = tree.node(i);
+    os << (i == 0 ? "\n" : ",\n") << "    {\"id\": \""
+       << util::json_escape(n.name) << "\", \"type\": \""
+       << ft::node_type_name(n.type) << '"';
+    if (n.type == ft::NodeType::BasicEvent) {
+      os << ", \"prob\": " << format_probability(n.probability);
+    }
+    if (n.type == ft::NodeType::Vote) os << ", \"k\": " << n.k;
+    if (!n.children.empty()) {
+      os << ", \"children\": [";
+      for (std::size_t c = 0; c < n.children.size(); ++c) {
+        if (c > 0) os << ", ";
+        os << '"' << util::json_escape(tree.node(n.children[c]).name) << '"';
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string serialize_tree(const ft::FaultTree& tree, TreeFormat format) {
+  switch (format) {
+    case TreeFormat::Json: return to_json(tree);
+    case TreeFormat::Galileo: return to_galileo(tree);
+    case TreeFormat::OpenPsa: return format::to_open_psa(tree);
+    case TreeFormat::Auto: break;
+  }
+  throw std::invalid_argument("serialize_tree: format must be concrete");
+}
+
+std::string format_probability(double p) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", p);
+  return buf;
+}
+
+}  // namespace fta::format

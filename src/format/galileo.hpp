@@ -1,0 +1,49 @@
+// Galileo DFT text format (the de-facto `.dft` format of the DFT
+// benchmark collections; the MaxSAT Evaluation 2020 fault-tree set was
+// derived from such instances).
+//
+//   toplevel "System";
+//   "System" or "Subsys1" "Subsys2";
+//   "Subsys1" 2of3 "m1" "m2" "m3";
+//   "m1" prob=0.01;
+//   "m2" lambda=0.001 dorm=0;      // rate: p = 1 - exp(-lambda * T)
+//
+// Grammar notes:
+//   * Statements end with ';'; names may be double-quoted (required by
+//     some emitters, optional here). Comments: '//', '#', '/* ... */'.
+//   * Gate operators: `and`, `or`, `KofN` (also written `K/N`) voting.
+//   * Basic events: `prob=P` (point probability) or `lambda=R`
+//     (exponential rate, converted at the configured mission time).
+//     `dorm=` is accepted and ignored (dormancy shapes dynamic-spare
+//     semantics this static analysis does not model); `repl=1` is
+//     accepted, `repl=N>1` rejected.
+//   * Dynamic gates (`pand`, `por`, `seq`, `fdep`, `spare`, `wsp`,
+//     `csp`, `hsp`, `pdep`) are rejected with a structured diagnostic
+//     naming the gate and its position — the paper's encoding (and this
+//     library) covers static fault trees.
+//
+// All diagnostics are format::ParseError with 1-based line/column.
+#pragma once
+
+#include <string>
+
+#include "ft/fault_tree.hpp"
+
+namespace fta::format {
+
+struct GalileoOptions {
+  /// Horizon for `lambda=` basic events: p = 1 - exp(-lambda * T).
+  double mission_time = 1.0;
+};
+
+/// Parses a Galileo DFT document; the result is validated. Throws
+/// format::ParseError on any defect.
+ft::FaultTree parse_galileo(const std::string& text,
+                            const GalileoOptions& opts = {});
+
+/// Canonical serialization: quoted names, basic events first in
+/// EventIndex order (keeps indices stable across round-trips), gates in
+/// stable top-down DFS order, probabilities with round-trip precision.
+std::string write_galileo(const ft::FaultTree& tree);
+
+}  // namespace fta::format

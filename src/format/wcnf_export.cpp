@@ -1,0 +1,44 @@
+#include "format/wcnf_export.hpp"
+
+#include <sstream>
+
+#include "format/format.hpp"
+#include "maxsat/instance.hpp"
+
+namespace fta::format {
+
+std::string export_wcnf(const ft::FaultTree& tree,
+                        const core::MpmcsPipeline& pipeline) {
+  tree.validate();
+  const maxsat::WcnfInstance instance = pipeline.build_instance(tree);
+
+  std::ostringstream os;
+  os << "c mpmcs4fta steps 1-4 encoding (Barrere & Hankin, DSN 2020)\n";
+  os << "c top \"" << tree.node(tree.top()).name << "\"\n";
+  os << "c weight_scale " << format_probability(
+            pipeline.options().weight_scale) << '\n';
+  os << "c events " << tree.num_events() << '\n';
+  // Soft weights indexed by event: variables [0, num_events) are the
+  // basic events (1-based in DIMACS), the rest Tseitin auxiliaries.
+  std::vector<maxsat::Weight> weight(tree.num_events(), 0);
+  for (const auto& s : instance.soft()) {
+    if (s.lits.size() == 1 && s.lits[0].var() < tree.num_events()) {
+      weight[s.lits[0].var()] = s.weight;
+    }
+  }
+  for (ft::EventIndex e = 0; e < tree.num_events(); ++e) {
+    const ft::Node& n = tree.event(e);
+    os << "c event " << e + 1 << " \"" << n.name << "\" "
+       << format_probability(tree.event_probability(e)) << ' ' << weight[e]
+       << '\n';
+  }
+  maxsat::write_wcnf(os, instance);
+  return os.str();
+}
+
+std::string export_wcnf(const ft::FaultTree& tree,
+                        const core::PipelineOptions& opts) {
+  return export_wcnf(tree, core::MpmcsPipeline(opts));
+}
+
+}  // namespace fta::format

@@ -1,0 +1,27 @@
+// WDIMACS/WCNF export of the paper's Step 1-4 encoding: hard clauses
+// assert the fault formula (Tseitin CNF of the tree), every basic event
+// carries a unit soft clause ¬x_i weighted round(-log p_i * scale). The
+// header comments record the event-variable map (`c event <dimacs-var>
+// <name> <prob> <weight>`) so third-party MaxSAT solvers' models can be
+// decoded back to cut sets; maxsat::read_wcnf skips them, making export →
+// re-import → re-solve an identity on optimum cost.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "ft/fault_tree.hpp"
+
+namespace fta::format {
+
+/// Serializes the Steps 1-4 Weighted Partial MaxSAT instance of a
+/// validated tree. `opts` controls the encoding exactly like the solving
+/// pipeline (weight_scale, cardinality lowering, ...).
+std::string export_wcnf(const ft::FaultTree& tree,
+                        const core::PipelineOptions& opts = {});
+
+/// Same, reusing an existing pipeline's configuration.
+std::string export_wcnf(const ft::FaultTree& tree,
+                        const core::MpmcsPipeline& pipeline);
+
+}  // namespace fta::format

@@ -57,16 +57,15 @@ FaultTree parse_open_psa(const std::string& text) {
     throw ParseError(root->line, "open-psa: missing <define-fault-tree>");
   }
 
-  // Gate definitions.
+  // Gate definitions. Operands may be <gate>/<basic-event> references or
+  // anonymous nested connectives (<and>/<or>/<atleast> inline, as MEF
+  // documents in the wild nest them); the latter become synthesized gates
+  // named <parent>#<n>.
   std::unordered_map<std::string, GateSpec> gates;
   std::vector<std::string> gate_order;
-  for (const xml::Element* def : ft_el->children_named("define-gate")) {
-    const std::string name = def->attr("name");
-    if (def->children.size() != 1) {
-      throw ParseError(def->line, "open-psa: <define-gate '" + name +
-                                      "'> needs exactly one connective");
-    }
-    const xml::Element& conn = *def->children.front();
+  const auto register_connective = [&](const auto& self,
+                                       const xml::Element& conn,
+                                       const std::string& name) -> void {
     GateSpec spec;
     spec.line = conn.line;
     spec.type = gate_type_of(conn.name, conn.line);
@@ -79,25 +78,49 @@ FaultTree parse_open_psa(const std::string& text) {
         throw ParseError(conn.line, "open-psa: bad atleast min");
       }
     }
+    std::size_t anonymous = 0;
     for (const auto& operand : conn.children) {
-      if (operand->name != "gate" && operand->name != "basic-event") {
-        throw ParseError(operand->line, "open-psa: operands must be <gate> or "
-                                        "<basic-event>, got <" +
-                                            operand->name + ">");
+      if (operand->name == "gate" || operand->name == "basic-event") {
+        spec.children.push_back(operand->attr("name"));
+        continue;
       }
-      spec.children.push_back(operand->attr("name"));
+      if (operand->name == "and" || operand->name == "or" ||
+          operand->name == "atleast") {
+        const std::string sub = name + "#" + std::to_string(++anonymous);
+        self(self, *operand, sub);
+        spec.children.push_back(sub);
+        continue;
+      }
+      throw ParseError(operand->line,
+                       "open-psa: operands must be <gate>, <basic-event> or "
+                       "a nested connective, got <" +
+                           operand->name + ">");
     }
     if (!gates.emplace(name, std::move(spec)).second) {
-      throw ParseError(def->line, "open-psa: duplicate gate '" + name + "'");
+      throw ParseError(conn.line, "open-psa: duplicate gate '" + name + "'");
     }
     gate_order.push_back(name);
+  };
+  // Top = the first *named* define-gate (synthesized subgates may precede
+  // their parent in gate_order).
+  std::string top_name;
+  for (const xml::Element* def : ft_el->children_named("define-gate")) {
+    const std::string name = def->attr("name");
+    if (def->children.size() != 1) {
+      throw ParseError(def->line, "open-psa: <define-gate '" + name +
+                                      "'> needs exactly one connective");
+    }
+    if (top_name.empty()) top_name = name;
+    register_connective(register_connective, *def->children.front(), name);
   }
   if (gate_order.empty()) {
     throw ParseError(ft_el->line, "open-psa: fault tree defines no gates");
   }
 
-  // Probabilities from <model-data>.
+  // Probabilities from <model-data>; declaration order is preserved so
+  // EventIndex assignment is document-determined.
   std::unordered_map<std::string, double> probs;
+  std::vector<std::string> prob_order;
   if (const xml::Element* data = root->child("model-data")) {
     for (const xml::Element* def : data->children_named("define-basic-event")) {
       const std::string name = def->attr("name");
@@ -105,12 +128,20 @@ FaultTree parse_open_psa(const std::string& text) {
         throw ParseError(def->line,
                          "open-psa: duplicate basic event '" + name + "'");
       }
+      prob_order.push_back(name);
     }
   }
 
-  // Build: events are names referenced but never defined as gates.
+  // Build: declared basic events first, in <model-data> order — this
+  // keeps EventIndex stable across serialize/parse round-trips (the
+  // writer emits model-data in EventIndex order) — then any referenced
+  // but undeclared names in reference order.
   FaultTree tree;
   std::unordered_map<std::string, NodeIndex> index;
+  for (const auto& name : prob_order) {
+    if (gates.count(name)) continue;  // declared prob for a gate: ignored
+    index.emplace(name, tree.add_basic_event(name, probs.at(name)));
+  }
   for (const auto& gname : gate_order) {
     for (const auto& child : gates.at(gname).children) {
       if (gates.count(child) || index.count(child)) continue;
@@ -161,7 +192,7 @@ FaultTree parse_open_psa(const std::string& text) {
     }
   }
 
-  tree.set_top(index.at(gate_order.front()));
+  tree.set_top(index.at(top_name));
   tree.validate();
   return tree;
 }

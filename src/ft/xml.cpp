@@ -52,15 +52,21 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& message) {
-    throw XmlError(line_, message);
+    throw XmlError(line_, column(), message);
   }
+
+  /// 1-based column of the current position.
+  std::size_t column() const { return pos_ - line_start_ + 1; }
 
   char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
 
   char advance() {
     if (pos_ >= text_.size()) fail("unexpected end of document");
     const char c = text_[pos_++];
-    if (c == '\n') ++line_;
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
     return c;
   }
 
@@ -143,9 +149,12 @@ class Parser {
   }
 
   std::unique_ptr<Element> parse_element() {
+    const std::size_t open_line = line_;
+    const std::size_t open_col = column();
     if (!consume("<")) fail("expected '<'");
     auto el = std::make_unique<Element>();
-    el->line = line_;
+    el->line = open_line;
+    el->column = open_col;
     el->name = parse_name();
     while (true) {
       skip_ws();
@@ -190,6 +199,7 @@ class Parser {
   const std::string& text_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
+  std::size_t line_start_ = 0;  ///< Byte offset where the current line began.
 };
 
 }  // namespace

@@ -19,18 +19,27 @@ class XmlError : public std::runtime_error {
       : std::runtime_error("xml: line " + std::to_string(line) + ": " +
                            message),
         line_(line) {}
+  XmlError(std::size_t line, std::size_t column, const std::string& message)
+      : std::runtime_error("xml: line " + std::to_string(line) + ", column " +
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
   std::size_t line() const noexcept { return line_; }
+  /// 1-based column of the defect; 0 when only the line is known.
+  std::size_t column() const noexcept { return column_; }
 
  private:
   std::size_t line_;
+  std::size_t column_ = 0;
 };
 
 struct Element {
   std::string name;
   std::unordered_map<std::string, std::string> attrs;
   std::vector<std::unique_ptr<Element>> children;
-  std::string text;       ///< Concatenated character data.
-  std::size_t line = 0;   ///< Line of the opening tag (for diagnostics).
+  std::string text;        ///< Concatenated character data.
+  std::size_t line = 0;    ///< Line of the opening tag (for diagnostics).
+  std::size_t column = 0;  ///< 1-based column of the opening '<'.
 
   /// First child with the given tag name; nullptr if absent.
   const Element* child(const std::string& tag) const;

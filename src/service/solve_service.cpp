@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "format/format.hpp"
 #include "ft/parser.hpp"
 #include "ft/openpsa.hpp"
 #include "ft/tree_delta.hpp"
@@ -43,12 +44,18 @@ bool parse_solver_name(const std::string& name, core::SolverChoice* out) {
   return true;
 }
 
-fta::ft::FaultTree parse_tree_text(const std::string& text) {
-  const auto first = text.find_first_not_of(" \t\r\n");
-  if (first != std::string::npos && text[first] == '<') {
-    return ft::parse_open_psa(text);
+/// Parses an embedded tree body. `format_name` is the request's "format"
+/// member (auto = sniff); unknown names and parse defects both surface as
+/// exceptions the handlers map to HTTP 400.
+fta::ft::FaultTree parse_tree_text(const std::string& text,
+                                   const std::string& format_name = "auto") {
+  format::ParseOptions popts;
+  if (!format::parse_format_name(format_name, &popts.format)) {
+    throw util::JsonError(
+        0, "unknown format \"" + format_name +
+               "\" (expected auto, json, galileo, or openpsa)");
   }
-  return ft::parse_fault_tree(text);
+  return format::parse_tree(text, popts);
 }
 
 std::string cut_to_json_array(const ft::FaultTree& tree,
@@ -382,7 +389,7 @@ HttpResponse SolveService::handle_solve(const HttpRequest& request,
     if (tree_text.empty()) {
       throw util::JsonError(0, "missing required member \"tree\"");
     }
-    tree = parse_tree_text(tree_text);
+    tree = parse_tree_text(tree_text, doc.get_string("format", "auto"));
     tree.validate();
     const std::string solver = doc.get_string("solver", "");
     if (!solver.empty() && !parse_solver_name(solver, &popts.solver)) {
@@ -645,7 +652,7 @@ HttpResponse SolveService::handle_tree_create(const HttpRequest& request) {
     if (tree_text.empty()) {
       throw util::JsonError(0, "missing required member \"tree\"");
     }
-    tree = parse_tree_text(tree_text);
+    tree = parse_tree_text(tree_text, doc.get_string("format", "auto"));
     tree.validate();
     const std::string solver = doc.get_string("solver", "");
     if (!solver.empty() && !parse_solver_name(solver, &popts.solver)) {
